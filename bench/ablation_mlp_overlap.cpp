@@ -1,0 +1,86 @@
+// Ablation — LU's memory-level-parallelism overlap.
+//
+// DESIGN.md §5 grants LU one per-benchmark escape hatch: 78% of its
+// micro-ops issue in the shadow of outstanding misses, making it more
+// frequency-insensitive than its Table-1 UPM (73.5) implies.  This is
+// justified by the paper's own data (LU's slope is out of UPM order, and
+// Figure 2's quoted LU numbers demand it), but it is a modeling choice —
+// so ablate it: rerun the Table-1 and Figure-2 analyses with the overlap
+// removed and show exactly which claims it carries.
+#include <iostream>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/patterns.hpp"
+
+using namespace gearsim;
+
+namespace {
+
+/// LU with a configurable MLP overlap; identical communication structure
+/// (rebuilt from the public pattern library and NasLu's own parameters).
+class LuVariant final : public workloads::NasSkeleton {
+ public:
+  explicit LuVariant(double overlap)
+      : NasSkeleton([overlap] {
+          workloads::NasParams p = workloads::NasLu().params();
+          p.overlap = overlap;
+          return p;
+        }()) {}
+
+  void run(cluster::RankContext& ctx) const override {
+    const cpu::ComputeBlock block = iteration_block(ctx);
+    const Bytes sweep = workloads::NasLu().sweep_bytes;
+    for (int it = 0; it < params_.iterations; ++it) {
+      ctx.compute(block);
+      workloads::wavefront_exchange(ctx, sweep);
+    }
+    if (ctx.nprocs() > 1) ctx.comm().allreduce(40);
+  }
+};
+
+}  // namespace
+
+int main() {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+
+  std::cout << "=== Ablation: LU's MLP overlap (0.78 vs 0) ===\n\n";
+
+  TextTable single({"variant", "gear 2 delay", "gear 4 delay",
+                    "gear 4 energy", "slope 1->2 [kJ/s]", "LU 4->8 case"});
+  bool shipped_case3 = false;
+  bool stripped_case1 = false;
+  for (const double overlap : {0.78, 0.0}) {
+    const LuVariant lu(overlap);
+    const model::Curve c1 = model::curve_from_runs(runner.gear_sweep(lu, 1));
+    const auto rel = model::relative_to_fastest(c1);
+    const model::Curve c4 = model::curve_from_runs(runner.gear_sweep(lu, 4));
+    const model::Curve c8 = model::curve_from_runs(runner.gear_sweep(lu, 8));
+    const model::SpeedupCase transition = model::classify_transition(c4, c8);
+    if (overlap > 0.0 && transition == model::SpeedupCase::kGoodSpeedup) {
+      shipped_case3 = true;
+    }
+    if (overlap == 0.0 && transition == model::SpeedupCase::kPoorSpeedup) {
+      stripped_case1 = true;
+    }
+    single.add_row(
+        {overlap > 0.0 ? "overlap 0.78 (shipped)" : "overlap 0 (pure UPM)",
+         fmt_percent(rel[1].time_delta), fmt_percent(rel[3].time_delta),
+         fmt_percent(rel[3].energy_delta),
+         fmt_fixed(model::slope_between(c1.points[0], c1.points[1]) / 1e3, 3),
+         model::to_string(transition)});
+  }
+  std::cout << single.to_string() << '\n';
+
+  std::cout
+      << "Without the overlap, LU's single-node curve flattens (its gear-4"
+         " energy\nsavings evaporate) and its Figure-2 case-3 showing"
+         " reverts to case 1 —\nthe overlap is load-bearing for exactly the"
+         " claims EXPERIMENTS.md\nattributes to it, and for nothing else"
+         " (the other five benchmarks never\nuse it): "
+      << (shipped_case3 && stripped_case1 ? "confirmed" : "NOT confirmed")
+      << ".\n";
+  return (shipped_case3 && stripped_case1) ? 0 : 1;
+}

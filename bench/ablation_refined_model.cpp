@@ -1,0 +1,85 @@
+// Ablation — naive vs refined (critical/reducible) prediction model.
+//
+// DESIGN.md calls out the refined model's critical/reducible split as the
+// paper's key modeling refinement.  This harness quantifies what it buys:
+// for every NAS benchmark, build the Section-4 model twice (naive and
+// refined) and compare both against direct simulation on 16-32 nodes at
+// every gear.  The refined model should never be worse on time, and
+// matters most for send-heavy codes with real slack (LU's wavefronts).
+#include <iostream>
+
+#include "cluster/experiment.hpp"
+#include "model/pipeline.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+int main() {
+  cluster::ExperimentRunner athlon(cluster::athlon_cluster());
+  cluster::ExperimentRunner sun(cluster::sun_cluster());
+  cluster::ClusterConfig big_config = cluster::athlon_cluster();
+  big_config.max_nodes = 32;
+  // A real 32-node build would carry a fabric sized for it; keep the
+  // switch at full bisection so the hypothetical machine is not
+  // bottlenecked by the 10-node cluster's 12-port switch.
+  big_config.network.backplane_bandwidth =
+      32 * big_config.network.link_bandwidth;
+  cluster::ExperimentRunner big(big_config);
+
+  std::cout << "=== Ablation: naive vs refined prediction model ===\n\n";
+
+  TextTable table({"bench", "reducible frac", "naive |dT|", "refined |dT|",
+                   "naive |dE|", "refined |dE|"});
+  RunningStats naive_total;
+  RunningStats refined_total;
+
+  for (const auto& entry : workloads::nas_suite()) {
+    const auto workload = entry.make();
+    model::ScalingModel::Options opts;
+    opts.primary_nodes = workloads::paper_node_counts(*workload, 9);
+    opts.validation_nodes = workloads::paper_node_counts(*workload, 32);
+    // Same shape choices as the Figure-5 harness (paper Section 4.1,
+    // including the validated constant for LU).
+    if (entry.name == "CG") {
+      opts.comm_shape = ScalingShape::kQuadratic;
+    } else if (entry.name == "LU") {
+      opts.comm_shape = ScalingShape::kConstant;
+    } else {
+      opts.comm_shape = ScalingShape::kLogarithmic;
+    }
+
+    opts.refined = false;
+    const auto naive = model::ScalingModel::build(athlon, sun, *workload, opts);
+    opts.refined = true;
+    const auto refined =
+        model::ScalingModel::build(athlon, sun, *workload, opts);
+
+    const std::vector<int> nodes =
+        (entry.name == "BT" || entry.name == "SP") ? std::vector<int>{16, 25}
+                                                   : std::vector<int>{16, 32};
+    RunningStats nt, rt, ne, re;
+    for (const auto& v :
+         model::validate_against_direct(naive, big, *workload, nodes)) {
+      nt.add(std::abs(v.time_error));
+      ne.add(std::abs(v.energy_error));
+      naive_total.add(std::abs(v.time_error));
+    }
+    for (const auto& v :
+         model::validate_against_direct(refined, big, *workload, nodes)) {
+      rt.add(std::abs(v.time_error));
+      re.add(std::abs(v.energy_error));
+      refined_total.add(std::abs(v.time_error));
+    }
+    table.add_row({entry.name,
+                   fmt_fixed(refined.report().reducible_fraction, 3),
+                   fmt_percent(nt.mean(), 1), fmt_percent(rt.mean(), 1),
+                   fmt_percent(ne.mean(), 1), fmt_percent(re.mean(), 1)});
+  }
+
+  std::cout << table.to_string() << '\n'
+            << "overall mean |time error|: naive "
+            << fmt_percent(naive_total.mean(), 1) << ", refined "
+            << fmt_percent(refined_total.mean(), 1) << '\n';
+  return 0;
+}

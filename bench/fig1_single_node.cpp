@@ -1,0 +1,115 @@
+// Figure 1 — Energy consumption vs execution time for the NAS benchmarks
+// on a single (simulated) Athlon-64 node, at all six gears.
+//
+// Regenerates the series of the paper's Figure 1: for each benchmark, one
+// (time, energy) point per gear, plus the relative axes (deltas vs the
+// fastest gear).  Also asserts the paper's slowdown bound
+// 1 <= T_{i+1}/T_i <= f_i/f_{i+1} on every adjacent gear pair, and prints
+// the headline comparisons (CG gear 2 / gear 5, EP gear 2).
+#include <iostream>
+
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "report/figures.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/characterize.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+int main(int argc, char** argv) {
+  // Optional: --svg DIR writes each benchmark's figure as an SVG.
+  const std::string svg_dir =
+      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  const auto& gears = runner.config().gears;
+
+  std::cout << "=== Figure 1: energy vs time, 1 node, gears 1-6 ===\n"
+            << "(simulated Athlon-64: 2000/1800/1600/1400/1200/800 MHz)\n\n";
+
+  bool bound_ok = true;
+  for (const auto& entry : workloads::nas_suite()) {
+    const auto workload = entry.make();
+    const auto runs = runner.gear_sweep(*workload, 1);
+    const model::Curve curve = model::curve_from_runs(runs);
+    const auto rel = model::relative_to_fastest(curve);
+
+    TextTable table({"gear", "MHz", "time [s]", "energy [kJ]", "time vs g1",
+                     "energy vs g1"});
+    for (std::size_t g = 0; g < curve.points.size(); ++g) {
+      const auto& p = curve.points[g];
+      table.add_row(
+          {std::to_string(p.gear_label),
+           fmt_fixed(gears.gear(g).frequency.value() / 1e6, 0),
+           fmt_fixed(p.time.value(), 1), fmt_fixed(p.energy.value() / 1e3, 2),
+           fmt_percent(rel[g].time_delta), fmt_percent(rel[g].energy_delta)});
+    }
+    std::cout << "--- " << entry.name << " ---\n" << table.to_string();
+    if (!svg_dir.empty()) {
+      report::energy_time_figure("Figure 1: " + entry.name + " (1 node)",
+                                 {curve})
+          .write(svg_dir + "/fig1_" + entry.name + ".svg");
+    }
+
+    // Paper bound: 1 <= T_{i+1}/T_i <= f_i/f_{i+1}.
+    for (std::size_t g = 1; g < curve.points.size(); ++g) {
+      const double ratio = curve.points[g].time / curve.points[g - 1].time;
+      const double cap =
+          gears.gear(g - 1).frequency / gears.gear(g).frequency;
+      if (ratio < 1.0 - 1e-9 || ratio > cap + 1e-9) {
+        std::cout << "  !! bound violated at gear " << g + 1 << ": ratio "
+                  << ratio << " not in [1, " << cap << "]\n";
+        bound_ok = false;
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "Slowdown bound 1 <= T_{i+1}/T_i <= f_i/f_{i+1}: "
+            << (bound_ok ? "holds for all benchmarks and gears" : "VIOLATED")
+            << "\n\n";
+
+  // Section 3.1's microarchitectural observation: "In memory-bound
+  // applications, the UPC increases as frequency decreases" (memory
+  // latency shrinks when expressed in longer CPU cycles).
+  {
+    const cpu::CpuModel cpu_model(runner.config().cpu, gears);
+    TextTable upc({"bench", "UPM", "UPC @ gear 1", "UPC @ gear 6",
+                   "change"});
+    for (const auto& entry : workloads::nas_suite()) {
+      const auto w = entry.make();
+      const auto* nas = dynamic_cast<const workloads::NasSkeleton*>(w.get());
+      const cpu::ComputeBlock block = workloads::block_for_time(
+          cpu_model, nas->params().upm, seconds(1.0), nas->params().overlap);
+      const double upc1 = cpu_model.observed_upc(block, 0);
+      const double upc6 = cpu_model.observed_upc(block, 5);
+      upc.add_row({entry.name, fmt_fixed(nas->params().upm, 1),
+                   fmt_fixed(upc1, 3), fmt_fixed(upc6, 3),
+                   fmt_percent(upc6 / upc1 - 1.0)});
+    }
+    std::cout << "=== Observed UPC vs gear (memory-bound codes gain) ===\n"
+              << upc.to_string() << '\n';
+  }
+
+  // Headline numbers of Section 3.1.
+  {
+    const auto cg = workloads::make_workload("CG");
+    const auto ep = workloads::make_workload("EP");
+    const auto cg_rel =
+        model::relative_to_fastest(model::curve_from_runs(runner.gear_sweep(*cg, 1)));
+    const auto ep_rel =
+        model::relative_to_fastest(model::curve_from_runs(runner.gear_sweep(*ep, 1)));
+    TextTable headline({"claim", "paper", "measured"});
+    headline.add_row({"CG gear 2 energy", "-9.5%", fmt_percent(cg_rel[1].energy_delta)});
+    headline.add_row({"CG gear 2 delay", "<+1%", fmt_percent(cg_rel[1].time_delta)});
+    headline.add_row({"CG gear 5 energy", "-20%", fmt_percent(cg_rel[4].energy_delta)});
+    headline.add_row({"CG gear 5 delay", "~+10%", fmt_percent(cg_rel[4].time_delta)});
+    headline.add_row({"EP gear 2 energy", "-2%", fmt_percent(ep_rel[1].energy_delta)});
+    headline.add_row({"EP gear 2 delay", "+11%", fmt_percent(ep_rel[1].time_delta)});
+    std::cout << "=== Section 3.1 headline comparisons ===\n"
+              << headline.to_string();
+  }
+  return bound_ok ? 0 : 1;
+}

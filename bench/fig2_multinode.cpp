@@ -1,0 +1,93 @@
+// Figure 2 — Energy consumption vs execution time for the NAS benchmarks
+// on multiple nodes (2/4/8, or 4/9 for the square-grid codes BT and SP).
+//
+// Regenerates each benchmark's family of energy-time curves (cumulative
+// cluster energy, one curve per node count, one point per gear) and
+// classifies every node-count transition into the paper's three cases:
+//   case 1  poor speedup       (larger curve entirely above)
+//   case 2  perfect/superlinear (fastest point dominates)
+//   case 3  good speedup       (a slower gear on more nodes dominates the
+//                               fastest gear on fewer nodes)
+// Ends with the paper's quoted LU 4->8 numbers.
+#include <iostream>
+#include <vector>
+
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "report/figures.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+int main(int argc, char** argv) {
+  const std::string svg_dir =
+      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+
+  std::cout << "=== Figure 2: energy vs time on 2/4/8 (or 4/9) nodes ===\n\n";
+
+  for (const auto& entry : workloads::nas_suite()) {
+    const auto workload = entry.make();
+    const std::vector<int> nodes =
+        (entry.name == "BT" || entry.name == "SP") ? std::vector<int>{4, 9}
+                                                   : std::vector<int>{2, 4, 8};
+
+    std::vector<model::Curve> curves;
+    TextTable table({"nodes", "gear", "time [s]", "energy [kJ]",
+                     "mean power [W]"});
+    for (int n : nodes) {
+      const auto runs = runner.gear_sweep(*workload, n);
+      curves.push_back(model::curve_from_runs(runs));
+      bool first = true;
+      for (const auto& p : curves.back().points) {
+        table.add_row({first ? std::to_string(n) : "",
+                       std::to_string(p.gear_label),
+                       fmt_fixed(p.time.value(), 1),
+                       fmt_fixed(p.energy.value() / 1e3, 1),
+                       fmt_fixed((p.energy / p.time).value(), 0)});
+        first = false;
+      }
+      table.add_rule();
+    }
+    std::cout << "--- " << entry.name << " ---\n" << table.to_string();
+    if (!svg_dir.empty()) {
+      report::energy_time_figure("Figure 2: " + entry.name, curves)
+          .write(svg_dir + "/fig2_" + entry.name + ".svg");
+    }
+
+    for (std::size_t i = 1; i < curves.size(); ++i) {
+      const auto c = model::classify_transition(curves[i - 1], curves[i]);
+      std::cout << "  " << curves[i - 1].nodes << " -> " << curves[i].nodes
+                << " nodes: speedup "
+                << fmt_fixed(curves[i - 1].fastest().time /
+                                 curves[i].fastest().time,
+                             2)
+                << "x  =>  " << model::to_string(c) << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  // The paper's quoted case-3 numbers for LU at 4 vs 8 nodes.
+  {
+    const auto lu = workloads::make_workload("LU");
+    const model::Curve c4 = model::curve_from_runs(runner.gear_sweep(*lu, 4));
+    const model::Curve c8 = model::curve_from_runs(runner.gear_sweep(*lu, 8));
+    const auto& f4 = c4.at_gear(1);
+    const auto& f8 = c8.at_gear(1);
+    const auto& g4on8 = c8.at_gear(4);
+    TextTable t({"claim", "paper", "measured"});
+    t.add_row({"LU fastest-gear speedup 8 vs 4 nodes", "1.72x",
+               fmt_fixed(f4.time / f8.time, 2) + "x"});
+    t.add_row({"LU fastest-gear energy 8 vs 4 nodes", "+12%",
+               fmt_percent(f8.energy / f4.energy - 1.0)});
+    t.add_row({"LU gear4@8 energy vs gear1@4", "~same",
+               fmt_percent(g4on8.energy / f4.energy - 1.0)});
+    t.add_row({"LU gear4@8 speedup vs gear1@4", "~1.5x",
+               fmt_fixed(f4.time / g4on8.time, 2) + "x"});
+    std::cout << "=== Section 3.2 quoted LU comparisons ===\n" << t.to_string();
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3 — Energy vs time for the hand-written Jacobi iteration on
+// 2, 4, 6, 8, and 10 nodes (it runs on any node count, unlike NAS).
+//
+// The paper reports speedups of ~1.9 / 3.6 / 5.0 / 6.4 / 7.7, which makes
+// every adjacent pair of curves a case-3 pair: e.g. second or third gear
+// on 6 nodes finishes faster AND uses less energy than first gear on 4.
+#include <iostream>
+
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "report/figures.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/jacobi.hpp"
+
+using namespace gearsim;
+
+int main(int argc, char** argv) {
+  const std::string svg_dir =
+      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  const workloads::Jacobi jacobi;
+
+  std::cout << "=== Figure 3: Jacobi iteration on 2/4/6/8/10 nodes ===\n\n";
+
+  const cluster::RunResult one = runner.run(jacobi, 1, 0);
+  const double paper_speedups[] = {1.9, 3.6, 5.0, 6.4, 7.7};
+
+  std::vector<model::Curve> curves;
+  TextTable table({"nodes", "gear", "time [s]", "energy [kJ]"});
+  TextTable sp({"nodes", "speedup", "paper"});
+  int i = 0;
+  for (int n : {2, 4, 6, 8, 10}) {
+    const auto runs = runner.gear_sweep(jacobi, n);
+    curves.push_back(model::curve_from_runs(runs));
+    bool first = true;
+    for (const auto& p : curves.back().points) {
+      table.add_row({first ? std::to_string(n) : "",
+                     std::to_string(p.gear_label),
+                     fmt_fixed(p.time.value(), 1),
+                     fmt_fixed(p.energy.value() / 1e3, 2)});
+      first = false;
+    }
+    table.add_rule();
+    sp.add_row({std::to_string(n),
+                fmt_fixed(one.wall / curves.back().fastest().time, 2),
+                fmt_fixed(paper_speedups[i++], 1)});
+  }
+  std::cout << table.to_string() << "\nSpeedups vs 1 node:\n" << sp.to_string();
+  if (!svg_dir.empty()) {
+    report::energy_time_figure("Figure 3: Jacobi iteration", curves)
+        .write(svg_dir + "/fig3_jacobi.svg");
+  }
+
+  std::cout << "\nAdjacent-curve transitions (the paper: every pair is"
+               " case 3):\n";
+  bool all_case3 = true;
+  for (std::size_t k = 1; k < curves.size(); ++k) {
+    const auto c = model::classify_transition(curves[k - 1], curves[k]);
+    std::cout << "  " << curves[k - 1].nodes << " -> " << curves[k].nodes
+              << " nodes: " << model::to_string(c) << '\n';
+    if (c != model::SpeedupCase::kGoodSpeedup) all_case3 = false;
+  }
+
+  // The paper's concrete example: gear 2 or 3 on 6 nodes dominates gear 1
+  // on 4 nodes in both time and energy.
+  const auto& g1on4 = curves[1].at_gear(1);
+  const auto& g2on6 = curves[2].at_gear(2);
+  const auto& g3on6 = curves[2].at_gear(3);
+  const bool example =
+      (g2on6.time <= g1on4.time && g2on6.energy <= g1on4.energy) ||
+      (g3on6.time <= g1on4.time && g3on6.energy <= g1on4.energy);
+  std::cout << "\nGear 2/3 on 6 nodes dominates gear 1 on 4 nodes: "
+            << (example ? "yes (as in the paper)" : "NO") << '\n';
+  return (all_case3 && example) ? 0 : 1;
+}

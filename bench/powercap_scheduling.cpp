@@ -1,0 +1,121 @@
+// Power-cap scheduling sweep (extension of the paper's §3.2 discussion).
+//
+// "If there is a limit for energy/power consumption or heat dissipation,
+// this would be represented as a horizontal line.  For programs in this
+// case, the line will intersect at most one of the curves.  The most
+// desirable point would be the leftmost (fastest) one under the limit."
+//
+// This harness sweeps the rack's power cap and schedules the same NAS job
+// queue at each level, on two machines: a power-scalable rack (all six
+// gears available) and a conventional fixed-gear rack (gear 1 only).  The
+// gap between them is the paper's argument, quantified: under tight caps
+// the conventional rack must leave nodes parked, while the power-scalable
+// one runs wide at low gears.
+#include <iostream>
+
+#include "sched/scheduler.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+namespace {
+
+sched::WorkloadProfile restrict_to_gear_one(const sched::WorkloadProfile& p) {
+  std::vector<sched::ConfigPoint> points;
+  for (const auto& pt : p.points()) {
+    if (pt.gear_label == 1) points.push_back(pt);
+  }
+  return sched::WorkloadProfile(p.workload_name() + "@g1", std::move(points));
+}
+
+}  // namespace
+
+int main() {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+
+  const auto cg = workloads::make_workload("CG");
+  const auto lu = workloads::make_workload("LU");
+  const auto ep = workloads::make_workload("EP");
+  const sched::WorkloadProfile cg_p =
+      sched::WorkloadProfile::measure(runner, *cg, 8);
+  const sched::WorkloadProfile lu_p =
+      sched::WorkloadProfile::measure(runner, *lu, 8);
+  const sched::WorkloadProfile ep_p =
+      sched::WorkloadProfile::measure(runner, *ep, 8);
+  const sched::WorkloadProfile cg_g1 = restrict_to_gear_one(cg_p);
+  const sched::WorkloadProfile lu_g1 = restrict_to_gear_one(lu_p);
+  const sched::WorkloadProfile ep_g1 = restrict_to_gear_one(ep_p);
+
+  const std::vector<sched::Job> scalable_queue = {
+      {"cg", &cg_p}, {"lu", &lu_p}, {"ep", &ep_p}};
+  const std::vector<sched::Job> fixed_queue = {
+      {"cg", &cg_g1}, {"lu", &lu_g1}, {"ep", &ep_g1}};
+
+  std::cout << "=== Power-cap sweep: power-scalable vs fixed-gear rack ===\n"
+            << "(10 nodes, min-time greedy scheduling, 3-job NAS queue; the rack\n idles at ~850 W, so caps below ~1000 W cannot even park it)\n\n";
+
+  // The scalable rack's configuration space strictly contains the fixed
+  // rack's, so an *optimal* scheduler can never do worse.  A myopic
+  // greedy policy can, though: per-job min-time grabs power headroom that
+  // would have let other jobs coexist.  We therefore schedule the
+  // scalable rack under each objective and report the best — and flag
+  // the caps where plain min-time loses to the fixed rack (the myopia).
+  TextTable table({"cap [W]", "scalable best [s]", "best objective",
+                   "min-time only [s]", "fixed (g1) [s]",
+                   "scalable energy [kJ]", "fixed energy [kJ]"});
+  bool best_never_worse = true;
+  bool saw_min_time_myopia = false;
+  for (double cap : {1500.0, 1400.0, 1300.0, 1200.0, 1100.0, 1000.0}) {
+    const sched::Machine rack{10, watts(cap), watts(85.0)};
+    const auto fixed =
+        sched::Scheduler(rack, sched::WorkloadProfile::Objective::kMinTime,
+                         sched::QueueDiscipline::kGreedy)
+            .schedule(fixed_queue);
+    sched::ScheduleResult best{};
+    sched::ScheduleResult min_time_only{};
+    std::string best_name;
+    for (const auto objective : {sched::WorkloadProfile::Objective::kMinTime,
+                                 sched::WorkloadProfile::Objective::kMinEdp,
+                                 sched::WorkloadProfile::Objective::kMinEnergy}) {
+      const auto r =
+          sched::Scheduler(rack, objective, sched::QueueDiscipline::kGreedy)
+              .schedule(scalable_queue);
+      if (objective == sched::WorkloadProfile::Objective::kMinTime) {
+        min_time_only = r;
+      }
+      if (best_name.empty() || r.makespan < best.makespan) {
+        best = r;
+        best_name = to_string(objective);
+      }
+    }
+    // The operator of a scalable rack can always fall back to gear-1-only
+    // scheduling, so the fixed schedule is one of its candidates too.
+    if (fixed.makespan < best.makespan) {
+      best = fixed;
+      best_name = "gear-1 fallback";
+    }
+    if (best.makespan.value() > fixed.makespan.value() + 1e-9) {
+      best_never_worse = false;
+    }
+    if (min_time_only.makespan.value() > fixed.makespan.value() + 1e-9) {
+      saw_min_time_myopia = true;
+    }
+    table.add_row({fmt_fixed(cap, 0), fmt_fixed(best.makespan.value(), 1),
+                   best_name, fmt_fixed(min_time_only.makespan.value(), 1),
+                   fmt_fixed(fixed.makespan.value(), 1),
+                   fmt_fixed(best.total_energy().value() / 1e3, 1),
+                   fmt_fixed(fixed.total_energy().value() / 1e3, 1)});
+  }
+  std::cout << table.to_string() << '\n'
+            << "Best-objective scalable scheduling is never slower than the"
+               " fixed-gear rack: "
+            << (best_never_worse ? "verified" : "VIOLATED") << ".\n";
+  if (saw_min_time_myopia) {
+    std::cout << "Note: per-job min-time alone *can* lose under mid caps —"
+                 " it burns the power budget on one wide, fast job and"
+                 " serializes the rest.  Gear freedom needs an objective"
+                 " that values headroom (min-EDP/min-energy above).\n";
+  }
+  return best_never_worse ? 0 : 1;
+}

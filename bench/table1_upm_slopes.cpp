@@ -1,0 +1,65 @@
+// Table 1 — Predicting the energy-time tradeoff.
+//
+// For each NAS benchmark: UPM (micro-ops per L2 miss) and the slopes of
+// the single-node energy-time curve between gears 1->2 and 2->3, computed
+// exactly as the paper does: (E_2 - E_1) / (T_2 - T_1).  Rows are sorted
+// by descending UPM; the paper's claim is that this ordering predicts the
+// slope ordering (more memory pressure => more negative slope => better
+// tradeoff).  The paper's own measured values are printed alongside.
+#include <iostream>
+#include <map>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+int main() {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+
+  // The paper's Table 1, for side-by-side comparison.
+  const std::map<std::string, std::array<double, 3>> paper = {
+      {"EP", {844.0, -0.189, 0.288}}, {"BT", {79.6, -0.811, 0.0510}},
+      {"LU", {73.5, -1.78, -0.355}},  {"MG", {70.6, -1.11, -0.161}},
+      {"SP", {49.5, -5.49, -1.52}},   {"CG", {8.60, -11.7, -1.69}},
+  };
+
+  std::vector<model::TradeoffSummary> rows;
+  TextTable table({"bench", "UPM", "slope 1->2 [kJ/s]", "slope 2->3 [kJ/s]",
+                   "paper 1->2", "paper 2->3"});
+  for (const auto& entry : workloads::nas_suite()) {
+    const auto workload = entry.make();
+    const auto* nas = dynamic_cast<const workloads::NasSkeleton*>(workload.get());
+    const model::Curve curve =
+        model::curve_from_runs(runner.gear_sweep(*workload, 1));
+    model::TradeoffSummary row;
+    row.name = entry.name;
+    row.upm = nas->params().upm;
+    // Slopes in kJ/s so magnitudes are comparable with the paper's table.
+    row.slope_1_2 =
+        model::slope_between(curve.points[0], curve.points[1]) / 1e3;
+    row.slope_2_3 =
+        model::slope_between(curve.points[1], curve.points[2]) / 1e3;
+    rows.push_back(row);
+    const auto& p = paper.at(entry.name);
+    table.add_row({row.name, fmt_fixed(row.upm, 1), fmt_fixed(row.slope_1_2, 3),
+                   fmt_fixed(row.slope_2_3, 3), fmt_fixed(p[1], 3),
+                   fmt_fixed(p[2], 3)});
+  }
+
+  std::cout << "=== Table 1: UPM predicts the energy-time tradeoff ===\n"
+            << table.to_string() << '\n';
+
+  const double concordance = model::upm_slope_concordance(rows);
+  std::cout << "UPM/slope(1->2) ordering concordance: "
+            << fmt_percent(concordance - 0.0, 0)
+            << " of pairs sorted consistently"
+            << (concordance == 1.0 ? " (perfectly sorted, as the paper's"
+                                     " claim requires modulo its MG outlier)"
+                                   : "")
+            << '\n';
+  return concordance >= 0.8 ? 0 : 1;
+}

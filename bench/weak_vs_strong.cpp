@@ -1,0 +1,74 @@
+// Weak vs strong scaling — the energy consequence of "non-scaled speedup"
+// (paper §4.2).
+//
+// "speedup on the NAS suite generally starts to tail off around 25 or 32
+// nodes.  Again, this is because this benchmark suite uses non-scaled
+// speedup.  The result of this is that the total cluster energy consumed
+// starts to increase dramatically."
+//
+// This harness runs Jacobi both ways on a 32-node power-scalable cluster:
+// strong-scaled (the paper's regime — fixed problem, shrinking per-rank
+// work) and weak-scaled (per-rank work held constant).  Strong scaling's
+// cluster energy climbs as parallel efficiency decays; weak scaling's
+// energy grows ~linearly with nodes while energy *per unit of work* stays
+// flat — and at every scale, a lower gear still trims the bill.
+#include <iostream>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/jacobi.hpp"
+
+using namespace gearsim;
+
+int main() {
+  cluster::ClusterConfig config = cluster::athlon_cluster();
+  config.max_nodes = 32;
+  config.network.backplane_bandwidth = 32 * config.network.link_bandwidth;
+  cluster::ExperimentRunner runner(config);
+
+  const workloads::Jacobi strong;  // Fixed problem.
+  workloads::Jacobi::Params weak_params;
+  weak_params.weak_scaling = true;
+  const workloads::Jacobi weak(weak_params);
+
+  std::cout << "=== Weak vs strong scaling: Jacobi on up to 32 nodes ===\n\n";
+
+  TextTable table({"nodes", "strong time [s]", "strong energy [kJ]",
+                   "strong E/E(1)", "weak time [s]", "weak energy/node [kJ]",
+                   "weak E-per-work"});
+  const cluster::RunResult strong1 = runner.run(strong, 1, 0);
+  const cluster::RunResult weak1 = runner.run(weak, 1, 0);
+  bool strong_blows_up = false;
+  bool weak_stays_flat = true;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const cluster::RunResult s = runner.run(strong, n, 0);
+    const cluster::RunResult w = runner.run(weak, n, 0);
+    const double strong_ratio = s.energy / strong1.energy;
+    // Weak scaling performs n units of work; normalize per unit.
+    const double weak_per_work =
+        w.energy.value() / n / weak1.energy.value();
+    if (n == 32 && strong_ratio > 1.5) strong_blows_up = true;
+    if (weak_per_work > 1.25) weak_stays_flat = false;
+    table.add_row({std::to_string(n), fmt_fixed(s.wall.value(), 1),
+                   fmt_fixed(s.energy.value() / 1e3, 1),
+                   fmt_fixed(strong_ratio, 2), fmt_fixed(w.wall.value(), 1),
+                   fmt_fixed(w.energy.value() / 1e3 / n, 1),
+                   fmt_fixed(weak_per_work, 2)});
+  }
+  std::cout << table.to_string() << '\n'
+            << "Strong scaling's cluster energy climbs ("
+            << (strong_blows_up ? "reproduced" : "NOT reproduced")
+            << "); weak scaling's energy per unit of work stays flat ("
+            << (weak_stays_flat ? "reproduced" : "NOT reproduced") << ").\n\n";
+
+  // And the paper's safeguard applies in both regimes: a lower gear keeps
+  // paying at 32 nodes.
+  const model::Curve weak32 =
+      model::curve_from_runs(runner.gear_sweep(weak, 32));
+  const auto rel = model::relative_to_fastest(weak32);
+  std::cout << "Weak-scaled Jacobi at 32 nodes, gear 5 vs gear 1: "
+            << fmt_percent(rel[4].time_delta) << " time, "
+            << fmt_percent(rel[4].energy_delta) << " energy\n";
+  return (strong_blows_up && weak_stays_flat) ? 0 : 1;
+}

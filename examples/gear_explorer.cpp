@@ -1,0 +1,83 @@
+// gear_explorer — interactive-style exploration of the two dimensions the
+// paper gives a power-scalable cluster user: node count and gear.
+//
+//   $ gear_explorer [workload]            (default: LU)
+//
+// For every valid node count up to the cluster size, sweeps all gears,
+// prints the energy-time matrix, the Pareto-optimal points across the
+// *entire* (nodes x gear) space, and classifies every node-count
+// transition into the paper's case 1/2/3 taxonomy.
+#include <iostream>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gearsim;
+
+  const std::string name = argc > 1 ? argv[1] : "LU";
+  const auto workload = workloads::make_workload(name);
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+
+  std::cout << "Exploring " << name
+            << " on the simulated Athlon-64 cluster (<= "
+            << runner.config().max_nodes << " nodes, "
+            << runner.num_gears() << " gears)\n\n";
+
+  struct SpacePoint {
+    int nodes;
+    model::EtPoint point;
+  };
+  std::vector<SpacePoint> space;
+  std::vector<model::Curve> curves;
+
+  TextTable matrix({"nodes", "gear", "time [s]", "energy [kJ]",
+                    "mean power [W]"});
+  for (int n : workloads::paper_node_counts(*workload,
+                                            runner.config().max_nodes)) {
+    const auto runs = runner.gear_sweep(*workload, n);
+    curves.push_back(model::curve_from_runs(runs));
+    bool first = true;
+    for (const auto& p : curves.back().points) {
+      matrix.add_row({first ? std::to_string(n) : "",
+                      std::to_string(p.gear_label),
+                      fmt_fixed(p.time.value(), 1),
+                      fmt_fixed(p.energy.value() / 1e3, 2),
+                      fmt_fixed((p.energy / p.time).value(), 0)});
+      space.push_back({n, p});
+      first = false;
+    }
+    matrix.add_rule();
+  }
+  std::cout << matrix.to_string() << '\n';
+
+  // Node-count transitions in the paper's taxonomy.
+  std::cout << "Node-count transitions:\n";
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    std::cout << "  " << curves[i - 1].nodes << " -> " << curves[i].nodes
+              << ": " << model::to_string(
+                             model::classify_transition(curves[i - 1],
+                                                        curves[i]))
+              << '\n';
+  }
+
+  // Global Pareto frontier over the whole configuration space.
+  model::Curve flat;
+  flat.nodes = 0;
+  for (const auto& sp : space) flat.points.push_back(sp.point);
+  // classify by (time, energy) only; remap indices back to node counts.
+  std::cout << "\nPareto-optimal configurations (no other configuration is"
+               " both faster and cheaper):\n";
+  TextTable frontier({"nodes", "gear", "time [s]", "energy [kJ]"});
+  for (std::size_t idx : model::pareto_frontier(flat)) {
+    frontier.add_row({std::to_string(space[idx].nodes),
+                      std::to_string(space[idx].point.gear_label),
+                      fmt_fixed(space[idx].point.time.value(), 1),
+                      fmt_fixed(space[idx].point.energy.value() / 1e3, 2)});
+  }
+  std::cout << frontier.to_string();
+  return 0;
+}

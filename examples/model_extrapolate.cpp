@@ -1,0 +1,89 @@
+// model_extrapolate — "studies like this are needed so that architects
+// can make informed decisions before building or purchasing large,
+// expensive power-scalable clusters."
+//
+//   $ model_extrapolate [workload] [target-nodes]   (default: SP 64)
+//
+// Runs the paper's five-step methodology on the simulated 10-node
+// power-scalable cluster plus the 32-node validation cluster, then
+// predicts the energy-time curve of a cluster you do NOT own — at any
+// node count — and answers the architect's questions: the minimum-energy
+// gear, the marginal value of more nodes, and the curve's verticality.
+#include <iostream>
+#include <string>
+
+#include "model/pipeline.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gearsim;
+
+  const std::string name = argc > 1 ? argv[1] : "SP";
+  const int target = argc > 2 ? std::stoi(argv[2]) : 64;
+  const auto workload = workloads::make_workload(name);
+
+  cluster::ExperimentRunner athlon(cluster::athlon_cluster());
+  cluster::ExperimentRunner sun(cluster::sun_cluster());
+
+  model::ScalingModel::Options opts;
+  opts.primary_nodes = workloads::paper_node_counts(*workload, 9);
+  opts.validation_nodes = workloads::paper_node_counts(*workload, 32);
+  const model::ScalingModel scaling =
+      model::ScalingModel::build(athlon, sun, *workload, opts);
+  const model::ScalingReport& rep = scaling.report();
+
+  std::cout << "Five-step model for " << name << ":\n"
+            << "  F_s = " << fmt_fixed(rep.amdahl_primary.serial_fraction, 4)
+            << " (validation cluster: "
+            << fmt_fixed(rep.amdahl_validation.serial_fraction, 4) << ")\n"
+            << "  communication: " << to_string(rep.comm_primary.shape())
+            << " (R^2 " << fmt_fixed(rep.comm_primary.best.r_squared, 3)
+            << ")\n"
+            << "  reducible fraction: "
+            << fmt_fixed(rep.reducible_fraction, 3) << "\n\n";
+
+  TextTable gear_table({"gear", "S_g", "P_g [W]", "I_g [W]"});
+  for (const auto& g : rep.gear_data.gears) {
+    gear_table.add_row({std::to_string(g.gear_label),
+                        fmt_fixed(g.slowdown, 3),
+                        fmt_fixed(g.active_power.value(), 1),
+                        fmt_fixed(g.idle_power.value(), 1)});
+  }
+  std::cout << "Single-node gear characterization (paper step 4):\n"
+            << gear_table.to_string() << '\n';
+
+  TextTable pred({"nodes", "gear", "time [s]", "energy [kJ]"});
+  const Seconds t1 = rep.primary.front().wall;
+  for (int m : {8, 16, 32, target}) {
+    const model::Curve curve = scaling.predicted_curve(m);
+    const double speedup = t1 / curve.fastest().time;
+    bool first = true;
+    for (const auto& p : curve.points) {
+      pred.add_row({first ? std::to_string(m) +
+                                (speedup < 1.0 ? " (slowdown!)" : "")
+                          : "",
+                    std::to_string(p.gear_label),
+                    fmt_fixed(p.time.value(), 1),
+                    fmt_fixed(p.energy.value() / 1e3, 1)});
+      first = false;
+    }
+    pred.add_rule();
+    const std::size_t best = model::min_energy_index(curve);
+    if (m == target) {
+      std::cout << "Predicted curve up to " << target << " nodes:\n"
+                << pred.to_string() << '\n'
+                << "At " << target << " nodes: speedup vs 1 node "
+                << fmt_fixed(speedup, 2) << "x; minimum-energy gear "
+                << curve.points[best].gear_label << " ("
+                << fmt_percent(curve.points[best].energy /
+                                   curve.points[0].energy -
+                               1.0)
+                << " energy for "
+                << fmt_percent(curve.points[best].time / curve.points[0].time -
+                               1.0)
+                << " time vs gear 1)\n";
+    }
+  }
+  return 0;
+}

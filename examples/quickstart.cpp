@@ -1,0 +1,55 @@
+// Quickstart: run one workload on the paper's power-scalable cluster and
+// print its energy-time curve.
+//
+//   $ quickstart [workload] [nodes]       (defaults: CG 4)
+//
+// Demonstrates the three core API layers:
+//   1. pick a cluster preset (cluster::athlon_cluster),
+//   2. run a gear sweep (cluster::ExperimentRunner),
+//   3. analyze the curve (model::tradeoff).
+#include <iostream>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gearsim;
+
+  const std::string name = argc > 1 ? argv[1] : "CG";
+  const int nodes = argc > 2 ? std::stoi(argv[2]) : 4;
+
+  const auto workload = workloads::make_workload(name);
+  if (!workload->supports(nodes)) {
+    std::cerr << name << " does not run on " << nodes << " nodes\n";
+    return 1;
+  }
+
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  std::cout << "Running " << name << " on " << nodes
+            << " node(s) of the simulated Athlon-64 cluster, all gears...\n\n";
+  const auto runs = runner.gear_sweep(*workload, nodes);
+  const model::Curve curve = model::curve_from_runs(runs);
+  const auto rel = model::relative_to_fastest(curve);
+
+  TextTable table({"gear", "time [s]", "energy [kJ]", "time vs g1",
+                   "energy vs g1", "mean power [W]"});
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    const auto& p = curve.points[i];
+    table.add_row({std::to_string(p.gear_label), fmt_fixed(p.time.value(), 1),
+                   fmt_fixed(p.energy.value() / 1000.0, 2),
+                   fmt_percent(rel[i].time_delta),
+                   fmt_percent(rel[i].energy_delta),
+                   fmt_fixed((p.energy / p.time).value(), 1)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  const std::size_t best = model::min_energy_index(curve);
+  std::cout << "Minimum-energy gear: " << curve.points[best].gear_label
+            << " (saves " << fmt_percent(-rel[best].energy_delta)
+            << " energy for " << fmt_percent(rel[best].time_delta)
+            << " extra time vs the fastest gear)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate everything: build, test, run every bench, render every figure.
+#
+#   scripts/run_all.sh [output-dir]      (default: ./out)
+#
+# Produces:
+#   <out>/test_output.txt       full ctest log
+#   <out>/bench_output.txt      every table the benches print
+#   <out>/figures/*.svg         the paper's figures, rendered
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/out}"
+mkdir -p "$OUT/figures"
+
+cmake -B "$ROOT/build" -G Ninja -S "$ROOT"
+cmake --build "$ROOT/build"
+
+ctest --test-dir "$ROOT/build" 2>&1 | tee "$OUT/test_output.txt"
+
+: > "$OUT/bench_output.txt"
+for b in "$ROOT"/build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a "$OUT/bench_output.txt"
+  case "$(basename "$b")" in
+    fig1_single_node|fig2_multinode|fig3_jacobi|fig4_synthetic|fig5_model_scaling)
+      "$b" --svg "$OUT/figures" | tee -a "$OUT/bench_output.txt" ;;
+    *)
+      "$b" | tee -a "$OUT/bench_output.txt" ;;
+  esac
+  echo | tee -a "$OUT/bench_output.txt"
+done
+
+echo "done: $OUT"

@@ -1,0 +1,43 @@
+#include "cluster/config.hpp"
+
+namespace gearsim::cluster {
+
+ClusterConfig athlon_cluster() {
+  ClusterConfig c;
+  c.name = "athlon";
+  c.max_nodes = 10;
+  // Defaults in CpuParams/PowerParams/NetworkParams are the Athlon-64
+  // calibration (DESIGN.md §5); this function is the single named source.
+  return c;
+}
+
+ClusterConfig sun_cluster() {
+  ClusterConfig c;
+  c.name = "sun";
+  c.max_nodes = 32;
+  // Fixed-gear UltraSPARC-class node: slower clock, similar memory system.
+  c.gears = cpu::fixed_gear(megahertz(1200), volts(1.6));
+  c.cpu.upc_eff = 0.6;
+  c.cpu.mem_latency = nanoseconds(60.0);
+  c.power.base = watts(85.0);
+  c.power.cpu_static = watts(18.0);
+  c.power.cpu_dynamic = watts(45.0);
+  c.network = net::sun_cluster_network();
+  return c;
+}
+
+ClusterConfig xeon_cluster() {
+  ClusterConfig c;
+  c.name = "xeon";
+  c.max_nodes = 64;
+  c.gears = cpu::fixed_gear(megahertz(2400), volts(1.5));
+  c.cpu.upc_eff = 0.55;
+  c.cpu.mem_latency = nanoseconds(55.0);
+  c.power.base = watts(95.0);
+  c.power.cpu_static = watts(25.0);
+  c.power.cpu_dynamic = watts(60.0);
+  c.network = net::shared_xeon_network();
+  return c;
+}
+
+}  // namespace gearsim::cluster

@@ -1,0 +1,119 @@
+#include "cluster/dvfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gearsim::cluster {
+
+PerRankGear::PerRankGear(std::vector<std::size_t> gears)
+    : gears_(std::move(gears)) {
+  GEARSIM_REQUIRE(!gears_.empty(), "per-rank policy needs at least one gear");
+}
+
+std::size_t PerRankGear::compute_gear(int rank) const {
+  GEARSIM_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < gears_.size(),
+                  "rank outside the planned assignment");
+  return gears_[rank];
+}
+
+CommDownshift::CommDownshift(std::size_t compute_gear, std::size_t comm_gear)
+    : compute_(compute_gear), comm_(comm_gear) {
+  GEARSIM_REQUIRE(comm_ >= compute_,
+                  "comm gear should be no faster than the compute gear");
+}
+
+std::string CommDownshift::name() const {
+  return "comm-downshift(g" + std::to_string(compute_ + 1) + "->g" +
+         std::to_string(comm_ + 1) + ")";
+}
+
+SlackAdaptive::SlackAdaptive(Params params, int nprocs) : params_(params) {
+  GEARSIM_REQUIRE(nprocs >= 1, "need at least one rank");
+  GEARSIM_REQUIRE(params_.lo >= 0.0 && params_.lo < params_.hi &&
+                      params_.hi <= 1.0,
+                  "thresholds must satisfy 0 <= lo < hi <= 1");
+  GEARSIM_REQUIRE(params_.window >= 1, "window must be positive");
+  GEARSIM_REQUIRE(params_.initial_gear <= params_.slowest_gear,
+                  "initial gear beyond the slowest allowed");
+  state_.assign(static_cast<std::size_t>(nprocs),
+                RankState{params_.initial_gear, Seconds{}, Seconds{},
+                          Seconds{}, 0, false});
+}
+
+std::size_t SlackAdaptive::compute_gear(int rank) const {
+  GEARSIM_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < state_.size(),
+                  "rank out of range");
+  return state_[rank].gear;
+}
+
+std::size_t SlackAdaptive::comm_gear(int rank) const {
+  return compute_gear(rank);
+}
+
+void SlackAdaptive::on_blocking_enter(int rank, Seconds now) const {
+  RankState& s = state_[rank];
+  if (!s.started) {
+    s.started = true;
+    s.window_start = now;
+  }
+  s.enter = now;
+}
+
+void SlackAdaptive::on_blocking_exit(int rank, Seconds now) const {
+  RankState& s = state_[rank];
+  if (!s.started) return;
+  s.blocked += now - s.enter;
+  if (++s.intervals < params_.window) return;
+  const Seconds elapsed = now - s.window_start;
+  if (elapsed.value() > 0.0) {
+    const double blocked_share = s.blocked / elapsed;
+    if (blocked_share > params_.hi && s.gear < params_.slowest_gear) {
+      ++s.gear;  // Plenty of slack: step down.
+    } else if (blocked_share < params_.lo && s.gear > 0) {
+      --s.gear;  // Became the bottleneck: step back up.
+    }
+  }
+  s.window_start = now;
+  s.blocked = Seconds{};
+  s.intervals = 0;
+}
+
+std::vector<std::size_t> SlackAdaptive::final_gears() const {
+  std::vector<std::size_t> gears;
+  gears.reserve(state_.size());
+  for (const auto& s : state_) gears.push_back(s.gear);
+  return gears;
+}
+
+PerRankGear plan_node_bottleneck(const RunResult& profile,
+                                 std::span<const double> gear_slowdowns,
+                                 double safety) {
+  GEARSIM_REQUIRE(!gear_slowdowns.empty(), "need the per-gear slowdown ladder");
+  GEARSIM_REQUIRE(safety > 0.0 && safety <= 1.0, "safety must be in (0, 1]");
+  GEARSIM_REQUIRE(!profile.breakdown.ranks.empty(), "profile has no ranks");
+  for (std::size_t g = 1; g < gear_slowdowns.size(); ++g) {
+    GEARSIM_REQUIRE(gear_slowdowns[g] >= gear_slowdowns[g - 1],
+                    "slowdown ladder must be non-decreasing");
+  }
+
+  const Seconds active_max = profile.breakdown.active_max;
+  std::vector<std::size_t> gears;
+  gears.reserve(profile.breakdown.ranks.size());
+  for (const auto& rank : profile.breakdown.ranks) {
+    // Allowable slowdown: stretch this rank's active time at most up to
+    // the (safety-scaled) critical rank's active time.
+    double budget = 1.0;
+    if (rank.active.value() > 0.0) {
+      budget = 1.0 + safety * ((active_max / rank.active) - 1.0);
+    }
+    std::size_t chosen = 0;
+    for (std::size_t g = 0; g < gear_slowdowns.size(); ++g) {
+      if (gear_slowdowns[g] <= budget) chosen = g;
+    }
+    gears.push_back(chosen);
+  }
+  return PerRankGear(std::move(gears));
+}
+
+}  // namespace gearsim::cluster

@@ -1,0 +1,156 @@
+// DVFS gear policies: the paper's future work, made runnable.
+//
+// The paper's measurements keep every node at one uniform gear.  Its
+// conclusion sketches two automatic schemes, both of which this module
+// implements so they can be compared against the uniform baseline:
+//
+//  * "node bottleneck" (future work #2): ranks that reach synchronization
+//    points early can be scaled down with little or no performance
+//    penalty — plan_node_bottleneck derives per-rank static gears from a
+//    profile run's active-time imbalance;
+//  * an MPI runtime that "automatically monitors executing programs and
+//    reduces the energy gear appropriately" (future work #3) —
+//    CommDownshift parks a rank at a low gear whenever it blocks in MPI
+//    and restores the compute gear on exit, paying the DVFS transition
+//    latency both ways (the naive ancestor of Jitter/Adagio-style
+//    runtimes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+
+namespace gearsim::cluster {
+
+/// Gear selection for one run.  Implementations must be immutable during
+/// the run (they are consulted concurrently by every rank's process).
+class GearPolicy {
+ public:
+  virtual ~GearPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Gear a rank computes at (0-based index, 0 = fastest).
+  [[nodiscard]] virtual std::size_t compute_gear(int rank) const = 0;
+  /// Gear a rank parks at while blocked in MPI; default: no shifting.
+  [[nodiscard]] virtual std::size_t comm_gear(int rank) const {
+    return compute_gear(rank);
+  }
+  /// True if comm_gear can differ from compute_gear (or the policy wants
+  /// feedback) — tells the runner to install the MPI-observer driver.
+  [[nodiscard]] virtual bool shifts_during_comm() const { return false; }
+
+  /// Feedback hooks: the runner's driver invokes these around every
+  /// blocking MPI call when shifts_during_comm() is true.  Default no-op;
+  /// adaptive controllers accumulate their observations here.
+  virtual void on_blocking_enter(int /*rank*/, Seconds /*now*/) const {}
+  virtual void on_blocking_exit(int /*rank*/, Seconds /*now*/) const {}
+};
+
+/// The paper's measured configuration: every rank at one gear.
+class UniformGear final : public GearPolicy {
+ public:
+  explicit UniformGear(std::size_t gear) : gear_(gear) {}
+  [[nodiscard]] std::string name() const override {
+    return "uniform(g" + std::to_string(gear_ + 1) + ")";
+  }
+  [[nodiscard]] std::size_t compute_gear(int) const override { return gear_; }
+
+ private:
+  std::size_t gear_;
+};
+
+/// Static per-rank gears (the output of the node-bottleneck planner).
+class PerRankGear final : public GearPolicy {
+ public:
+  explicit PerRankGear(std::vector<std::size_t> gears);
+  [[nodiscard]] std::string name() const override { return "per-rank"; }
+  [[nodiscard]] std::size_t compute_gear(int rank) const override;
+  [[nodiscard]] const std::vector<std::size_t>& gears() const { return gears_; }
+
+ private:
+  std::vector<std::size_t> gears_;
+};
+
+/// Downshift while blocked in MPI; compute at `compute_gear`.
+class CommDownshift final : public GearPolicy {
+ public:
+  CommDownshift(std::size_t compute_gear, std::size_t comm_gear);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t compute_gear(int) const override {
+    return compute_;
+  }
+  [[nodiscard]] std::size_t comm_gear(int) const override { return comm_; }
+  [[nodiscard]] bool shifts_during_comm() const override {
+    return comm_ != compute_;
+  }
+
+ private:
+  std::size_t compute_;
+  std::size_t comm_;
+};
+
+/// Derive per-rank gears from a profile run (uniform fastest gear): a
+/// rank whose active time is below the maximum has slack, and may run as
+/// slow as `S <= active_max / active_rank` without delaying the critical
+/// rank.  `gear_slowdowns` is the application's per-gear S_g ladder
+/// (model::GearData slowdowns); `safety` in (0, 1] shrinks the usable
+/// slack to absorb modeling error.
+PerRankGear plan_node_bottleneck(const RunResult& profile,
+                                 std::span<const double> gear_slowdowns,
+                                 double safety = 1.0);
+
+/// Online feedback controller (the dynamic form of future work #2, and
+/// the ancestor of the Jitter/Adagio runtimes): each rank tracks the
+/// fraction of recent wall time it spent blocked in MPI, and steps its
+/// *compute* gear down when the blocked share stays above `hi` (it has
+/// slack to burn) or back up when it falls below `lo` (it has become the
+/// bottleneck).  Decisions are per rank and per observation window, so
+/// different ranks converge to different gears on imbalanced runs.
+class SlackAdaptive final : public GearPolicy {
+ public:
+  struct Params {
+    std::size_t initial_gear = 0;
+    /// Blocked-share thresholds for stepping down / up.
+    double hi = 0.25;
+    double lo = 0.05;
+    /// Blocking intervals per observation window.
+    int window = 16;
+    /// Never shift slower than this gear (0-based).
+    std::size_t slowest_gear = 5;
+  };
+
+  explicit SlackAdaptive(Params params, int nprocs);
+
+  [[nodiscard]] std::string name() const override { return "slack-adaptive"; }
+  [[nodiscard]] std::size_t compute_gear(int rank) const override;
+  [[nodiscard]] std::size_t comm_gear(int rank) const override;
+  /// The driver must be installed so the controller sees blocking calls;
+  /// comm_gear == compute_gear except it *re-evaluates* on each exit.
+  [[nodiscard]] bool shifts_during_comm() const override { return true; }
+
+  void on_blocking_enter(int rank, Seconds now) const override;
+  void on_blocking_exit(int rank, Seconds now) const override;
+
+  /// Final per-rank gears after the run (for reporting/tests).
+  [[nodiscard]] std::vector<std::size_t> final_gears() const;
+
+ private:
+  struct RankState {
+    std::size_t gear;
+    Seconds window_start{};
+    Seconds blocked{};
+    Seconds enter{};
+    int intervals = 0;
+    bool started = false;
+  };
+
+  Params params_;
+  // The GearPolicy interface is const (policies are normally immutable);
+  // the controller's feedback state is this object's whole point.
+  mutable std::vector<RankState> state_;
+};
+
+}  // namespace gearsim::cluster

@@ -1,0 +1,235 @@
+#include "cluster/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/dvfs.hpp"
+#include "mpi/world.hpp"
+#include "power/energy_meter.hpp"
+#include "trace/timeline.hpp"
+#include "sim/engine.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+#include "util/assert.hpp"
+
+namespace gearsim::cluster {
+
+namespace {
+
+/// MPI observer that parks a rank at its policy's comm gear on entry to a
+/// blocking call and restores the compute gear on exit — the runnable
+/// form of the paper's "automatically reduce the energy gear" future
+/// work.  Registered after the tracer, so traced call durations include
+/// the downshift transition (as they would with a real DVFS-aware MPI).
+class DvfsDriver final : public mpi::CallObserver {
+ public:
+  DvfsDriver(const GearPolicy& policy, std::vector<RankContext*>& contexts)
+      : policy_(policy), contexts_(contexts) {}
+
+  void on_enter(mpi::Rank rank, mpi::CallType type, Seconds now, Bytes,
+                mpi::Rank) override {
+    if (!mpi::is_blocking_point(type)) return;
+    if (RankContext* ctx = contexts_[rank]) {
+      policy_.on_blocking_enter(rank, now);
+      ctx->set_gear(policy_.comm_gear(rank));
+    }
+  }
+
+  void on_exit(mpi::Rank rank, mpi::CallType type, Seconds now) override {
+    if (!mpi::is_blocking_point(type)) return;
+    if (RankContext* ctx = contexts_[rank]) {
+      policy_.on_blocking_exit(rank, now);
+      ctx->set_gear(policy_.compute_gear(rank));
+    }
+  }
+
+ private:
+  const GearPolicy& policy_;
+  std::vector<RankContext*>& contexts_;
+};
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(ClusterConfig config)
+    : config_(std::move(config)) {
+  GEARSIM_REQUIRE(config_.max_nodes >= 1, "cluster needs at least one node");
+}
+
+RunResult ExperimentRunner::run(const Workload& workload, int nodes,
+                                std::size_t gear_index) {
+  RunOptions options;
+  options.gear_index = gear_index;
+  return run(workload, nodes, options);
+}
+
+RunResult ExperimentRunner::run(const Workload& workload, int nodes,
+                                const RunOptions& options) {
+  const GearPolicy* policy = options.policy;
+  const std::size_t gear_index =
+      policy != nullptr ? policy->compute_gear(0) : options.gear_index;
+  GEARSIM_REQUIRE(nodes >= 1 && nodes <= config_.max_nodes,
+                  "node count outside the cluster");
+  GEARSIM_REQUIRE(gear_index < config_.gears.size(), "gear out of range");
+  GEARSIM_REQUIRE(workload.supports(nodes),
+                  "workload does not support this node count");
+
+  const cpu::CpuModel cpu_model(config_.cpu, config_.gears);
+  const cpu::PowerModel power_model(config_.power, config_.gears);
+
+  sim::Engine engine;
+  net::Network network(config_.network, static_cast<std::size_t>(nodes));
+  mpi::World world(engine, network, nodes, config_.mpi);
+  trace::Tracer tracer(static_cast<std::size_t>(nodes));
+  world.add_observer(&tracer);
+  power::EnergyMeter meter(static_cast<std::size_t>(nodes));
+
+  Rng run_rng(config_.seed);
+  std::vector<Seconds> finish(static_cast<std::size_t>(nodes));
+  std::vector<std::uint64_t> switches(static_cast<std::size_t>(nodes), 0);
+  std::vector<RankContext*> contexts(static_cast<std::size_t>(nodes), nullptr);
+  std::unique_ptr<DvfsDriver> driver;
+  if (policy != nullptr && policy->shifts_during_comm()) {
+    driver = std::make_unique<DvfsDriver>(*policy, contexts);
+    world.add_observer(driver.get());
+  }
+
+  // Optional physical measurement path: one sampling multimeter per node,
+  // as in the paper's rig.  The meters run until the last rank finishes
+  // (a periodic sampler would otherwise keep the event queue alive
+  // forever), so the final rank stops them.
+  std::vector<std::unique_ptr<power::Multimeter>> multimeters;
+  int ranks_remaining = nodes;
+  if (config_.sample_power) {
+    for (int r = 0; r < nodes; ++r) {
+      const auto node = static_cast<std::size_t>(r);
+      power::MultimeterConfig mm = config_.multimeter;
+      mm.noise_seed += node;  // Independent sensor noise per meter.
+      multimeters.push_back(std::make_unique<power::Multimeter>(
+          engine, mm, [&meter, node] { return meter.instantaneous(node); }));
+    }
+  }
+  const auto on_rank_finished = [&] {
+    if (--ranks_remaining == 0) {
+      for (auto& mm : multimeters) mm->stop();
+    }
+  };
+
+  // Spawn one process per rank.  Each starts idle, runs the workload body,
+  // and records its finish time.
+  for (int r = 0; r < nodes; ++r) {
+    const auto node = static_cast<std::size_t>(r);
+    const std::size_t rank_gear =
+        policy != nullptr ? policy->compute_gear(r) : gear_index;
+    GEARSIM_REQUIRE(rank_gear < config_.gears.size(),
+                    "policy gear out of range");
+    // Per-rank deterministic load-imbalance factor in [1-x, 1+x].
+    Rng rank_rng = run_rng.fork(static_cast<std::uint64_t>(r));
+    const double penalty =
+        1.0 + config_.load_imbalance * (2.0 * rank_rng.uniform() - 1.0);
+    sim::Process& proc = engine.spawn(
+        "rank" + std::to_string(r),
+        [&, r, node, rank_gear, penalty, rank_rng](sim::Process& p) {
+          meter.set_power(node, p.now(), power_model.idle_power(rank_gear),
+                          power::NodeState::kIdle);
+          if (config_.sample_power) multimeters[node]->start();
+          RankContext ctx(mpi::Comm(world, r), cpu_model, power_model, meter,
+                          rank_gear, penalty, rank_rng,
+                          config_.gear_switch_latency);
+          contexts[node] = &ctx;
+          workload.run(ctx);
+          contexts[node] = nullptr;
+          finish[node] = p.now();
+          switches[node] = ctx.gear_switches();
+          on_rank_finished();
+        });
+    world.bind_rank(r, proc);
+  }
+
+  engine.run();
+
+  const Seconds wall = *std::max_element(finish.begin(), finish.end());
+  meter.finish(wall);
+
+  RunResult result;
+  result.nodes = nodes;
+  result.gear_index = gear_index;
+  result.gear_label = config_.gears.gear(gear_index).label;
+  result.wall = wall;
+  result.energy = meter.total_energy();
+  result.active_energy = meter.total_active_energy();
+  result.idle_energy = meter.total_idle_energy();
+  result.breakdown = trace::analyze_cluster(tracer, Seconds{}, wall);
+  if (!options.trace_csv_path.empty()) {
+    trace::export_csv_file(tracer, options.trace_csv_path);
+  }
+  if (!options.timeline_svg_path.empty()) {
+    trace::write_timeline(tracer, wall,
+                           workload.name() + " on " + std::to_string(nodes) +
+                               " nodes (gear " +
+                               std::to_string(result.gear_label) + ")",
+                           options.timeline_svg_path);
+  }
+  result.mpi_calls = world.traced_calls();
+  result.messages = network.messages_carried();
+  result.net_bytes = network.bytes_carried();
+  for (std::uint64_t s : switches) result.gear_switches += s;
+  if (config_.sample_power) {
+    Joules sampled{};
+    for (const auto& mm : multimeters) sampled += mm->energy();
+    result.sampled_energy = sampled;
+  }
+  result.node_energy.reserve(static_cast<std::size_t>(nodes));
+
+  // Time-weighted cluster means of active/idle power: the paper's P_g and
+  // I_g probes when the run executes at a single gear.
+  Seconds active_time{};
+  Seconds idle_time{};
+  for (int r = 0; r < nodes; ++r) {
+    const auto& ne = meter.node(static_cast<std::size_t>(r));
+    result.node_energy.push_back(ne);
+    active_time += ne.active_time;
+    idle_time += ne.idle_time;
+  }
+  result.mean_active_power = active_time.value() > 0.0
+                                 ? result.active_energy / active_time
+                                 : Watts{};
+  result.mean_idle_power =
+      idle_time.value() > 0.0 ? result.idle_energy / idle_time : Watts{};
+  return result;
+}
+
+std::vector<RunResult> ExperimentRunner::gear_sweep(const Workload& workload,
+                                                    int nodes) {
+  std::vector<RunResult> results;
+  results.reserve(config_.gears.size());
+  for (std::size_t g = 0; g < config_.gears.size(); ++g) {
+    results.push_back(run(workload, nodes, g));
+  }
+  return results;
+}
+
+ExperimentRunner::RepeatedResult ExperimentRunner::run_repeated(
+    const Workload& workload, int nodes, std::size_t gear_index,
+    int repetitions) {
+  GEARSIM_REQUIRE(repetitions >= 1, "need at least one repetition");
+  RepeatedResult result;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ClusterConfig config = config_;
+    config.seed = config_.seed + static_cast<std::uint64_t>(rep);
+    config.network.jitter_seed =
+        config_.network.jitter_seed + static_cast<std::uint64_t>(rep);
+    ExperimentRunner sub(config);
+    RunResult run = sub.run(workload, nodes, gear_index);
+    result.time_s.add(run.wall.value());
+    result.energy_j.add(run.energy.value());
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+double speedup(const RunResult& a, const RunResult& b) {
+  GEARSIM_REQUIRE(b.wall.value() > 0.0, "zero-time run");
+  return a.wall / b.wall;
+}
+
+}  // namespace gearsim::cluster

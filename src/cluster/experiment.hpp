@@ -1,0 +1,102 @@
+// The experiment runner: executes one Workload on a configured cluster at
+// one (node count, gear) point and returns everything the paper measures —
+// wall time, per-node and total energy, the trace decomposition, and the
+// per-gear power summary the Section-4 model consumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/workload.hpp"
+#include "trace/analysis.hpp"
+#include "util/statistics.hpp"
+
+namespace gearsim::cluster {
+
+class GearPolicy;  // cluster/dvfs.hpp
+
+/// One (workload, nodes, gear) measurement.
+struct RunResult {
+  int nodes = 0;
+  std::size_t gear_index = 0;   ///< Rank 0's compute gear for policy runs.
+  int gear_label = 0;           ///< 1-based paper label.
+  Seconds wall{};               ///< Execution time.
+  Joules energy{};              ///< Cumulative energy of all nodes.
+  Joules active_energy{};
+  Joules idle_energy{};
+  Watts mean_active_power{};    ///< Time-weighted over nodes: the P_g probe.
+  Watts mean_idle_power{};      ///< The I_g probe.
+  trace::ClusterBreakdown breakdown;
+  std::vector<power::NodeEnergy> node_energy;
+  std::uint64_t mpi_calls = 0;
+  std::uint64_t messages = 0;
+  Bytes net_bytes = 0;
+  std::uint64_t gear_switches = 0;  ///< DVFS transitions across all ranks.
+  /// Cluster energy as integrated by the sampling multimeters (only when
+  /// ClusterConfig::sample_power is set); compare with `energy`, which is
+  /// the exact piecewise integral.
+  std::optional<Joules> sampled_energy;
+};
+
+/// Knobs for one experiment beyond the paper's uniform-gear scope.
+struct RunOptions {
+  /// Uniform gear when no policy is given.
+  std::size_t gear_index = 0;
+  /// Optional DVFS policy (per-rank gears, comm downshift, or adaptive
+  /// control); overrides gear_index.  Must outlive the call.
+  const GearPolicy* policy = nullptr;
+  /// When non-empty, the run's full MPI trace is exported here as CSV
+  /// (one row per call; see trace::export_csv).
+  std::string trace_csv_path;
+  /// When non-empty, the run's per-rank activity timeline is rendered
+  /// here as SVG (see report::write_timeline).
+  std::string timeline_svg_path;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_gears() const { return config_.gears.size(); }
+
+  /// Run `workload` on `nodes` nodes, all at gear `gear_index` (0-based).
+  RunResult run(const Workload& workload, int nodes, std::size_t gear_index);
+
+  /// Run with full options (per-rank gears / dynamic DVFS policies).
+  RunResult run(const Workload& workload, int nodes, const RunOptions& options);
+
+  /// Run at every gear of the cluster; results ordered fastest-first.
+  /// This is one curve of the paper's energy-time plots.
+  std::vector<RunResult> gear_sweep(const Workload& workload, int nodes);
+
+  /// Repeated measurement under different load-imbalance seeds — the
+  /// simulation analogue of the paper's practice of averaging multiple
+  /// wall-outlet measurements.  Time/energy statistics plus every run.
+  struct RepeatedResult {
+    RunningStats time_s;
+    RunningStats energy_j;
+    std::vector<RunResult> runs;
+
+    [[nodiscard]] Seconds mean_time() const { return seconds(time_s.mean()); }
+    [[nodiscard]] Joules mean_energy() const {
+      return joules(energy_j.mean());
+    }
+    /// Coefficient of variation of the run times.
+    [[nodiscard]] double time_cv() const {
+      return time_s.stddev() / time_s.mean();
+    }
+  };
+  RepeatedResult run_repeated(const Workload& workload, int nodes,
+                              std::size_t gear_index, int repetitions);
+
+ private:
+  ClusterConfig config_;
+};
+
+/// Speedup of `slow_nodes`-vs-`fast_nodes` runs at the fastest gear:
+/// T(a) / T(b).
+double speedup(const RunResult& a, const RunResult& b);
+
+}  // namespace gearsim::cluster

@@ -1,0 +1,57 @@
+#include "cluster/workload.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::cluster {
+
+RankContext::RankContext(mpi::Comm comm, const cpu::CpuModel& cpu_model,
+                         const cpu::PowerModel& power_model,
+                         power::EnergyMeter& meter, std::size_t gear_index,
+                         double speed_penalty, Rng rng,
+                         Seconds gear_switch_latency)
+    : comm_(comm),
+      cpu_model_(cpu_model),
+      power_model_(power_model),
+      meter_(meter),
+      gear_index_(gear_index),
+      speed_penalty_(speed_penalty),
+      rng_(rng),
+      switch_latency_(gear_switch_latency) {
+  GEARSIM_REQUIRE(speed_penalty_ > 0.0, "speed penalty must be positive");
+  GEARSIM_REQUIRE(switch_latency_.value() >= 0.0, "negative switch latency");
+}
+
+void RankContext::set_gear(std::size_t gear_index) {
+  GEARSIM_REQUIRE(gear_index < cpu_model_.gears().size(),
+                  "gear index out of range");
+  if (gear_index == gear_index_) return;
+  gear_index_ = gear_index;
+  ++gear_switches_;
+  const auto node = static_cast<std::size_t>(rank());
+  sim::Process& p = proc();
+  // The transition itself runs at (new-gear) idle draw.
+  meter_.set_power(node, p.now(), power_model_.idle_power(gear_index_),
+                   power::NodeState::kIdle);
+  if (switch_latency_.value() > 0.0) p.delay(switch_latency_);
+}
+
+void RankContext::compute(const cpu::ComputeBlock& block) {
+  const Seconds t =
+      cpu_model_.execute_time(block, gear_index_) * speed_penalty_;
+  if (t.value() <= 0.0) return;
+  const double busy = cpu_model_.cpu_bound_fraction(block, gear_index_);
+  const auto node = static_cast<std::size_t>(rank());
+  sim::Process& p = proc();
+  meter_.set_power(node, p.now(), power_model_.active_power(gear_index_, busy),
+                   power::NodeState::kActive);
+  p.delay(t);
+  meter_.set_power(node, p.now(), power_model_.idle_power(gear_index_),
+                   power::NodeState::kIdle);
+  compute_time_ += t;
+}
+
+void RankContext::compute_upm(double upm, double misses) {
+  compute(cpu::block_from_upm(upm, misses));
+}
+
+}  // namespace gearsim::cluster

@@ -1,0 +1,84 @@
+// The workload programming model.
+//
+// A Workload is the simulated analogue of an MPI program: `run(ctx)` is
+// executed once per rank on that rank's simulation process, and the body
+// alternates between `ctx.compute(block)` — which advances simulated time
+// under the node's current gear and charges active power — and MPI calls
+// on `ctx.comm()`, which move simulated messages and charge idle power
+// while blocked.  This mirrors the structure of the real NAS codes the
+// paper measures.
+#pragma once
+
+#include <string>
+
+#include "cpu/compute.hpp"
+#include "cpu/cpu_model.hpp"
+#include "cpu/power_model.hpp"
+#include "mpi/comm.hpp"
+#include "power/energy_meter.hpp"
+#include "util/random.hpp"
+
+namespace gearsim::cluster {
+
+/// Everything one rank of a running experiment can touch.
+class RankContext {
+ public:
+  RankContext(mpi::Comm comm, const cpu::CpuModel& cpu_model,
+              const cpu::PowerModel& power_model, power::EnergyMeter& meter,
+              std::size_t gear_index, double speed_penalty, Rng rng,
+              Seconds gear_switch_latency = Seconds{});
+
+  /// Execute a compute block at the node's gear: active power during,
+  /// idle power after.
+  void compute(const cpu::ComputeBlock& block);
+  /// Convenience: compute a block built from (UPM, misses).
+  void compute_upm(double upm, double misses);
+
+  /// Change the node's DVFS gear mid-run.  Pays the configured switch
+  /// latency (at idle power) and re-registers the idle draw at the new
+  /// operating point.  No-op when already at `gear_index`.  Must be
+  /// called from this rank's own execution (workload body or an MPI
+  /// observer firing on its calls).
+  void set_gear(std::size_t gear_index);
+
+  [[nodiscard]] mpi::Comm& comm() { return comm_; }
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int nprocs() const { return comm_.size(); }
+  [[nodiscard]] std::size_t gear() const { return gear_index_; }
+  [[nodiscard]] const cpu::CpuModel& cpu_model() const { return cpu_model_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  /// Total compute-block time this rank has accumulated (gear-scaled).
+  [[nodiscard]] Seconds compute_time() const { return compute_time_; }
+  /// Number of DVFS transitions performed via set_gear.
+  [[nodiscard]] std::uint64_t gear_switches() const { return gear_switches_; }
+
+ private:
+  [[nodiscard]] sim::Process& proc() { return comm_.world().process(comm_.rank()); }
+
+  mpi::Comm comm_;
+  const cpu::CpuModel& cpu_model_;
+  const cpu::PowerModel& power_model_;
+  power::EnergyMeter& meter_;
+  std::size_t gear_index_;
+  double speed_penalty_;
+  Rng rng_;
+  Seconds switch_latency_;
+  Seconds compute_time_{};
+  std::uint64_t gear_switches_ = 0;
+};
+
+/// An MPI program the experiment runner can execute.  Implementations are
+/// immutable parameter bundles; `run` must be callable concurrently for
+/// different ranks (it only mutates through the context).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Executed once per rank.
+  virtual void run(RankContext& ctx) const = 0;
+  /// Valid process counts (e.g. BT/SP require square counts).
+  [[nodiscard]] virtual bool supports(int nprocs) const { return nprocs >= 1; }
+};
+
+}  // namespace gearsim::cluster

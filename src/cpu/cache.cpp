@@ -1,0 +1,69 @@
+#include "cpu/cache.hpp"
+
+namespace gearsim::cpu {
+
+namespace {
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+unsigned log2_exact(std::uint64_t v) {
+  unsigned shift = 0;
+  while ((1ULL << shift) < v) ++shift;
+  return shift;
+}
+}  // namespace
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  GEARSIM_REQUIRE(is_power_of_two(config_.line_size), "line size must be 2^k");
+  GEARSIM_REQUIRE(config_.associativity > 0, "associativity must be positive");
+  GEARSIM_REQUIRE(config_.size % (config_.line_size * config_.associativity) == 0,
+                  "capacity must be a whole number of sets");
+  sets_ = config_.size / (config_.line_size * config_.associativity);
+  GEARSIM_REQUIRE(is_power_of_two(sets_), "set count must be 2^k");
+  line_shift_ = log2_exact(config_.line_size);
+  ways_.resize(sets_ * config_.associativity);
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const std::uint64_t tag = line >> log2_exact(sets_);
+  Way* base = &ways_[set * config_.associativity];
+
+  Way* victim = base;
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // Prefer an invalid way over evicting.
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+std::uint64_t CacheSim::access_range(std::uint64_t address, Bytes bytes) {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = address >> line_shift_;
+  const std::uint64_t last = (address + bytes - 1) >> line_shift_;
+  std::uint64_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access(line << line_shift_)) ++misses;
+  }
+  return misses;
+}
+
+void CacheSim::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+}  // namespace gearsim::cpu

@@ -1,0 +1,55 @@
+// Compute blocks: the unit of work the CPU timing model consumes.
+//
+// The paper characterizes programs by UPM — micro-operations per memory
+// reference (per L2 miss) — because it is gear-invariant and predicts the
+// energy-time slope.  A ComputeBlock is exactly that characterization:
+// a count of retired micro-ops plus a count of L2 misses.
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace gearsim::cpu {
+
+struct ComputeBlock {
+  double uops = 0.0;       ///< Retired micro-operations.
+  double l2_misses = 0.0;  ///< Main-memory references (L2 misses).
+  /// Memory-level parallelism: the fraction of micro-ops issued in the
+  /// shadow of outstanding misses.  Overlapped work does not occupy the
+  /// frequency-scaled critical path, so timing sees (1-overlap)*uops while
+  /// the UPM *counters* are unchanged — this is how a code can sit out of
+  /// UPM order in its energy-time slope (the paper's Table-1 outlier).
+  double overlap = 0.0;
+
+  /// Micro-ops per miss; the paper's Table-1 metric.  Requires misses > 0.
+  [[nodiscard]] double upm() const {
+    GEARSIM_REQUIRE(l2_misses > 0.0, "UPM undefined without memory traffic");
+    return uops / l2_misses;
+  }
+
+  /// Micro-ops on the frequency-scaled critical path.
+  [[nodiscard]] double critical_uops() const { return uops * (1.0 - overlap); }
+
+  [[nodiscard]] ComputeBlock scaled(double factor) const {
+    GEARSIM_REQUIRE(factor >= 0.0, "negative scale factor");
+    return {uops * factor, l2_misses * factor, overlap};
+  }
+
+  friend ComputeBlock operator+(ComputeBlock a, ComputeBlock b) {
+    // Combine with a uop-weighted overlap so critical work adds exactly.
+    const double uops = a.uops + b.uops;
+    const double crit = a.critical_uops() + b.critical_uops();
+    return {uops, a.l2_misses + b.l2_misses,
+            uops > 0.0 ? 1.0 - crit / uops : 0.0};
+  }
+  ComputeBlock& operator+=(ComputeBlock o) { return *this = *this + o; }
+};
+
+/// Build a block from a target UPM and a miss count.
+inline ComputeBlock block_from_upm(double upm, double misses,
+                                   double overlap = 0.0) {
+  GEARSIM_REQUIRE(upm > 0.0 && misses > 0.0, "UPM and misses must be positive");
+  GEARSIM_REQUIRE(overlap >= 0.0 && overlap < 1.0, "overlap must be in [0,1)");
+  return {upm * misses, misses, overlap};
+}
+
+}  // namespace gearsim::cpu

@@ -1,0 +1,60 @@
+#include "cpu/cpu_model.hpp"
+
+namespace gearsim::cpu {
+
+CpuModel::CpuModel(CpuParams params, GearTable gears)
+    : params_(params), gears_(std::move(gears)) {
+  GEARSIM_REQUIRE(params_.upc_eff > 0.0, "upc_eff must be positive");
+  GEARSIM_REQUIRE(params_.mem_latency.value() > 0.0,
+                  "memory latency must be positive");
+}
+
+Seconds CpuModel::execute_time(const ComputeBlock& block,
+                               std::size_t gear_index) const {
+  GEARSIM_REQUIRE(block.uops >= 0.0 && block.l2_misses >= 0.0,
+                  "negative work in compute block");
+  const Gear& g = gears_.gear(gear_index);
+  const Seconds cpu_part =
+      cycles_over(block.critical_uops() / params_.upc_eff, g.frequency);
+  const Seconds mem_part = params_.mem_latency * block.l2_misses;
+  return cpu_part + mem_part;
+}
+
+double CpuModel::cpu_bound_fraction(const ComputeBlock& block,
+                                    std::size_t gear_index) const {
+  const Gear& g = gears_.gear(gear_index);
+  const double cpu =
+      block.critical_uops() / (params_.upc_eff * g.frequency.value());
+  const double mem = params_.mem_latency.value() * block.l2_misses;
+  const double total = cpu + mem;
+  GEARSIM_REQUIRE(total > 0.0, "empty compute block has no bound fraction");
+  return cpu / total;
+}
+
+double CpuModel::observed_upc(const ComputeBlock& block,
+                              std::size_t gear_index) const {
+  const Gear& g = gears_.gear(gear_index);
+  const double cycles =
+      execute_time(block, gear_index).value() * g.frequency.value();
+  GEARSIM_REQUIRE(cycles > 0.0, "zero-duration block has no UPC");
+  return block.uops / cycles;
+}
+
+double CpuModel::slowdown(const ComputeBlock& block,
+                          std::size_t gear_index) const {
+  return execute_time(block, gear_index) / execute_time(block, 0);
+}
+
+double CpuModel::kappa(double upm) const {
+  GEARSIM_REQUIRE(upm > 0.0, "UPM must be positive");
+  return upm / (params_.upc_eff * gears_.fastest().frequency.value() *
+                params_.mem_latency.value());
+}
+
+double CpuModel::upm_for_kappa(double k) const {
+  GEARSIM_REQUIRE(k > 0.0, "kappa must be positive");
+  return k * params_.upc_eff * gears_.fastest().frequency.value() *
+         params_.mem_latency.value();
+}
+
+}  // namespace gearsim::cpu

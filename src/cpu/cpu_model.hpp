@@ -1,0 +1,73 @@
+// CPU timing model for a frequency-scalable node.
+//
+// A compute block (uops, misses) executes in
+//
+//     T(g) = uops / (upc_eff * f_g)  +  misses * L_mem
+//
+// The first term scales with the clock; the second — main-memory service
+// time — does not.  This single property produces the paper's central
+// observations:
+//
+//  * the slowdown bound  1 <= T_{i+1}/T_i <= f_i/f_{i+1}  (Section 3.1);
+//  * UPM (uops per miss) determines where a program sits between the
+//    CPU-bound (EP) and memory-bound (CG) extremes;
+//  * measured UPC *rises* at lower gears for memory-bound codes, because
+//    memory latency shrinks when expressed in (longer) CPU cycles.
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/compute.hpp"
+#include "cpu/gear.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::cpu {
+
+struct CpuParams {
+  /// Effective micro-ops per cycle when not stalled on main memory.
+  /// Folds in all non-memory stalls; calibrated, not a datasheet number.
+  double upc_eff = 0.5;
+  /// Main-memory (L2 miss) service latency; frequency-independent.
+  Seconds mem_latency = nanoseconds(49.0);
+};
+
+/// Timing model: pure function of (block, gear); owns the gear table.
+class CpuModel {
+ public:
+  CpuModel(CpuParams params, GearTable gears);
+
+  [[nodiscard]] const GearTable& gears() const { return gears_; }
+  [[nodiscard]] const CpuParams& params() const { return params_; }
+
+  /// Wall time to execute `block` at gear `gear_index` (0-based).
+  [[nodiscard]] Seconds execute_time(const ComputeBlock& block,
+                                     std::size_t gear_index) const;
+
+  /// Fraction of execute_time spent with the CPU on the critical path
+  /// (the uops term); the rest is memory stall.  In (0, 1].
+  [[nodiscard]] double cpu_bound_fraction(const ComputeBlock& block,
+                                          std::size_t gear_index) const;
+
+  /// Observed micro-ops per cycle at a gear (the paper's UPC): uops
+  /// divided by elapsed cycles at that gear's clock.
+  [[nodiscard]] double observed_upc(const ComputeBlock& block,
+                                    std::size_t gear_index) const;
+
+  /// T(gear) / T(fastest) for a block: the per-block slowdown S_g.
+  [[nodiscard]] double slowdown(const ComputeBlock& block,
+                                std::size_t gear_index) const;
+
+  /// The dimensionless CPU/memory balance kappa = UPM / (upc_eff*f1*L):
+  /// ratio of CPU time to memory time at the fastest gear.  Large kappa
+  /// means CPU-bound (EP); small means memory-bound (CG).
+  [[nodiscard]] double kappa(double upm) const;
+
+  /// Invert kappa: the per-block UPM that produces a given balance.
+  [[nodiscard]] double upm_for_kappa(double kappa) const;
+
+ private:
+  CpuParams params_;
+  GearTable gears_;
+};
+
+}  // namespace gearsim::cpu

@@ -1,0 +1,84 @@
+// DVFS gears: the discrete frequency/voltage operating points of a
+// power-scalable node.
+//
+// Follows the paper's convention: gear 1 is the fastest.  Internally the
+// table is 0-indexed; `GearTable::gear(i)` takes the 0-based index and
+// `Gear::label` carries the 1-based paper-style number for reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::cpu {
+
+struct Gear {
+  int label = 0;        ///< 1-based, paper convention (1 = fastest).
+  Hertz frequency{};    ///< Core clock at this operating point.
+  Volts voltage{};      ///< Supply voltage at this operating point.
+};
+
+/// An ordered set of operating points, fastest first.  Immutable after
+/// construction; validated to be strictly decreasing in frequency and
+/// non-increasing in voltage.
+class GearTable {
+ public:
+  explicit GearTable(std::vector<Gear> gears) : gears_(std::move(gears)) {
+    GEARSIM_REQUIRE(!gears_.empty(), "gear table may not be empty");
+    for (std::size_t i = 0; i < gears_.size(); ++i) {
+      GEARSIM_REQUIRE(gears_[i].frequency.value() > 0.0, "non-positive frequency");
+      GEARSIM_REQUIRE(gears_[i].voltage.value() > 0.0, "non-positive voltage");
+      if (i > 0) {
+        GEARSIM_REQUIRE(gears_[i].frequency < gears_[i - 1].frequency,
+                        "gears must be strictly decreasing in frequency");
+        GEARSIM_REQUIRE(gears_[i].voltage <= gears_[i - 1].voltage,
+                        "voltage must not increase at slower gears");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return gears_.size(); }
+  [[nodiscard]] const Gear& gear(std::size_t index) const {
+    GEARSIM_REQUIRE(index < gears_.size(), "gear index out of range");
+    return gears_[index];
+  }
+  [[nodiscard]] const Gear& fastest() const { return gears_.front(); }
+  [[nodiscard]] const Gear& slowest() const { return gears_.back(); }
+
+  /// f_fastest / f_gear — the paper's upper bound on slowdown.
+  [[nodiscard]] double cycle_time_ratio(std::size_t index) const {
+    return fastest().frequency / gear(index).frequency;
+  }
+
+  [[nodiscard]] auto begin() const { return gears_.begin(); }
+  [[nodiscard]] auto end() const { return gears_.end(); }
+
+ private:
+  std::vector<Gear> gears_;
+};
+
+/// The paper's AMD Athlon-64 gear ladder: 2000..800 MHz, 1.5..1.0 V.
+/// (The 1000 MHz point is absent — the paper reports it was unreliable.)
+/// Voltages are calibrated within the paper's stated 1.5-1.0 V range so
+/// that the measured CG/EP energy-delay percentages land in-band; see
+/// DESIGN.md §5.
+inline GearTable athlon64_gears() {
+  return GearTable({
+      {1, megahertz(2000), volts(1.50)},
+      {2, megahertz(1800), volts(1.35)},
+      {3, megahertz(1600), volts(1.30)},
+      {4, megahertz(1400), volts(1.25)},
+      {5, megahertz(1200), volts(1.15)},
+      {6, megahertz(800), volts(1.00)},
+  });
+}
+
+/// A fixed-frequency (non-power-scalable) table, e.g. the Sun cluster the
+/// paper uses for cross-validation of its scalability fits.
+inline GearTable fixed_gear(Hertz f, Volts v) {
+  return GearTable({{1, f, v}});
+}
+
+}  // namespace gearsim::cpu

@@ -1,0 +1,51 @@
+#include "cpu/power_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::cpu {
+
+PowerModel::PowerModel(PowerParams params, GearTable gears)
+    : params_(params), gears_(std::move(gears)) {
+  GEARSIM_REQUIRE(params_.base.value() >= 0.0, "negative base power");
+  GEARSIM_REQUIRE(params_.cpu_static.value() >= 0.0, "negative static power");
+  GEARSIM_REQUIRE(params_.cpu_dynamic.value() >= 0.0, "negative dynamic power");
+  GEARSIM_REQUIRE(
+      params_.stall_activity_floor >= 0.0 && params_.stall_activity_floor <= 1.0,
+      "stall activity floor must be a fraction");
+  GEARSIM_REQUIRE(params_.idle_activity >= 0.0 && params_.idle_activity <= 1.0,
+                  "idle activity must be a fraction");
+}
+
+Watts PowerModel::cpu_power(std::size_t gear_index, double activity) const {
+  const Gear& g = gears_.gear(gear_index);
+  const Gear& top = gears_.fastest();
+  const double v_ratio = g.voltage / top.voltage;
+  const double f_ratio = g.frequency / top.frequency;
+  const Watts leakage = params_.cpu_static * v_ratio;
+  const Watts dynamic =
+      params_.cpu_dynamic * (v_ratio * v_ratio * f_ratio * activity);
+  return leakage + dynamic;
+}
+
+Watts PowerModel::active_power(std::size_t gear_index,
+                               double busy_fraction) const {
+  GEARSIM_REQUIRE(busy_fraction >= 0.0 && busy_fraction <= 1.0,
+                  "busy fraction must be in [0,1]");
+  const double alpha = params_.stall_activity_floor +
+                       (1.0 - params_.stall_activity_floor) * busy_fraction;
+  return params_.base + cpu_power(gear_index, alpha);
+}
+
+Watts PowerModel::idle_power(std::size_t gear_index) const {
+  return params_.base + cpu_power(gear_index, params_.idle_activity);
+}
+
+double PowerModel::cpu_share(std::size_t gear_index,
+                             double busy_fraction) const {
+  const double alpha = params_.stall_activity_floor +
+                       (1.0 - params_.stall_activity_floor) * busy_fraction;
+  const Watts cpu = cpu_power(gear_index, alpha);
+  return cpu / active_power(gear_index, busy_fraction);
+}
+
+}  // namespace gearsim::cpu

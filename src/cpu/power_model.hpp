@@ -1,0 +1,70 @@
+// Whole-system power model of one power-scalable node.
+//
+// The paper measures *system* power at the wall outlet: roughly 140-150 W
+// at the fastest gear, of which the CPU accounts for 45-55%.  We model
+//
+//   P_active(g, busy) = P_base
+//                     + P_cpu_static * (V_g / V_1)
+//                     + P_cpu_dyn * (V_g/V_1)^2 (f_g/f_1) * alpha(busy)
+//
+// where `busy` is the fraction of active time the CPU is genuinely
+// executing (vs stalled on memory), and alpha interpolates between a
+// stall floor and full switching activity: a stalled core still clocks
+// most of its logic.  Idle (blocked-in-MPI) power replaces the dynamic
+// term with a small halt-state residue, giving the paper's per-gear I_g.
+#pragma once
+
+#include <cstddef>
+
+#include "cpu/gear.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::cpu {
+
+struct PowerParams {
+  /// Everything that is not the CPU: board, memory, disk, NIC, PSU loss.
+  Watts base = watts(70.0);
+  /// CPU leakage at the fastest gear's voltage (scales ~linearly with V).
+  Watts cpu_static = watts(20.0);
+  /// CPU dynamic power at the fastest gear, fully busy (scales with V^2 f).
+  Watts cpu_dynamic = watts(55.0);
+  /// Dynamic-power floor while stalled: alpha = floor + (1-floor)*busy.
+  double stall_activity_floor = 0.85;
+  /// Dynamic activity of a core blocked in MPI, as a fraction of
+  /// full-busy dynamic power.  2005-era MPI progress engines busy-poll
+  /// the socket rather than sleeping, so a blocked rank still clocks a
+  /// substantial fraction of the pipeline — which is also why I_g falls
+  /// visibly with the gear.
+  double idle_activity = 0.30;
+};
+
+/// Pure function of (gear, activity); owns its gear table by reference
+/// semantics of the caller (copies the table — tables are tiny).
+class PowerModel {
+ public:
+  PowerModel(PowerParams params, GearTable gears);
+
+  [[nodiscard]] const PowerParams& params() const { return params_; }
+  [[nodiscard]] const GearTable& gears() const { return gears_; }
+
+  /// System power while computing with the given CPU-busy fraction
+  /// (cpu::CpuModel::cpu_bound_fraction of the running block).
+  [[nodiscard]] Watts active_power(std::size_t gear_index,
+                                   double busy_fraction) const;
+
+  /// System power while blocked in communication / idle, per gear — the
+  /// paper's I_g.
+  [[nodiscard]] Watts idle_power(std::size_t gear_index) const;
+
+  /// CPU-only share of active power (for the 45-55% sanity checks).
+  [[nodiscard]] double cpu_share(std::size_t gear_index,
+                                 double busy_fraction) const;
+
+ private:
+  [[nodiscard]] Watts cpu_power(std::size_t gear_index, double activity) const;
+
+  PowerParams params_;
+  GearTable gears_;
+};
+
+}  // namespace gearsim::cpu

@@ -1,0 +1,64 @@
+#include "model/amdahl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+AmdahlFit fit_amdahl(std::span<const double> nodes,
+                     std::span<const Seconds> active) {
+  GEARSIM_REQUIRE(nodes.size() == active.size(), "size mismatch");
+  GEARSIM_REQUIRE(nodes.size() >= 2, "need at least two node counts");
+  std::vector<double> inv_n(nodes.size());
+  std::vector<double> t(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    GEARSIM_REQUIRE(nodes[i] >= 1.0, "node count must be >= 1");
+    inv_n[i] = 1.0 / nodes[i];
+    t[i] = active[i].value();
+  }
+  // T^A(n) = T1*Fs + T1*Fp * (1/n): intercept = T1*Fs, slope = T1*Fp.
+  const LinearFit lf = fit_linear(inv_n, t);
+  AmdahlFit fit;
+  const double t1 = lf.intercept + lf.slope;
+  GEARSIM_ENSURE(t1 > 0.0, "degenerate Amdahl fit (non-positive T^A(1))");
+  fit.t1 = Seconds(t1);
+  fit.serial_fraction = std::clamp(lf.intercept / t1, 0.0, 0.999);
+  fit.r_squared = lf.r_squared;
+  return fit;
+}
+
+std::vector<double> per_config_serial_fractions(
+    Seconds t1, std::span<const double> nodes,
+    std::span<const Seconds> active) {
+  GEARSIM_REQUIRE(nodes.size() == active.size(), "size mismatch");
+  GEARSIM_REQUIRE(t1.value() > 0.0, "T^A(1) must be positive");
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double n = nodes[i];
+    if (n <= 1.0) continue;  // F_s is unidentifiable from the 1-node run.
+    // T^A(n)/T^A(1) = (1-Fs)/n + Fs  =>  Fs = (ratio - 1/n) / (1 - 1/n).
+    const double ratio = active[i] / t1;
+    const double fs = (ratio - 1.0 / n) / (1.0 - 1.0 / n);
+    out.push_back(std::clamp(fs, 0.0, 0.999));
+  }
+  return out;
+}
+
+LinearFit fit_serial_fraction_trend(std::span<const double> nodes,
+                                    std::span<const double> serial_fractions) {
+  GEARSIM_REQUIRE(nodes.size() == serial_fractions.size(), "size mismatch");
+  if (nodes.size() == 1) {
+    // Single sample: constant trend.
+    LinearFit lf;
+    lf.intercept = serial_fractions[0];
+    lf.slope = 0.0;
+    lf.r_squared = 1.0;
+    return lf;
+  }
+  return fit_linear(nodes, serial_fractions);
+}
+
+}  // namespace gearsim::model

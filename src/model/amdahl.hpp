@@ -1,0 +1,52 @@
+// Step 2a of the paper's methodology: Amdahl-law modeling of computation.
+//
+// From measured active times T^A(i) on i nodes, estimate the parallel and
+// inherently sequential fractions F_p and F_s of the application:
+//
+//     T^A(i) = T^A(1) (F_p / i + F_s),   F_p = 1 - F_s.
+//
+// Two estimators are provided:
+//  * a global least-squares fit (T^A is linear in 1/i), and
+//  * the paper's per-configuration family: one F_s per measured i, then a
+//    linear regression of F_s against i to extrapolate to larger clusters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/statistics.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::model {
+
+struct AmdahlFit {
+  double serial_fraction = 0.0;  ///< F_s.
+  Seconds t1{};                  ///< T^A(1).
+  double r_squared = 0.0;
+
+  [[nodiscard]] double parallel_fraction() const { return 1.0 - serial_fraction; }
+  /// Predicted T^A(n).
+  [[nodiscard]] Seconds active_time(double n) const {
+    return t1 * (parallel_fraction() / n + serial_fraction);
+  }
+};
+
+/// Global OLS estimator: regress T^A against 1/n.  Needs >= 2 distinct
+/// node counts; clamps F_s into [0, 1).
+AmdahlFit fit_amdahl(std::span<const double> nodes,
+                     std::span<const Seconds> active);
+
+/// The paper's per-configuration estimates: for each i > 1, the F_s that
+/// exactly explains T^A(i) given T^A(1).  (Used for the cross-cluster
+/// validation table and for the F_s-vs-n regression.)
+std::vector<double> per_config_serial_fractions(
+    Seconds t1, std::span<const double> nodes,
+    std::span<const Seconds> active);
+
+/// Paper Step 3: fit F_s as a linear function of the node count from the
+/// per-configuration family (optionally pooling a second cluster's
+/// family) and return the fit for extrapolation to m > max measured n.
+LinearFit fit_serial_fraction_trend(std::span<const double> nodes,
+                                    std::span<const double> serial_fractions);
+
+}  // namespace gearsim::model

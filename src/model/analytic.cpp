@@ -1,0 +1,47 @@
+#include "model/analytic.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+Curve analytic_single_node_curve(const cpu::CpuModel& cpu_model,
+                                 const cpu::PowerModel& power_model,
+                                 double upm, Seconds t1, double overlap) {
+  GEARSIM_REQUIRE(t1.value() > 0.0, "runtime must be positive");
+  // Any miss count works: slowdown and busy fraction only depend on the
+  // UPM/overlap ratio, not the absolute block size.
+  const cpu::ComputeBlock block = cpu::block_from_upm(upm, 1e6, overlap);
+  Curve curve;
+  curve.nodes = 1;
+  for (std::size_t g = 0; g < cpu_model.gears().size(); ++g) {
+    const double slowdown = cpu_model.slowdown(block, g);
+    const double busy = cpu_model.cpu_bound_fraction(block, g);
+    const Seconds time = t1 * slowdown;
+    const Joules energy = power_model.active_power(g, busy) * time;
+    curve.points.push_back(
+        EtPoint{cpu_model.gears().gear(g).label, time, energy});
+  }
+  return curve;
+}
+
+std::size_t advise_gear_for_delay(const cpu::CpuModel& cpu_model, double upm,
+                                  double max_delay, double overlap) {
+  GEARSIM_REQUIRE(max_delay >= 0.0, "negative delay budget");
+  const cpu::ComputeBlock block = cpu::block_from_upm(upm, 1e6, overlap);
+  std::size_t chosen = 0;
+  for (std::size_t g = 0; g < cpu_model.gears().size(); ++g) {
+    if (cpu_model.slowdown(block, g) - 1.0 <= max_delay) chosen = g;
+  }
+  return chosen;
+}
+
+double predicted_energy_delta(const cpu::CpuModel& cpu_model,
+                              const cpu::PowerModel& power_model, double upm,
+                              std::size_t gear_index, double overlap) {
+  const Curve curve = analytic_single_node_curve(cpu_model, power_model, upm,
+                                                 seconds(1.0), overlap);
+  GEARSIM_REQUIRE(gear_index < curve.points.size(), "gear out of range");
+  return curve.points[gear_index].energy / curve.points[0].energy - 1.0;
+}
+
+}  // namespace gearsim::model

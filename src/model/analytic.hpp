@@ -1,0 +1,42 @@
+// Closed-form energy-time curves from counter characterization alone.
+//
+// The punchline of the paper's Table 1 is that UPM — micro-ops per L2
+// miss, a ratio of two hardware counters — predicts the energy-time
+// tradeoff.  This header operationalizes that: given a program's UPM (and
+// optionally its MLP overlap) plus its fastest-gear runtime, compute the
+// whole single-node curve analytically from the CPU and power models —
+// no simulation, no gear sweep, just the formula
+//
+//   T_g = T_1 (kappa f_1/f_g + 1) / (kappa + 1),    kappa = (1-ov) UPM / (upc f_1 L)
+//   E_g = P(g, busy_g) T_g
+//
+// This is what a runtime system could do on real hardware after reading
+// two performance counters: pick the right gear without ever trying the
+// slow ones.
+#pragma once
+
+#include "cpu/cpu_model.hpp"
+#include "cpu/power_model.hpp"
+#include "model/tradeoff.hpp"
+
+namespace gearsim::model {
+
+/// Predicted single-node energy-time curve for a program characterized by
+/// (upm, overlap) that runs `t1` at the fastest gear.
+Curve analytic_single_node_curve(const cpu::CpuModel& cpu_model,
+                                 const cpu::PowerModel& power_model,
+                                 double upm, Seconds t1, double overlap = 0.0);
+
+/// The slowest gear whose predicted slowdown stays within `max_delay`
+/// (fractional, e.g. 0.05 = 5%), i.e. the paper's "use a lower gear as a
+/// safeguard" advice made precise.  Returns the 0-based gear index.
+std::size_t advise_gear_for_delay(const cpu::CpuModel& cpu_model, double upm,
+                                  double max_delay, double overlap = 0.0);
+
+/// Predicted energy savings (negative fraction) of `gear_index` vs the
+/// fastest gear for a (upm, overlap) program.
+double predicted_energy_delta(const cpu::CpuModel& cpu_model,
+                              const cpu::PowerModel& power_model, double upm,
+                              std::size_t gear_index, double overlap = 0.0);
+
+}  // namespace gearsim::model

@@ -1,0 +1,46 @@
+#include "model/comm_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+namespace {
+void strip_single_node(std::span<const double> nodes,
+                       std::span<const Seconds> idle, std::vector<double>& n_out,
+                       std::vector<double>& t_out) {
+  GEARSIM_REQUIRE(nodes.size() == idle.size(), "size mismatch");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] <= 1.0) continue;
+    n_out.push_back(nodes[i]);
+    t_out.push_back(idle[i].value());
+  }
+}
+}  // namespace
+
+CommFit classify_communication(std::span<const double> nodes,
+                               std::span<const Seconds> idle,
+                               double parsimony) {
+  std::vector<double> n;
+  std::vector<double> t;
+  strip_single_node(nodes, idle, n, t);
+  GEARSIM_REQUIRE(n.size() >= 3,
+                  "communication classification needs >= 3 multi-node samples");
+  CommFit fit;
+  fit.ranked = classify_shape(n, t, parsimony);
+  fit.best = fit.ranked.front();
+  return fit;
+}
+
+CommFit fit_communication(ScalingShape shape, std::span<const double> nodes,
+                          std::span<const Seconds> idle) {
+  std::vector<double> n;
+  std::vector<double> t;
+  strip_single_node(nodes, idle, n, t);
+  GEARSIM_REQUIRE(!n.empty(), "no multi-node samples");
+  CommFit fit;
+  fit.best = fit_shape(shape, n, t);
+  fit.ranked = {fit.best};
+  return fit;
+}
+
+}  // namespace gearsim::model

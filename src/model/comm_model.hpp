@@ -1,0 +1,43 @@
+// Step 2b/3 of the paper's methodology: classifying and extrapolating
+// communication (idle) time.
+//
+// T^I(n) is classified into one of the paper's scaling shapes —
+// logarithmic, linear, quadratic, or (the LU anomaly) constant — by
+// fitting each shape to the measured samples and choosing the best with a
+// parsimony preference, then regression supplies the coefficients used to
+// predict T^I(m) for m beyond the measured cluster.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/statistics.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::model {
+
+struct CommFit {
+  ShapeFit best;                 ///< Winning shape + coefficients.
+  std::vector<ShapeFit> ranked;  ///< All four shapes, best first.
+
+  [[nodiscard]] ScalingShape shape() const { return best.shape; }
+  /// Predicted T^I(m); clamped non-negative.
+  [[nodiscard]] Seconds idle_time(double m) const {
+    const double v = best.at(m);
+    return Seconds(v > 0.0 ? v : 0.0);
+  }
+};
+
+/// Fit the four candidate shapes to (n, T^I(n)) samples.  Node counts of 1
+/// are excluded (a single rank has no communication).  Requires >= 3
+/// remaining samples.
+CommFit classify_communication(std::span<const double> nodes,
+                               std::span<const Seconds> idle,
+                               double parsimony = 0.5);
+
+/// Force a specific shape (the paper fixes each benchmark's class from
+/// source inspection and the literature before regressing).
+CommFit fit_communication(ScalingShape shape, std::span<const double> nodes,
+                          std::span<const Seconds> idle);
+
+}  // namespace gearsim::model

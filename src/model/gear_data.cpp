@@ -1,0 +1,36 @@
+#include "model/gear_data.hpp"
+
+#include "cpu/power_model.hpp"
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+const GearPoint& GearData::at(std::size_t gear_index) const {
+  GEARSIM_REQUIRE(gear_index < gears.size(), "gear index out of range");
+  return gears[gear_index];
+}
+
+GearData measure_gear_data(cluster::ExperimentRunner& runner,
+                           const cluster::Workload& workload) {
+  GEARSIM_REQUIRE(workload.supports(1),
+                  "gear characterization requires a 1-node run");
+  const cpu::PowerModel power_model(runner.config().power,
+                                    runner.config().gears);
+  GearData data;
+  Seconds t1{};
+  for (std::size_t g = 0; g < runner.num_gears(); ++g) {
+    const cluster::RunResult r = runner.run(workload, 1, g);
+    if (g == 0) t1 = r.wall;
+    GearPoint point;
+    point.gear_label = r.gear_label;
+    point.slowdown = r.wall / t1;
+    point.active_power = r.mean_active_power;
+    // The paper measures I_g on a quiescent system ("the same setup,
+    // except this time with no application running").
+    point.idle_power = power_model.idle_power(g);
+    data.gears.push_back(point);
+  }
+  return data;
+}
+
+}  // namespace gearsim::model

@@ -1,0 +1,39 @@
+// Step 4 of the paper's methodology: per-gear data from a single
+// power-scalable node.
+//
+// For each application and each gear g:
+//  * S_g — slowdown of the sequential run, expressed here as the
+//    multiplier T_g(1)/T_1(1) >= 1 (the paper quotes the fractional
+//    increase; the multiplier is what its equations consume);
+//  * P_g — average system power while computing (wall-outlet measurement
+//    of the 1-node run);
+//  * I_g — system power of an otherwise idle node at gear g.
+#pragma once
+
+#include <vector>
+
+#include "cluster/experiment.hpp"
+
+namespace gearsim::model {
+
+struct GearPoint {
+  int gear_label = 0;
+  double slowdown = 1.0;  ///< S_g as a multiplier (1.0 at the top gear).
+  Watts active_power{};   ///< P_g.
+  Watts idle_power{};     ///< I_g.
+};
+
+struct GearData {
+  std::vector<GearPoint> gears;  ///< Fastest first, one per cluster gear.
+
+  [[nodiscard]] const GearPoint& at(std::size_t gear_index) const;
+  [[nodiscard]] std::size_t size() const { return gears.size(); }
+};
+
+/// Run the paper's single-node measurement protocol: execute `workload`
+/// on one node at every gear, measuring wall time and mean active power;
+/// read I_g from the power model (the paper measures a quiescent system).
+GearData measure_gear_data(cluster::ExperimentRunner& runner,
+                           const cluster::Workload& workload);
+
+}  // namespace gearsim::model

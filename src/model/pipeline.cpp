@@ -1,0 +1,213 @@
+#include "model/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+namespace {
+
+/// Step 1: fastest-gear runs over the requested node counts.
+std::vector<ScalingSample> gather_samples(cluster::ExperimentRunner& runner,
+                                          const cluster::Workload& workload,
+                                          const std::vector<int>& nodes) {
+  std::vector<ScalingSample> samples;
+  for (int n : nodes) {
+    if (n < 1 || n > runner.config().max_nodes) continue;
+    if (!workload.supports(n)) continue;
+    const cluster::RunResult r = runner.run(workload, n, /*gear_index=*/0);
+    ScalingSample s;
+    s.nodes = n;
+    s.wall = r.wall;
+    s.active = r.breakdown.active_max;
+    s.idle = r.breakdown.idle_derived;
+    s.reducible_fraction =
+        r.breakdown.active_max.value() > 0.0
+            ? r.breakdown.reducible / r.breakdown.active_max
+            : 0.0;
+    samples.push_back(s);
+  }
+  GEARSIM_REQUIRE(!samples.empty(), "no valid node counts for this workload");
+  return samples;
+}
+
+AmdahlFit fit_samples(const std::vector<ScalingSample>& samples) {
+  std::vector<double> n;
+  std::vector<Seconds> a;
+  for (const auto& s : samples) {
+    n.push_back(static_cast<double>(s.nodes));
+    a.push_back(s.active);
+  }
+  return fit_amdahl(n, a);
+}
+
+std::vector<double> fs_family(const AmdahlFit& fit,
+                              const std::vector<ScalingSample>& samples) {
+  std::vector<double> n;
+  std::vector<Seconds> a;
+  for (const auto& s : samples) {
+    n.push_back(static_cast<double>(s.nodes));
+    a.push_back(s.active);
+  }
+  return per_config_serial_fractions(fit.t1, n, a);
+}
+
+CommFit fit_comm(const std::vector<ScalingSample>& samples,
+                 std::optional<ScalingShape> shape) {
+  std::vector<double> n;
+  std::vector<Seconds> idle;
+  for (const auto& s : samples) {
+    n.push_back(static_cast<double>(s.nodes));
+    idle.push_back(s.idle);
+  }
+  if (shape) return fit_communication(*shape, n, idle);
+  return classify_communication(n, idle);
+}
+
+}  // namespace
+
+ScalingModel ScalingModel::build(cluster::ExperimentRunner& primary,
+                                 cluster::ExperimentRunner& validation,
+                                 const cluster::Workload& workload,
+                                 const Options& options) {
+  ScalingModel model;
+  model.refined_ = options.refined;
+  ScalingReport& rep = model.report_;
+
+  // Step 1: traces on both clusters at the fastest gear.
+  rep.primary = gather_samples(primary, workload, options.primary_nodes);
+  rep.validation =
+      gather_samples(validation, workload, options.validation_nodes);
+
+  // Step 2a: Amdahl fits and per-configuration F_s families.
+  rep.amdahl_primary = fit_samples(rep.primary);
+  rep.amdahl_validation = fit_samples(rep.validation);
+  rep.fs_family_primary = fs_family(rep.amdahl_primary, rep.primary);
+  rep.fs_family_validation = fs_family(rep.amdahl_validation, rep.validation);
+
+  // Step 3 (computation): regression of F_s against node count, pooling
+  // both clusters — this is how the paper extrapolates parallelism it
+  // cannot measure on the small power-scalable machine.
+  {
+    std::vector<double> n;
+    std::vector<double> fs;
+    std::size_t k = 0;
+    for (const auto& s : rep.primary) {
+      if (s.nodes > 1) {
+        n.push_back(static_cast<double>(s.nodes));
+        fs.push_back(rep.fs_family_primary[k++]);
+      }
+    }
+    k = 0;
+    for (const auto& s : rep.validation) {
+      if (s.nodes > 1) {
+        n.push_back(static_cast<double>(s.nodes));
+        fs.push_back(rep.fs_family_validation[k++]);
+      }
+    }
+    rep.fs_trend = fit_serial_fraction_trend(n, fs);
+  }
+
+  // Step 2b/3 (communication): shape + regression on the primary cluster;
+  // the validation cluster's fit is kept for the cross-cluster check.
+  // The square-grid codes (BT/SP) have only two multi-node configurations
+  // on a 10-node machine — too few to classify — which is exactly why the
+  // paper leans on source inspection and the larger cluster: with no
+  // explicit shape we borrow the classification from the validation
+  // cluster's richer sample before regressing on the primary data.
+  const auto multi_node = [](const std::vector<ScalingSample>& v) {
+    return std::count_if(v.begin(), v.end(),
+                         [](const ScalingSample& s) { return s.nodes > 1; });
+  };
+  const bool validation_classifiable = multi_node(rep.validation) >= 3;
+  std::optional<ScalingShape> primary_shape = options.comm_shape;
+  if (!primary_shape && multi_node(rep.primary) < 3) {
+    GEARSIM_REQUIRE(validation_classifiable,
+                    "too few multi-node configurations to classify "
+                    "communication on either cluster; pass comm_shape");
+    primary_shape = fit_comm(rep.validation, std::nullopt).shape();
+  }
+  rep.comm_primary = fit_comm(rep.primary, primary_shape);
+  rep.comm_validation =
+      validation_classifiable
+          ? fit_comm(rep.validation, std::nullopt)
+          : fit_comm(rep.validation, rep.comm_primary.shape());
+
+  // Step 4: per-gear data from a single power-scalable node.
+  rep.gear_data = measure_gear_data(primary, workload);
+
+  // Refined-model input: mean reducible fraction over multi-node runs.
+  double rho = 0.0;
+  int rho_count = 0;
+  for (const auto& s : rep.primary) {
+    if (s.nodes > 1) {
+      rho += s.reducible_fraction;
+      ++rho_count;
+    }
+  }
+  rep.reducible_fraction = rho_count > 0 ? rho / rho_count : 0.0;
+  return model;
+}
+
+TimeDecomposition ScalingModel::decompose(int m) const {
+  GEARSIM_REQUIRE(m >= 1, "node count must be positive");
+  const ScalingReport& rep = report_;
+  TimeDecomposition t;
+  t.nodes = m;
+  // F_s extrapolated along the pooled trend, floored at zero; T^A(1) from
+  // the primary cluster's own fit.
+  const double fs =
+      std::clamp(rep.fs_trend.at(static_cast<double>(m)), 0.0, 0.999);
+  t.active =
+      rep.amdahl_primary.t1 * ((1.0 - fs) / static_cast<double>(m) + fs);
+  t.idle = m > 1 ? rep.comm_primary.idle_time(static_cast<double>(m))
+                 : Seconds{};
+  t.reducible = rep.reducible_fraction * t.active;
+  t.critical = t.active - t.reducible;
+  return t;
+}
+
+Prediction ScalingModel::predict(int m, std::size_t gear_index) const {
+  const TimeDecomposition t = decompose(m);
+  const GearPoint& gear = report_.gear_data.at(gear_index);
+  return refined_ ? predict_refined(t, gear) : predict_naive(t, gear);
+}
+
+Curve ScalingModel::predicted_curve(int m) const {
+  Curve curve;
+  curve.nodes = m;
+  for (std::size_t g = 0; g < report_.gear_data.size(); ++g) {
+    const Prediction p = predict(m, g);
+    curve.points.push_back(
+        EtPoint{report_.gear_data.at(g).gear_label, p.time, p.energy});
+  }
+  return curve;
+}
+
+std::vector<ValidationPoint> validate_against_direct(
+    const ScalingModel& model, cluster::ExperimentRunner& runner,
+    const cluster::Workload& workload, const std::vector<int>& node_counts) {
+  std::vector<ValidationPoint> out;
+  for (int m : node_counts) {
+    if (m < 1 || m > runner.config().max_nodes || !workload.supports(m)) {
+      continue;
+    }
+    for (std::size_t g = 0; g < runner.num_gears(); ++g) {
+      const cluster::RunResult r = runner.run(workload, m, g);
+      ValidationPoint v;
+      v.nodes = m;
+      v.gear_label = r.gear_label;
+      v.predicted = model.predict(m, g);
+      v.actual_time = r.wall;
+      v.actual_energy = r.energy;
+      v.time_error = v.predicted.time / r.wall - 1.0;
+      v.energy_error = v.predicted.energy / r.energy - 1.0;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace gearsim::model

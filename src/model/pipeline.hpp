@@ -1,0 +1,109 @@
+// The paper's five-step methodology, end to end.
+//
+//  1. Gather time traces (active/idle per node count) on the primary
+//     power-scalable cluster and on a larger validation cluster.
+//  2. Model computation (Amdahl F_p/F_s) and classify communication into
+//     a scaling shape (constant / logarithmic / linear / quadratic).
+//  3. Extrapolate T^A(m) and T^I(m) to m beyond the primary cluster,
+//     fitting the F_s-vs-n trend across both clusters by regression.
+//  4. Measure per-gear S_g, P_g, I_g on a single power-scalable node.
+//  5. Predict T_g(m) and E_g(m) with the naive or refined model.
+//
+// Because our substrate is a simulator, the same predictions can also be
+// checked against *direct* simulation of the large cluster — a stronger
+// validation than the paper could run (see validate_against_direct).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "model/amdahl.hpp"
+#include "model/comm_model.hpp"
+#include "model/gear_data.hpp"
+#include "model/predictor.hpp"
+#include "model/tradeoff.hpp"
+
+namespace gearsim::model {
+
+/// One fastest-gear measurement used by the fits.
+struct ScalingSample {
+  int nodes = 0;
+  Seconds wall{};
+  Seconds active{};     ///< T^A(n): max over ranks.
+  Seconds idle{};       ///< T^I(n): wall - active.
+  double reducible_fraction = 0.0;  ///< T^R / T^A on the max-active rank.
+};
+
+/// Everything the fits produced, for reporting and validation.
+struct ScalingReport {
+  std::vector<ScalingSample> primary;     ///< Power-scalable cluster, <= 9 nodes.
+  std::vector<ScalingSample> validation;  ///< Fixed-gear cluster, <= 32 nodes.
+  AmdahlFit amdahl_primary;
+  AmdahlFit amdahl_validation;
+  /// Per-configuration F_s families (paper's cross-cluster validation).
+  std::vector<double> fs_family_primary;
+  std::vector<double> fs_family_validation;
+  LinearFit fs_trend;  ///< F_s as a function of node count (pooled).
+  CommFit comm_primary;
+  CommFit comm_validation;
+  GearData gear_data;
+  double reducible_fraction = 0.0;  ///< Mean over multi-node primary runs.
+};
+
+class ScalingModel {
+ public:
+  struct Options {
+    /// Node counts to measure on each cluster (filtered by workload
+    /// support and cluster size).
+    std::vector<int> primary_nodes = {1, 2, 4, 8};
+    std::vector<int> validation_nodes = {1, 2, 4, 8, 16, 32};
+    /// Fix the communication shape a priori (the paper classifies BT, EP,
+    /// MG, SP as logarithmic, CG quadratic, LU linear from source
+    /// inspection and the literature); nullopt = choose by best fit.
+    std::optional<ScalingShape> comm_shape;
+    /// Use the refined (critical/reducible) model; false = naive.
+    bool refined = true;
+  };
+
+  /// Run the measurement protocol and build the fits.
+  static ScalingModel build(cluster::ExperimentRunner& primary,
+                            cluster::ExperimentRunner& validation,
+                            const cluster::Workload& workload,
+                            const Options& options);
+
+  /// Predicted T^A(m)/T^I(m)/T^C(m)/T^R(m) at the fastest gear.
+  [[nodiscard]] TimeDecomposition decompose(int m) const;
+
+  /// Step-5 prediction at (m nodes, gear).
+  [[nodiscard]] Prediction predict(int m, std::size_t gear_index) const;
+
+  /// Full predicted energy-time curve on m nodes.
+  [[nodiscard]] Curve predicted_curve(int m) const;
+
+  [[nodiscard]] const ScalingReport& report() const { return report_; }
+  [[nodiscard]] bool refined() const { return refined_; }
+
+ private:
+  ScalingReport report_;
+  bool refined_ = true;
+};
+
+/// Model-vs-direct-simulation error at one (m, gear) point.
+struct ValidationPoint {
+  int nodes = 0;
+  int gear_label = 0;
+  Prediction predicted;
+  Seconds actual_time{};
+  Joules actual_energy{};
+  double time_error = 0.0;    ///< predicted/actual - 1.
+  double energy_error = 0.0;
+};
+
+/// Directly simulate (m, gear) points on `runner` and compare with the
+/// model's predictions.
+std::vector<ValidationPoint> validate_against_direct(
+    const ScalingModel& model, cluster::ExperimentRunner& runner,
+    const cluster::Workload& workload, const std::vector<int>& node_counts);
+
+}  // namespace gearsim::model

@@ -1,0 +1,51 @@
+#include "model/predictor.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+namespace {
+void check(const TimeDecomposition& t, const GearPoint& gear) {
+  GEARSIM_REQUIRE(t.active.value() >= 0.0 && t.idle.value() >= 0.0,
+                  "negative time decomposition");
+  GEARSIM_REQUIRE(t.nodes >= 1, "node count must be positive");
+  GEARSIM_REQUIRE(gear.slowdown >= 1.0, "S_g is a multiplier >= 1");
+}
+}  // namespace
+
+Prediction predict_naive(const TimeDecomposition& t, const GearPoint& gear) {
+  check(t, gear);
+  Prediction p;
+  p.time = gear.slowdown * t.active + t.idle;
+  p.energy = static_cast<double>(t.nodes) *
+             (gear.active_power * (gear.slowdown * t.active) +
+              gear.idle_power * t.idle);
+  return p;
+}
+
+Prediction predict_refined(const TimeDecomposition& t, const GearPoint& gear) {
+  check(t, gear);
+  GEARSIM_REQUIRE(t.critical.value() >= -1e-9 && t.reducible.value() >= -1e-9,
+                  "negative critical/reducible time");
+  GEARSIM_REQUIRE(
+      near(t.critical + t.reducible, t.active, 1e-6 * (t.active.value() + 1.0)),
+      "critical + reducible must equal active");
+  const double sg = gear.slowdown;
+  const Seconds stretched_active = sg * (t.critical + t.reducible);
+  Prediction p;
+  if ((t.idle + t.reducible).value() <= (sg * t.reducible).value()) {
+    // Slack exhausted: the slowed reducible work consumed all idle time.
+    p.time = stretched_active;
+    p.energy =
+        static_cast<double>(t.nodes) * (gear.active_power * stretched_active);
+  } else {
+    const Seconds remaining_idle = t.idle + t.reducible - sg * t.reducible;
+    p.time = stretched_active + remaining_idle;
+    p.energy = static_cast<double>(t.nodes) *
+               (gear.active_power * stretched_active +
+                gear.idle_power * remaining_idle);
+  }
+  return p;
+}
+
+}  // namespace gearsim::model

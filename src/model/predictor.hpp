@@ -1,0 +1,47 @@
+// Step 5 of the paper's methodology: predicted time and energy of a
+// power-scalable cluster at every gear.
+//
+// Naive model (all computation on the critical path):
+//
+//     T_g(m) = S_g T^A(m) + T^I(m)
+//     E_g(m) = m [ P_g S_g T^A(m) + I_g T^I(m) ]
+//
+// Refined model: T^A splits into critical work T^C and reducible work T^R
+// (computation between the last send and a blocking point, which only
+// consumes idle slack when slowed).  With the inflection at
+// T^I + T^R <= S_g T^R:
+//
+//     T_g = S_g (T^C + T^R)                               if slack exhausted
+//     T_g = S_g (T^C + T^R) + T^I + T^R - S_g T^R          otherwise
+//
+// and correspondingly for energy with P_g on the active part and I_g on
+// the remaining idle part.  Powers are per-node; energies are multiplied
+// by the node count m to give the cluster totals the paper plots.
+#pragma once
+
+#include "model/gear_data.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::model {
+
+struct Prediction {
+  Seconds time{};
+  Joules energy{};
+};
+
+/// Workload timing decomposition on m nodes (measured or extrapolated).
+struct TimeDecomposition {
+  Seconds active{};     ///< T^A(m).
+  Seconds idle{};       ///< T^I(m).
+  Seconds critical{};   ///< T^C(m); critical + reducible == active.
+  Seconds reducible{};  ///< T^R(m).
+  int nodes = 1;
+};
+
+/// The straightforward model of Equations (1)-(2).
+Prediction predict_naive(const TimeDecomposition& t, const GearPoint& gear);
+
+/// The refined critical/reducible model.
+Prediction predict_refined(const TimeDecomposition& t, const GearPoint& gear);
+
+}  // namespace gearsim::model

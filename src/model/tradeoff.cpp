@@ -1,0 +1,155 @@
+#include "model/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gearsim::model {
+
+const EtPoint& Curve::fastest() const {
+  GEARSIM_REQUIRE(!points.empty(), "empty curve");
+  return *std::min_element(points.begin(), points.end(),
+                           [](const EtPoint& a, const EtPoint& b) {
+                             return a.time < b.time;
+                           });
+}
+
+const EtPoint& Curve::at_gear(int gear_label) const {
+  const auto it = std::find_if(points.begin(), points.end(),
+                               [gear_label](const EtPoint& p) {
+                                 return p.gear_label == gear_label;
+                               });
+  GEARSIM_REQUIRE(it != points.end(), "no such gear on this curve");
+  return *it;
+}
+
+Curve curve_from_runs(const std::vector<cluster::RunResult>& runs) {
+  GEARSIM_REQUIRE(!runs.empty(), "no runs");
+  Curve curve;
+  curve.nodes = runs.front().nodes;
+  for (const auto& r : runs) {
+    GEARSIM_REQUIRE(r.nodes == curve.nodes, "mixed node counts in one curve");
+    curve.points.push_back(EtPoint{r.gear_label, r.wall, r.energy});
+  }
+  std::sort(curve.points.begin(), curve.points.end(),
+            [](const EtPoint& a, const EtPoint& b) {
+              return a.gear_label < b.gear_label;
+            });
+  return curve;
+}
+
+double slope_between(const EtPoint& a, const EtPoint& b) {
+  const double dt = (b.time - a.time).value();
+  GEARSIM_REQUIRE(std::abs(dt) > 1e-12, "slope undefined for equal times");
+  return (b.energy - a.energy).value() / dt;
+}
+
+std::vector<RelativePoint> relative_to_fastest(const Curve& curve) {
+  GEARSIM_REQUIRE(!curve.points.empty(), "empty curve");
+  const EtPoint& base = curve.points.front();
+  std::vector<RelativePoint> out;
+  out.reserve(curve.points.size());
+  for (const EtPoint& p : curve.points) {
+    out.push_back(RelativePoint{p.gear_label, p.time / base.time - 1.0,
+                                p.energy / base.energy - 1.0});
+  }
+  return out;
+}
+
+std::size_t min_energy_index(const Curve& curve) {
+  GEARSIM_REQUIRE(!curve.points.empty(), "empty curve");
+  return static_cast<std::size_t>(
+      std::min_element(curve.points.begin(), curve.points.end(),
+                       [](const EtPoint& a, const EtPoint& b) {
+                         return a.energy < b.energy;
+                       }) -
+      curve.points.begin());
+}
+
+std::vector<std::size_t> pareto_frontier(const Curve& curve) {
+  GEARSIM_REQUIRE(!curve.points.empty(), "empty curve");
+  std::vector<std::size_t> order(curve.points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (curve.points[a].time != curve.points[b].time) {
+      return curve.points[a].time < curve.points[b].time;
+    }
+    return curve.points[a].energy < curve.points[b].energy;
+  });
+  std::vector<std::size_t> frontier;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    const double e = curve.points[idx].energy.value();
+    if (e < best_energy) {
+      frontier.push_back(idx);
+      best_energy = e;
+    }
+  }
+  return frontier;
+}
+
+std::string to_string(SpeedupCase c) {
+  switch (c) {
+    case SpeedupCase::kPoorSpeedup: return "case 1 (poor speedup)";
+    case SpeedupCase::kPerfectOrSuper: return "case 2 (perfect/superlinear)";
+    case SpeedupCase::kGoodSpeedup: return "case 3 (good speedup)";
+  }
+  return "?";
+}
+
+SpeedupCase classify_transition(const Curve& smaller, const Curve& larger) {
+  GEARSIM_REQUIRE(smaller.nodes < larger.nodes,
+                  "transition must grow the node count");
+  const EtPoint& small_fast = smaller.fastest();
+  const EtPoint& large_fast = larger.fastest();
+  // Case 2: the fastest gear on more nodes is at-or-below the smaller
+  // cluster's fastest point in energy (and faster).
+  if (large_fast.time <= small_fast.time &&
+      large_fast.energy <= small_fast.energy) {
+    return SpeedupCase::kPerfectOrSuper;
+  }
+  // Case 3: some lower gear on more nodes dominates the smaller cluster's
+  // fastest point in both coordinates.
+  for (const EtPoint& p : larger.points) {
+    if (p.time <= small_fast.time && p.energy <= small_fast.energy) {
+      return SpeedupCase::kGoodSpeedup;
+    }
+  }
+  return SpeedupCase::kPoorSpeedup;
+}
+
+std::optional<EtPoint> best_under_power_cap(const Curve& curve,
+                                            Watts power_cap) {
+  std::optional<EtPoint> best;
+  for (const EtPoint& p : curve.points) {
+    const Watts mean_power = p.energy / p.time;
+    if (mean_power <= power_cap && (!best || p.time < best->time)) best = p;
+  }
+  return best;
+}
+
+std::optional<EtPoint> best_under_energy_budget(const Curve& curve,
+                                                Joules energy_budget) {
+  std::optional<EtPoint> best;
+  for (const EtPoint& p : curve.points) {
+    if (p.energy <= energy_budget && (!best || p.time < best->time)) best = p;
+  }
+  return best;
+}
+
+double upm_slope_concordance(const std::vector<TradeoffSummary>& rows) {
+  GEARSIM_REQUIRE(rows.size() >= 2, "need at least two rows");
+  std::size_t concordant = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      ++total;
+      const bool upm_higher = rows[i].upm > rows[j].upm;
+      const bool slope_higher = rows[i].slope_1_2 > rows[j].slope_1_2;
+      if (upm_higher == slope_higher) ++concordant;
+    }
+  }
+  return static_cast<double>(concordant) / static_cast<double>(total);
+}
+
+}  // namespace gearsim::model

@@ -1,0 +1,98 @@
+// Energy-time curve analytics: the vocabulary of the paper's figures.
+//
+// A Curve is one node-count's gear sweep, ordered fastest gear first —
+// one of the lines in Figures 1-5.  This header provides the paper's
+// derived quantities: the (E2-E1)/(T2-T1) slopes of Table 1, the UPM
+// predictor, the case-1/2/3 classification of node-count transitions, the
+// Pareto frontier, and power/energy-budget queries for the "cluster under
+// a heat limit" scenario the paper motivates.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::model {
+
+struct EtPoint {
+  int gear_label = 0;
+  Seconds time{};
+  Joules energy{};
+};
+
+/// One energy-time curve: a full gear sweep at a fixed node count,
+/// fastest gear first.
+struct Curve {
+  int nodes = 0;
+  std::vector<EtPoint> points;
+
+  [[nodiscard]] const EtPoint& fastest() const;
+  [[nodiscard]] const EtPoint& at_gear(int gear_label) const;
+};
+
+/// Build a curve from a gear sweep's run results.
+Curve curve_from_runs(const std::vector<cluster::RunResult>& runs);
+
+/// The paper's Table-1 slope between two adjacent gear points:
+/// (E_b - E_a) / (T_b - T_a), in joules per second.  Large negative =
+/// near-vertical = strong energy savings per unit delay.
+double slope_between(const EtPoint& a, const EtPoint& b);
+
+/// Relative deltas versus the curve's fastest point: (value/fastest - 1).
+struct RelativePoint {
+  int gear_label = 0;
+  double time_delta = 0.0;    ///< Fractional slowdown vs gear 1.
+  double energy_delta = 0.0;  ///< Fractional energy change vs gear 1.
+};
+std::vector<RelativePoint> relative_to_fastest(const Curve& curve);
+
+/// Index of the minimum-energy gear point (Figure 5's headline metric).
+std::size_t min_energy_index(const Curve& curve);
+
+/// Indices of the Pareto-optimal points (no other point is faster *and*
+/// cheaper), sorted by time.
+std::vector<std::size_t> pareto_frontier(const Curve& curve);
+
+/// The paper's three speedup cases when doubling node count (Section 3.2).
+enum class SpeedupCase {
+  kPoorSpeedup,        ///< Case 1: the larger curve lies entirely above.
+  kPerfectOrSuper,     ///< Case 2: larger fastest point dominates outright.
+  kGoodSpeedup,        ///< Case 3: some slower gear on more nodes dominates
+                       ///< the fastest gear on fewer nodes.
+};
+[[nodiscard]] std::string to_string(SpeedupCase c);
+
+/// Classify the transition from `smaller` (P nodes) to `larger` (2P).
+/// Follows the paper's geometry: case 2 if the larger cluster's fastest
+/// point uses no more energy than the smaller's fastest point; case 3 if
+/// any gear on the larger cluster dominates (<= time and <= energy) the
+/// smaller cluster's fastest point; case 1 otherwise.
+SpeedupCase classify_transition(const Curve& smaller, const Curve& larger);
+
+/// Fastest point whose whole-run average power fits under `power_cap`
+/// (the paper's heat-dissipation limit: a horizontal line on the plot).
+std::optional<EtPoint> best_under_power_cap(const Curve& curve,
+                                            Watts power_cap);
+
+/// Fastest point whose total energy fits under `energy_budget`.
+std::optional<EtPoint> best_under_energy_budget(const Curve& curve,
+                                                Joules energy_budget);
+
+/// Table-1 row: UPM plus the first two adjacent-gear slopes.
+struct TradeoffSummary {
+  std::string name;
+  double upm = 0.0;
+  double slope_1_2 = 0.0;
+  double slope_2_3 = 0.0;
+};
+
+/// Spearman-style concordance used to verify "memory pressure predicts
+/// the energy-time tradeoff": fraction of pairs where higher UPM implies
+/// an algebraically larger (less negative) slope.  1.0 = perfectly sorted.
+double upm_slope_concordance(const std::vector<TradeoffSummary>& rows);
+
+}  // namespace gearsim::model

@@ -1,0 +1,83 @@
+// Common types for the simulated MPI runtime.
+//
+// The runtime mirrors the subset of MPI-1 the NAS benchmarks use: blocking
+// and nonblocking point-to-point with tag/source matching (wildcards
+// included) plus the collectives, all built on the point-to-point layer.
+// Payloads are modeled by size only — the simulation moves time and
+// energy, not data.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace gearsim::mpi {
+
+using Rank = int;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// User tags must be non-negative; negative tags are reserved for the
+/// collective algorithms' internal traffic.
+inline constexpr int kMaxUserTag = 1 << 20;
+
+struct Status {
+  Rank source = kAnySource;
+  int tag = kAnyTag;
+  Bytes bytes = 0;
+};
+
+/// The MPI entry points the tracer distinguishes.  Matches the paper's
+/// instrumentation: "interception functions report the time at which the
+/// routine was entered and exited".
+enum class CallType {
+  kSend,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kSendrecv,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAlltoall,
+  kAllgather,
+  kGather,
+  kScatter,
+  kReduceScatter,
+  kScan,
+  kCommSplit,
+};
+
+[[nodiscard]] const char* to_string(CallType t);
+
+/// True for calls that can park the caller waiting on remote progress —
+/// the "blocking points" of the paper's critical/reducible analysis.
+/// (Eager sends complete locally and are not blocking points.)
+[[nodiscard]] bool is_blocking_point(CallType t);
+
+/// PMPI-style observer: notified at entry/exit of every *traced* MPI call
+/// (top-level calls only; a collective's internal messages are invisible,
+/// exactly like PMPI wrappers see one MPI_Bcast, not its tree sends).
+class CallObserver {
+ public:
+  virtual ~CallObserver() = default;
+  virtual void on_enter(Rank rank, CallType type, Seconds now, Bytes bytes,
+                        Rank peer) = 0;
+  virtual void on_exit(Rank rank, CallType type, Seconds now) = 0;
+};
+
+struct MpiParams {
+  /// Messages at or below this size complete locally at the sender
+  /// (buffered/eager).  The paper's model assumes sends are asynchronous;
+  /// the default keeps every NAS-scale message eager.  Lower it to study
+  /// rendezvous (synchronous) behavior.
+  Bytes eager_threshold = megabytes(64);
+  /// Software cost charged to every point-to-point operation (stack
+  /// traversal, matching, completion).
+  Seconds call_overhead = microseconds(15.0);
+};
+
+}  // namespace gearsim::mpi

@@ -1,0 +1,74 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace gearsim::net {
+
+NetworkParams ethernet_100mbps() { return NetworkParams{}; }
+
+NetworkParams sun_cluster_network() {
+  NetworkParams p;
+  p.latency = microseconds(70.0);
+  p.link_bandwidth = 11.9e6;
+  p.backplane_bandwidth = 8 * 11.9e6;  // Bigger switch on the 32-node machine.
+  return p;
+}
+
+NetworkParams shared_xeon_network() {
+  NetworkParams p;
+  p.latency = microseconds(60.0);
+  p.link_bandwidth = 119e6;  // Gigabit NICs...
+  p.backplane_bandwidth = 2 * 119e6;  // ...but a fabric shared with other jobs.
+  p.latency_jitter = 0.8;  // The paper calls these results unreliable.
+  return p;
+}
+
+Network::Network(NetworkParams params, std::size_t num_nodes)
+    : params_(params),
+      tx_free_(num_nodes),
+      rx_free_(num_nodes),
+      jitter_rng_(params.jitter_seed) {
+  GEARSIM_REQUIRE(num_nodes >= 1, "network needs at least one node");
+  GEARSIM_REQUIRE(params_.link_bandwidth > 0.0, "link bandwidth must be positive");
+  GEARSIM_REQUIRE(params_.backplane_bandwidth >= params_.link_bandwidth,
+                  "backplane cannot be slower than one link");
+  GEARSIM_REQUIRE(params_.latency.value() >= 0.0, "negative latency");
+  GEARSIM_REQUIRE(params_.latency_jitter >= 0.0, "negative jitter");
+}
+
+Seconds Network::uncontended_time(Bytes bytes) const {
+  return params_.latency +
+         seconds(static_cast<double>(bytes) / params_.link_bandwidth);
+}
+
+Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
+                          Seconds now) {
+  GEARSIM_REQUIRE(src < tx_free_.size() && dst < rx_free_.size(),
+                  "endpoint out of range");
+  GEARSIM_REQUIRE(src != dst, "self-transfer does not use the network");
+  ++messages_;
+  bytes_ += bytes;
+
+  const double b = static_cast<double>(bytes);
+  const Seconds wire = seconds(b / params_.link_bandwidth);
+  const Seconds fabric = seconds(b / params_.backplane_bandwidth);
+
+  // Sender NIC: FIFO serialization, gated by the shared fabric.
+  const Seconds start = std::max({now, tx_free_[src], backplane_free_});
+  tx_free_[src] = start + wire;
+  backplane_free_ = start + fabric;
+
+  Seconds lat = params_.latency;
+  if (params_.latency_jitter > 0.0) {
+    lat *= std::max(0.1, 1.0 + jitter_rng_.normal(0.0, params_.latency_jitter));
+  }
+
+  // Receiver NIC: the message occupies the RX link for its wire time,
+  // FIFO among all senders targeting this node (incast contention).
+  const Seconds rx_start = std::max(start + lat, rx_free_[dst]);
+  const Seconds arrival = rx_start + wire;
+  rx_free_[dst] = arrival;
+  return arrival;
+}
+
+}  // namespace gearsim::net

@@ -1,0 +1,79 @@
+// Network timing model: switched Ethernet with NIC serialization and a
+// finite switch backplane.
+//
+// A message of B bytes from src to dst experiences
+//   * sender NIC serialization (B / link_bandwidth), FIFO per sender,
+//   * backplane occupancy (B / backplane_bandwidth), FIFO across the
+//     whole cluster — this is what makes dense patterns (CG's exchanges,
+//     alltoall) scale super-linearly in node count,
+//   * wire latency,
+//   * receiver NIC serialization, FIFO per receiver (incast contention).
+//
+// All state is a handful of "busy-until" reservations, so cost per message
+// is O(1).  The paper's cluster is 100 Mb/s Ethernet; presets below also
+// model the Sun validation cluster and the paper's discarded shared-network
+// Xeon cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::net {
+
+struct NetworkParams {
+  /// One-way wire + stack latency per message.
+  Seconds latency = microseconds(80.0);
+  /// Per-link (NIC) bandwidth in bytes/second.
+  double link_bandwidth = 11.9e6;  // ~95 Mb/s effective on 100 Mb/s.
+  /// Aggregate switch fabric bandwidth in bytes/second.  Smaller values
+  /// create cluster-wide contention; `shared medium` is backplane == link.
+  /// The default is full bisection for a 12-port 100 Mb/s switch.
+  double backplane_bandwidth = 12 * 11.9e6;
+  /// Multiplicative jitter stddev applied to latency (0 = deterministic).
+  double latency_jitter = 0.0;
+  std::uint64_t jitter_seed = 7;
+};
+
+/// 100 Mb/s switched Ethernet of the paper's Athlon-64 cluster.
+NetworkParams ethernet_100mbps();
+/// The 32-node Sun validation cluster (same era, similar fabric).
+NetworkParams sun_cluster_network();
+/// The 64-node Xeon cluster whose network was shared among large jobs —
+/// heavy jitter; the paper discarded its numbers as unreliable.
+NetworkParams shared_xeon_network();
+
+class Network {
+ public:
+  Network(NetworkParams params, std::size_t num_nodes);
+
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+  [[nodiscard]] std::size_t num_nodes() const { return tx_free_.size(); }
+
+  /// Reserve resources for one message injected at `now` and return its
+  /// arrival (fully-received) time at `dst`.  Reservations persist, so
+  /// later transfers see the contention this one created.
+  Seconds transfer(std::size_t src, std::size_t dst, Bytes bytes, Seconds now);
+
+  /// Pure lower-bound transfer time with no contention (for tests/docs).
+  [[nodiscard]] Seconds uncontended_time(Bytes bytes) const;
+
+  /// Total messages / bytes carried (for reports).
+  [[nodiscard]] std::uint64_t messages_carried() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+
+ private:
+  NetworkParams params_;
+  std::vector<Seconds> tx_free_;
+  std::vector<Seconds> rx_free_;
+  Seconds backplane_free_{};
+  Rng jitter_rng_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gearsim::net

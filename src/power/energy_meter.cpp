@@ -1,0 +1,85 @@
+#include "power/energy_meter.hpp"
+
+namespace gearsim::power {
+
+EnergyMeter::EnergyMeter(std::size_t num_nodes) : nodes_(num_nodes) {
+  GEARSIM_REQUIRE(num_nodes > 0, "meter needs at least one node");
+}
+
+void EnergyMeter::integrate_segment(Accum& a, Seconds until) {
+  if (!a.started) return;
+  GEARSIM_REQUIRE(until >= a.last_time, "time went backwards in meter");
+  const Seconds dt = until - a.last_time;
+  const Joules e = a.last_power * dt;
+  a.energy.total += e;
+  if (a.last_state == NodeState::kActive) {
+    a.energy.active += e;
+    a.energy.active_time += dt;
+  } else {
+    a.energy.idle += e;
+    a.energy.idle_time += dt;
+  }
+}
+
+void EnergyMeter::set_power(std::size_t node, Seconds now, Watts power,
+                            NodeState state) {
+  GEARSIM_REQUIRE(node < nodes_.size(), "node index out of range");
+  GEARSIM_REQUIRE(power.value() >= 0.0, "negative power");
+  GEARSIM_REQUIRE(!finished_, "meter already finished");
+  Accum& a = nodes_[node];
+  integrate_segment(a, now);
+  a.last_time = now;
+  a.last_power = power;
+  a.last_state = state;
+  a.started = true;
+  if (record_profile_) a.profile.push_back({now, power, state});
+}
+
+void EnergyMeter::finish(Seconds now) {
+  GEARSIM_REQUIRE(!finished_, "meter already finished");
+  for (auto& a : nodes_) {
+    integrate_segment(a, now);
+    a.last_time = now;
+    if (record_profile_ && a.started) {
+      a.profile.push_back({now, a.last_power, a.last_state});
+    }
+  }
+  finished_ = true;
+}
+
+const NodeEnergy& EnergyMeter::node(std::size_t i) const {
+  GEARSIM_REQUIRE(i < nodes_.size(), "node index out of range");
+  return nodes_[i].energy;
+}
+
+Joules EnergyMeter::total_energy() const {
+  Joules sum{};
+  for (const auto& a : nodes_) sum += a.energy.total;
+  return sum;
+}
+
+Joules EnergyMeter::total_active_energy() const {
+  Joules sum{};
+  for (const auto& a : nodes_) sum += a.energy.active;
+  return sum;
+}
+
+Joules EnergyMeter::total_idle_energy() const {
+  Joules sum{};
+  for (const auto& a : nodes_) sum += a.energy.idle;
+  return sum;
+}
+
+Watts EnergyMeter::instantaneous(std::size_t node) const {
+  GEARSIM_REQUIRE(node < nodes_.size(), "node index out of range");
+  return nodes_[node].last_power;
+}
+
+const std::vector<EnergyMeter::ProfilePoint>& EnergyMeter::profile(
+    std::size_t node) const {
+  GEARSIM_REQUIRE(record_profile_, "profile recording was not enabled");
+  GEARSIM_REQUIRE(node < nodes_.size(), "node index out of range");
+  return nodes_[node].profile;
+}
+
+}  // namespace gearsim::power

@@ -1,0 +1,94 @@
+// Energy accounting for a cluster of simulated nodes.
+//
+// Node power in the simulation is piecewise constant: it changes only when
+// a rank transitions between computing (at some gear/busy-fraction) and
+// blocking in MPI.  The EnergyMeter integrates exactly over those pieces,
+// and additionally splits time and energy by node state — which is
+// precisely the (P_g, I_g) decomposition Step 4 of the paper's methodology
+// needs.
+//
+// The sampling Multimeter (multimeter.hpp) mimics the paper's physical
+// rig — wall-outlet meters polled tens of times a second and integrated on
+// a separate machine — and is validated against this exact integrator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::power {
+
+/// What a node is doing, for energy attribution.
+enum class NodeState { kActive, kIdle };
+
+/// Per-node accumulated measurement.
+struct NodeEnergy {
+  Joules total{};
+  Joules active{};
+  Joules idle{};
+  Seconds active_time{};
+  Seconds idle_time{};
+
+  [[nodiscard]] Seconds total_time() const { return active_time + idle_time; }
+  /// Time-weighted mean power while active — the paper's P_g when the
+  /// whole run executes at one gear.
+  [[nodiscard]] Watts mean_active_power() const {
+    GEARSIM_REQUIRE(active_time.value() > 0.0, "node never active");
+    return active / active_time;
+  }
+  [[nodiscard]] Watts mean_idle_power() const {
+    GEARSIM_REQUIRE(idle_time.value() > 0.0, "node never idle");
+    return idle / idle_time;
+  }
+};
+
+/// Exact piecewise-constant integrator over explicit power transitions.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(std::size_t num_nodes);
+
+  /// Report that `node` now draws `power` in `state`, effective at
+  /// simulated time `now`.  Times must be non-decreasing per node.
+  void set_power(std::size_t node, Seconds now, Watts power, NodeState state);
+
+  /// Close the books at time `now` (integrate the final segment).
+  void finish(Seconds now);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const NodeEnergy& node(std::size_t i) const;
+  /// Sum of per-node totals — the paper plots cumulative cluster energy.
+  [[nodiscard]] Joules total_energy() const;
+  [[nodiscard]] Joules total_active_energy() const;
+  [[nodiscard]] Joules total_idle_energy() const;
+
+  /// Current instantaneous draw of one node (for the sampling multimeter).
+  [[nodiscard]] Watts instantaneous(std::size_t node) const;
+
+  /// Optionally record the full (time, power) step profile per node.
+  void enable_profile_recording() { record_profile_ = true; }
+  struct ProfilePoint {
+    Seconds time;
+    Watts power;
+    NodeState state;
+  };
+  [[nodiscard]] const std::vector<ProfilePoint>& profile(std::size_t node) const;
+
+ private:
+  struct Accum {
+    NodeEnergy energy;
+    Seconds last_time{};
+    Watts last_power{};
+    NodeState last_state = NodeState::kIdle;
+    bool started = false;
+    std::vector<ProfilePoint> profile;
+  };
+  void integrate_segment(Accum& a, Seconds until);
+
+  std::vector<Accum> nodes_;
+  bool record_profile_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace gearsim::power

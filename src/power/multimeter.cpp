@@ -1,0 +1,58 @@
+#include "power/multimeter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gearsim::power {
+
+Multimeter::Multimeter(sim::Engine& engine, MultimeterConfig config,
+                       std::function<Watts()> probe)
+    : engine_(engine),
+      config_(config),
+      probe_(std::move(probe)),
+      rng_(config.noise_seed) {
+  GEARSIM_REQUIRE(config_.sample_rate_hz > 0.0, "sample rate must be positive");
+  GEARSIM_REQUIRE(static_cast<bool>(probe_), "multimeter needs a probe");
+}
+
+void Multimeter::take_sample() {
+  Watts p = probe_();
+  if (config_.noise_stddev_watts > 0.0) {
+    p = watts(std::max(0.0, p.value() +
+                                rng_.normal(0.0, config_.noise_stddev_watts)));
+  }
+  const Seconds now = engine_.now();
+  if (!samples_.empty()) {
+    const auto& [t0, p0] = samples_.back();
+    energy_ += watts(0.5 * (p0.value() + p.value())) * (now - t0);
+  }
+  samples_.emplace_back(now, p);
+}
+
+void Multimeter::schedule_next() {
+  const std::uint64_t gen = generation_;
+  engine_.schedule_after(seconds(1.0 / config_.sample_rate_hz), [this, gen] {
+    if (!running_ || gen != generation_) return;
+    take_sample();
+    schedule_next();
+  });
+}
+
+void Multimeter::start() {
+  GEARSIM_REQUIRE(!running_, "multimeter already running");
+  running_ = true;
+  take_sample();
+  schedule_next();
+}
+
+void Multimeter::stop() {
+  GEARSIM_REQUIRE(running_, "multimeter is not running");
+  // Close the integral at the stop instant (sensors see the level that was
+  // in effect up to now).
+  take_sample();
+  running_ = false;
+  ++generation_;
+}
+
+}  // namespace gearsim::power

@@ -1,0 +1,24 @@
+#include "report/figures.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim::report {
+
+SvgPlot energy_time_figure(const std::string& title,
+                           const std::vector<model::Curve>& curves) {
+  GEARSIM_REQUIRE(!curves.empty(), "figure needs at least one curve");
+  SvgPlot plot(title, "execution time [s]", "energy [kJ]");
+  for (const auto& curve : curves) {
+    SvgSeries series;
+    series.label = std::to_string(curve.nodes) +
+                   (curve.nodes == 1 ? " node" : " nodes");
+    for (const auto& p : curve.points) {
+      series.points.emplace_back(p.time.value(), p.energy.value() / 1e3);
+      series.point_labels.push_back("g" + std::to_string(p.gear_label));
+    }
+    plot.add_series(std::move(series));
+  }
+  return plot;
+}
+
+}  // namespace gearsim::report

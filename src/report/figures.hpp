@@ -1,0 +1,17 @@
+// Figure builders: energy-time curve families rendered the way the paper
+// draws them — execution time on x, cumulative cluster energy on y, one
+// series per node count, gear labels on the points, origin not at (0,0).
+#pragma once
+
+#include <vector>
+
+#include "model/tradeoff.hpp"
+#include "report/svg_plot.hpp"
+
+namespace gearsim::report {
+
+/// Build a paper-style energy-time figure from one benchmark's curves.
+SvgPlot energy_time_figure(const std::string& title,
+                           const std::vector<model::Curve>& curves);
+
+}  // namespace gearsim::report

@@ -1,0 +1,204 @@
+#include "report/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace gearsim::report {
+
+namespace {
+
+// Fixed layout (pixels).
+constexpr double kWidth = 720.0;
+constexpr double kHeight = 480.0;
+constexpr double kLeft = 84.0;
+constexpr double kRight = 168.0;  // Room for the legend.
+constexpr double kTop = 48.0;
+constexpr double kBottom = 64.0;
+constexpr double kPlotW = kWidth - kLeft - kRight;
+constexpr double kPlotH = kHeight - kTop - kBottom;
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+                          "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_tick(double v) {
+  // Trim trailing zeros of a fixed representation.
+  std::string s = fmt_fixed(v, std::abs(v) < 10 ? 2 : (std::abs(v) < 1000 ? 1 : 0));
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi) {
+  GEARSIM_REQUIRE(hi > lo, "tick range must be non-degenerate");
+  const double span = hi - lo;
+  const double raw_step = span / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (double mult : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (mag * mult >= raw_step) {
+      step = mag * mult;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  for (double t = std::ceil(lo / step) * step; t <= hi + 1e-9 * span;
+       t += step) {
+    ticks.push_back(t);
+  }
+  return ticks;
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgPlot::add_series(SvgSeries series) {
+  GEARSIM_REQUIRE(!series.points.empty(), "series needs at least one point");
+  GEARSIM_REQUIRE(
+      series.point_labels.empty() ||
+          series.point_labels.size() == series.points.size(),
+      "point labels must match point count");
+  series_.push_back(std::move(series));
+}
+
+SvgPlot::Range SvgPlot::x_range() const {
+  Range r{1e300, -1e300};
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      r.lo = std::min(r.lo, x);
+      r.hi = std::max(r.hi, x);
+    }
+  }
+  const double pad = std::max((r.hi - r.lo) * 0.08, r.hi * 1e-6 + 1e-12);
+  return Range{r.lo - pad, r.hi + pad};
+}
+
+SvgPlot::Range SvgPlot::y_range() const {
+  Range r{1e300, -1e300};
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      r.lo = std::min(r.lo, y);
+      r.hi = std::max(r.hi, y);
+    }
+  }
+  const double pad = std::max((r.hi - r.lo) * 0.08, r.hi * 1e-6 + 1e-12);
+  return Range{r.lo - pad, r.hi + pad};
+}
+
+std::string SvgPlot::render() const {
+  GEARSIM_REQUIRE(!series_.empty(), "plot has no series");
+  const Range xr = x_range();
+  const Range yr = y_range();
+  const auto sx = [&](double x) {
+    return kLeft + (x - xr.lo) / (xr.hi - xr.lo) * kPlotW;
+  };
+  const auto sy = [&](double y) {
+    return kTop + kPlotH - (y - yr.lo) / (yr.hi - yr.lo) * kPlotH;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth
+     << "\" height=\"" << kHeight << "\" viewBox=\"0 0 " << kWidth << ' '
+     << kHeight << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << "<text x=\"" << kLeft + kPlotW / 2 << "\" y=\"24\" font-size=\"16\""
+     << " text-anchor=\"middle\" font-family=\"sans-serif\">"
+     << escape(title_) << "</text>\n";
+
+  // Axes frame.
+  os << "<rect x=\"" << kLeft << "\" y=\"" << kTop << "\" width=\"" << kPlotW
+     << "\" height=\"" << kPlotH
+     << "\" fill=\"none\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+
+  // Ticks and gridlines.
+  for (double t : nice_ticks(xr.lo, xr.hi)) {
+    const double x = sx(t);
+    os << "<line x1=\"" << x << "\" y1=\"" << kTop << "\" x2=\"" << x
+       << "\" y2=\"" << kTop + kPlotH
+       << "\" stroke=\"#ddd\" stroke-width=\"0.5\"/>\n"
+       << "<text x=\"" << x << "\" y=\"" << kTop + kPlotH + 18
+       << "\" font-size=\"11\" text-anchor=\"middle\""
+       << " font-family=\"sans-serif\">" << fmt_tick(t) << "</text>\n";
+  }
+  for (double t : nice_ticks(yr.lo, yr.hi)) {
+    const double y = sy(t);
+    os << "<line x1=\"" << kLeft << "\" y1=\"" << y << "\" x2=\""
+       << kLeft + kPlotW << "\" y2=\"" << y
+       << "\" stroke=\"#ddd\" stroke-width=\"0.5\"/>\n"
+       << "<text x=\"" << kLeft - 6 << "\" y=\"" << y + 4
+       << "\" font-size=\"11\" text-anchor=\"end\""
+       << " font-family=\"sans-serif\">" << fmt_tick(t) << "</text>\n";
+  }
+
+  // Axis labels.
+  os << "<text x=\"" << kLeft + kPlotW / 2 << "\" y=\"" << kHeight - 16
+     << "\" font-size=\"13\" text-anchor=\"middle\""
+     << " font-family=\"sans-serif\">" << escape(x_label_) << "</text>\n"
+     << "<text x=\"20\" y=\"" << kTop + kPlotH / 2
+     << "\" font-size=\"13\" text-anchor=\"middle\""
+     << " font-family=\"sans-serif\" transform=\"rotate(-90 20 "
+     << kTop + kPlotH / 2 << ")\">" << escape(y_label_) << "</text>\n";
+
+  // Series.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const auto& s = series_[i];
+    const char* color = kPalette[i % kPaletteSize];
+    os << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.5\" points=\"";
+    for (const auto& [x, y] : s.points) os << sx(x) << ',' << sy(y) << ' ';
+    os << "\"/>\n";
+    for (std::size_t k = 0; k < s.points.size(); ++k) {
+      const auto& [x, y] = s.points[k];
+      os << "<circle cx=\"" << sx(x) << "\" cy=\"" << sy(y)
+         << "\" r=\"3.5\" fill=\"" << color << "\"/>\n";
+      if (!s.point_labels.empty() && !s.point_labels[k].empty()) {
+        os << "<text x=\"" << sx(x) + 5 << "\" y=\"" << sy(y) - 5
+           << "\" font-size=\"9\" fill=\"#555\""
+           << " font-family=\"sans-serif\">" << escape(s.point_labels[k])
+           << "</text>\n";
+      }
+    }
+    // Legend entry.
+    const double ly = kTop + 10 + 18.0 * static_cast<double>(i);
+    os << "<circle cx=\"" << kLeft + kPlotW + 18 << "\" cy=\"" << ly
+       << "\" r=\"4\" fill=\"" << color << "\"/>\n"
+       << "<text x=\"" << kLeft + kPlotW + 28 << "\" y=\"" << ly + 4
+       << "\" font-size=\"12\" font-family=\"sans-serif\">"
+       << escape(s.label) << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgPlot::write(const std::string& path) const {
+  std::ofstream out(path);
+  GEARSIM_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << render();
+  GEARSIM_ENSURE(out.good(), "failed writing " + path);
+}
+
+}  // namespace gearsim::report

@@ -1,0 +1,56 @@
+// Minimal SVG scatter/line plot writer for the figure harnesses.
+//
+// The paper's figures are energy-vs-time scatter plots: one series per
+// node count, one point per gear, origin not at (0,0).  This renderer is
+// deliberately small — fixed layout, automatic axis ranges with padded
+// nice ticks, polyline + markers per series, legend — and produces a
+// self-contained .svg so every bench can regenerate its figure as an
+// image next to its table output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gearsim::report {
+
+struct SvgSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y), plot order.
+  /// Optional per-point marker annotations (e.g. gear numbers).
+  std::vector<std::string> point_labels;
+};
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(SvgSeries series);
+
+  /// Render to a self-contained SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to `path`; creates/truncates the file.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Range {
+    double lo = 0.0;
+    double hi = 1.0;
+  };
+  [[nodiscard]] Range x_range() const;
+  [[nodiscard]] Range y_range() const;
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<SvgSeries> series_;
+};
+
+/// Ticks for [lo, hi]: 4-8 round values covering the range.
+std::vector<double> nice_ticks(double lo, double hi);
+
+}  // namespace gearsim::report

@@ -1,0 +1,66 @@
+#include "sched/profile.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "workloads/registry.hpp"
+
+namespace gearsim::sched {
+
+WorkloadProfile::WorkloadProfile(std::string workload_name,
+                                 std::vector<ConfigPoint> points)
+    : name_(std::move(workload_name)), points_(std::move(points)) {
+  GEARSIM_REQUIRE(!points_.empty(), "profile needs at least one point");
+  for (const auto& p : points_) {
+    GEARSIM_REQUIRE(p.nodes >= 1 && p.time.value() > 0.0 &&
+                        p.energy.value() > 0.0,
+                    "degenerate profile point");
+  }
+}
+
+WorkloadProfile WorkloadProfile::measure(cluster::ExperimentRunner& runner,
+                                         const cluster::Workload& workload,
+                                         int max_nodes) {
+  std::vector<ConfigPoint> points;
+  for (int n : workloads::paper_node_counts(workload, max_nodes)) {
+    for (std::size_t g = 0; g < runner.num_gears(); ++g) {
+      const cluster::RunResult r = runner.run(workload, n, g);
+      points.push_back(ConfigPoint{n, g, r.gear_label, r.wall, r.energy});
+    }
+  }
+  return WorkloadProfile(workload.name(), std::move(points));
+}
+
+std::optional<ConfigPoint> WorkloadProfile::best(Objective objective,
+                                                 int max_free_nodes,
+                                                 Watts power_budget) const {
+  std::optional<ConfigPoint> winner;
+  auto score = [objective](const ConfigPoint& p) {
+    switch (objective) {
+      case Objective::kMinTime: return p.time.value();
+      case Objective::kMinEnergy: return p.energy.value();
+      case Objective::kMinEdp: return p.edp();
+    }
+    return p.time.value();
+  };
+  for (const auto& p : points_) {
+    if (p.nodes > max_free_nodes) continue;
+    if (p.mean_power() > power_budget) continue;
+    if (!winner || score(p) < score(*winner) ||
+        (score(p) == score(*winner) && p.nodes < winner->nodes)) {
+      winner = p;
+    }
+  }
+  return winner;
+}
+
+std::string to_string(WorkloadProfile::Objective o) {
+  switch (o) {
+    case WorkloadProfile::Objective::kMinTime: return "min-time";
+    case WorkloadProfile::Objective::kMinEnergy: return "min-energy";
+    case WorkloadProfile::Objective::kMinEdp: return "min-EDP";
+  }
+  return "?";
+}
+
+}  // namespace gearsim::sched

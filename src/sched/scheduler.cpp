@@ -1,0 +1,162 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+
+#include "util/assert.hpp"
+
+namespace gearsim::sched {
+
+const Placement& ScheduleResult::placement(const std::string& job_id) const {
+  const auto it = std::find_if(
+      placements.begin(), placements.end(),
+      [&job_id](const Placement& p) { return p.job_id == job_id; });
+  GEARSIM_REQUIRE(it != placements.end(), "no placement for job " + job_id);
+  return *it;
+}
+
+Scheduler::Scheduler(Machine machine, WorkloadProfile::Objective objective,
+                     QueueDiscipline discipline)
+    : machine_(machine), objective_(objective), discipline_(discipline) {
+  GEARSIM_REQUIRE(machine_.nodes >= 1, "machine needs nodes");
+  GEARSIM_REQUIRE(machine_.power_cap.value() > 0.0, "non-positive power cap");
+  GEARSIM_REQUIRE(machine_.idle_node_power.value() >= 0.0,
+                  "negative idle power");
+  GEARSIM_REQUIRE(
+      machine_.power_cap >=
+          static_cast<double>(machine_.nodes) * machine_.idle_node_power,
+      "the cap cannot even park the machine's nodes");
+}
+
+namespace {
+
+struct Running {
+  Seconds end{};
+  int nodes = 0;
+  Watts power{};
+};
+
+double objective_score(WorkloadProfile::Objective objective,
+                       const ConfigPoint& p) {
+  switch (objective) {
+    case WorkloadProfile::Objective::kMinTime: return p.time.value();
+    case WorkloadProfile::Objective::kMinEnergy: return p.energy.value();
+    case WorkloadProfile::Objective::kMinEdp: return p.edp();
+  }
+  return p.time.value();
+}
+
+}  // namespace
+
+ScheduleResult Scheduler::schedule(const std::vector<Job>& queue) const {
+  for (const auto& job : queue) {
+    GEARSIM_REQUIRE(job.profile != nullptr, "job without a profile");
+  }
+
+  // Pick the objective-best configuration that fits the free nodes and
+  // the power headroom; nodes left parked keep drawing idle power, so the
+  // budget depends on how many the candidate configuration occupies.
+  const auto choose = [this](const WorkloadProfile& profile, int free_nodes,
+                             Watts running_power) -> std::optional<ConfigPoint> {
+    std::optional<ConfigPoint> winner;
+    for (const auto& p : profile.points()) {
+      if (p.nodes > free_nodes) continue;
+      const Watts parked = static_cast<double>(free_nodes - p.nodes) *
+                           machine_.idle_node_power;
+      if (running_power + p.mean_power() + parked > machine_.power_cap) {
+        continue;
+      }
+      if (!winner || objective_score(objective_, p) <
+                         objective_score(objective_, *winner) ||
+          (objective_score(objective_, p) ==
+               objective_score(objective_, *winner) &&
+           p.nodes < winner->nodes)) {
+        winner = p;
+      }
+    }
+    return winner;
+  };
+
+  // Every job must be runnable on the empty machine.
+  for (const auto& job : queue) {
+    GEARSIM_REQUIRE(
+        choose(*job.profile, machine_.nodes, Watts{}).has_value(),
+        "job " + job.id + " cannot run on this machine at any configuration");
+  }
+
+  ScheduleResult result;
+  std::list<const Job*> pending;
+  for (const auto& job : queue) pending.push_back(&job);
+  std::vector<Running> running;
+  Seconds now{};
+
+  const auto running_power = [&running] {
+    Watts sum{};
+    for (const auto& r : running) sum += r.power;
+    return sum;
+  };
+  const auto busy_nodes = [&running] {
+    int sum = 0;
+    for (const auto& r : running) sum += r.nodes;
+    return sum;
+  };
+
+  while (!pending.empty() || !running.empty()) {
+    // Place what fits at `now`.
+    bool placed_any = true;
+    while (placed_any) {
+      placed_any = false;
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        const Job& job = **it;
+        const int free_nodes = machine_.nodes - busy_nodes();
+        const auto config = choose(*job.profile, free_nodes, running_power());
+        if (config) {
+          running.push_back(
+              Running{now + config->time, config->nodes, config->mean_power()});
+          result.placements.push_back(
+              Placement{job.id, *config, now, now + config->time});
+          result.job_energy += config->energy;
+          pending.erase(it);
+          placed_any = true;
+          break;  // Restart the scan with updated state.
+        }
+        if (discipline_ == QueueDiscipline::kFifo) break;  // Head must wait.
+      }
+    }
+
+    if (running.empty()) {
+      // Nothing running and nothing placeable: with every job pre-checked
+      // against the empty machine this cannot happen.
+      GEARSIM_ENSURE(pending.empty(), "scheduler wedged with pending jobs");
+      break;
+    }
+
+    // Track the draw of the interval we are about to cross (placements
+    // are in; completions have not happened yet).
+    const int parked = machine_.nodes - busy_nodes();
+    const Watts draw =
+        running_power() +
+        static_cast<double>(parked) * machine_.idle_node_power;
+    result.peak_power = std::max(result.peak_power, draw);
+
+    // Advance to the next completion, integrating parked-node energy over
+    // the interval with the parked count that held *during* it.
+    const auto next = std::min_element(
+        running.begin(), running.end(),
+        [](const Running& a, const Running& b) { return a.end < b.end; });
+    const Seconds t_next = next->end;
+    result.idle_energy += static_cast<double>(parked) *
+                          machine_.idle_node_power * (t_next - now);
+    now = t_next;
+    running.erase(
+        std::remove_if(running.begin(), running.end(),
+                       [now](const Running& r) { return r.end <= now; }),
+        running.end());
+  }
+
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace gearsim::sched

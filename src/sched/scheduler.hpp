@@ -1,0 +1,80 @@
+// Energy-aware batch scheduler for a power-capped, power-scalable cluster.
+//
+// "We believe in the future a given supercomputer cluster will be
+// restricted to a certain amount of power consumption or heat
+// dissipation" (paper, Section 3.2).  This scheduler makes that scenario
+// concrete: jobs arrive in a queue, the machine has N nodes and a hard
+// power cap, and every placement picks a (nodes, gear) configuration from
+// the job's profile so that the sum of running jobs' draw (plus the idle
+// draw of parked nodes) never exceeds the cap.
+//
+// Two queue disciplines:
+//  * kFifo  — strict order: the head job waits until it fits; and
+//  * kGreedy — backfill: any queued job that fits may start (can starve
+//    wide jobs; compared in tests and the example).
+//
+// Placement is non-preemptive and the per-job configuration is fixed at
+// start, matching the paper's uniform-gear runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/profile.hpp"
+
+namespace gearsim::sched {
+
+struct Job {
+  std::string id;
+  const WorkloadProfile* profile = nullptr;  ///< Must outlive the schedule.
+};
+
+struct Machine {
+  int nodes = 10;
+  Watts power_cap = watts(1500.0);
+  /// Draw of a node with nothing scheduled on it (parked at the slowest
+  /// gear); counts against the cap and into total energy.
+  Watts idle_node_power = watts(85.0);
+};
+
+enum class QueueDiscipline { kFifo, kGreedy };
+
+struct Placement {
+  std::string job_id;
+  ConfigPoint config;
+  Seconds start{};
+  Seconds end{};
+};
+
+struct ScheduleResult {
+  std::vector<Placement> placements;  ///< In start order.
+  Seconds makespan{};
+  Joules job_energy{};    ///< Energy of the jobs themselves.
+  Joules idle_energy{};   ///< Energy of parked nodes while the queue drains.
+  Watts peak_power{};     ///< Max instantaneous draw (jobs + parked nodes).
+
+  [[nodiscard]] Joules total_energy() const { return job_energy + idle_energy; }
+  [[nodiscard]] const Placement& placement(const std::string& job_id) const;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Machine machine,
+                     WorkloadProfile::Objective objective =
+                         WorkloadProfile::Objective::kMinTime,
+                     QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  /// Schedule `queue` (in order) onto the machine.  Throws ContractError
+  /// if some job cannot run on this machine at any configuration even
+  /// when it is empty.
+  [[nodiscard]] ScheduleResult schedule(const std::vector<Job>& queue) const;
+
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+
+ private:
+  Machine machine_;
+  WorkloadProfile::Objective objective_;
+  QueueDiscipline discipline_;
+};
+
+}  // namespace gearsim::sched

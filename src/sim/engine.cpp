@@ -1,0 +1,168 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace gearsim::sim {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Process&)> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  // Engine::~Engine terminates live processes before destroying them; by
+  // the time we get here the thread has either finished or never started.
+  if (thread_.joinable()) thread_.join();
+}
+
+Seconds Process::now() const { return engine_.now(); }
+
+void Process::start_thread() {
+  thread_ = std::thread([this] {
+    // Wait for the first resume() before touching simulation state.
+    run_sem_.acquire();
+    if (!terminate_requested_) {
+      try {
+        state_ = State::kRunning;
+        body_(*this);
+      } catch (const ProcessTerminated&) {
+        // Engine teardown: unwind silently.
+      } catch (...) {
+        error_ = std::current_exception();
+      }
+    }
+    state_ = State::kFinished;
+    done_sem_.release();
+  });
+}
+
+void Process::resume() {
+  run_sem_.release();
+  done_sem_.acquire();
+}
+
+void Process::yield_to_engine() {
+  done_sem_.release();
+  run_sem_.acquire();
+  if (terminate_requested_) throw ProcessTerminated{};
+  state_ = State::kRunning;
+}
+
+void Process::delay(Seconds d) {
+  GEARSIM_REQUIRE(state_ == State::kRunning, "delay() outside process body");
+  GEARSIM_REQUIRE(d.value() >= 0.0, "negative delay");
+  state_ = State::kDelayed;
+  engine_.schedule_after(d, [this] { resume(); });
+  yield_to_engine();
+}
+
+void Process::block() {
+  GEARSIM_REQUIRE(state_ == State::kRunning, "block() outside process body");
+  state_ = State::kBlocked;
+  yield_to_engine();
+}
+
+void Process::wake() {
+  GEARSIM_REQUIRE(state_ == State::kBlocked,
+                  "wake() targets a process that is not blocked");
+  state_ = State::kReady;
+  engine_.schedule_at(engine_.now(), [this] { resume(); });
+}
+
+void Process::terminate() {
+  if (state_ == State::kFinished) return;
+  terminate_requested_ = true;
+  resume();  // releases run_sem; thread unwinds and releases done_sem.
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::~Engine() {
+  for (auto& p : processes_) p->terminate();
+}
+
+void Engine::schedule_at(Seconds t, EventFn fn) {
+  GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
+  queue_.push(t, std::move(fn));
+}
+
+void Engine::schedule_after(Seconds dt, EventFn fn) {
+  GEARSIM_REQUIRE(dt.value() >= 0.0, "negative event delay");
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body)));
+  Process& ref = *proc;
+  ref.start_thread();
+  ref.state_ = Process::State::kReady;
+  schedule_at(now_, [&ref] { ref.resume(); });
+  processes_.push_back(std::move(proc));
+  return ref;
+}
+
+void Engine::dispatch_one() {
+  Seconds t{};
+  EventFn fn = queue_.pop(t);
+  now_ = t;
+  ++events_executed_;
+  fn();
+}
+
+void Engine::check_deadlock() const {
+  for (const auto& p : processes_) {
+    if (p->state() == Process::State::kBlocked) {
+      std::string blocked;
+      for (const auto& q : processes_) {
+        if (q->state() == Process::State::kBlocked) {
+          if (!blocked.empty()) blocked += ", ";
+          blocked += q->name();
+        }
+      }
+      throw SimulationError(
+          "simulation deadlock: event queue empty with blocked processes [" +
+          blocked + "] at t=" + std::to_string(now().value()) + "s");
+    }
+  }
+}
+
+void Engine::rethrow_process_error() {
+  for (auto& p : processes_) {
+    if (p->error_) {
+      const std::exception_ptr err = std::exchange(p->error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void Engine::run() {
+  GEARSIM_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (!queue_.empty()) {
+    dispatch_one();
+    rethrow_process_error();
+  }
+  running_ = false;
+  check_deadlock();
+}
+
+void Engine::run_until(Seconds t) {
+  GEARSIM_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    dispatch_one();
+    rethrow_process_error();
+  }
+  running_ = false;
+  if (now_ < t && queue_.empty()) now_ = t;
+}
+
+}  // namespace gearsim::sim

@@ -1,0 +1,132 @@
+// Discrete-event simulation engine with cooperative processes.
+//
+// The engine owns simulated time and an event queue.  Simulation actors
+// (MPI ranks, power-meter samplers) are either plain timed callbacks or
+// *processes*: user functions running on their own OS thread that the
+// engine resumes one at a time.  Exactly one thread — the engine or a
+// single process — executes at any instant, handing control back and forth
+// through semaphores, so no simulation state needs locking and every run
+// is deterministic.
+//
+// Processes let workload skeletons be written as ordinary blocking code
+// (compute / mpi.send / mpi.recv ...), mirroring how real MPI programs
+// read, instead of as hand-rolled state machines.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::sim {
+
+class Engine;
+
+/// A cooperative simulation process.  Created via Engine::spawn; the body
+/// receives a reference to its Process and may call delay() / block().
+class Process {
+ public:
+  /// States: only kRunning executes user code; kBlocked awaits wake().
+  enum class State { kCreated, kReady, kRunning, kDelayed, kBlocked, kFinished };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  /// Suspend for `d` of simulated time.  Must be called from the process's
+  /// own body.
+  void delay(Seconds d);
+
+  /// Suspend indefinitely until another actor calls wake().  Used by the
+  /// MPI layer to park a rank inside a blocking call.
+  void block();
+
+  /// Make a blocked process runnable again at the current simulated time.
+  /// Must be called from engine context or another running process.
+  void wake();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool finished() const { return state_ == State::kFinished; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] Seconds now() const;
+
+ private:
+  friend class Engine;
+  Process(Engine& engine, std::string name, std::function<void(Process&)> body);
+
+  void start_thread();
+  /// Engine-side: hand control to the process, wait until it yields.
+  void resume();
+  /// Process-side: hand control back to the engine.
+  void yield_to_engine();
+  /// Engine-side: request cooperative termination of a live process.
+  void terminate();
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  State state_ = State::kCreated;
+  bool terminate_requested_ = false;
+  std::exception_ptr error_;
+  std::binary_semaphore run_sem_{0};
+  std::binary_semaphore done_sem_{0};
+  std::thread thread_;
+};
+
+/// Exception used internally to unwind a process thread when the engine is
+/// torn down before the process body finished.  Never escapes the library.
+struct ProcessTerminated {};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t >= now()`.
+  void schedule_at(Seconds t, EventFn fn);
+  /// Schedule `fn` after a non-negative delay.
+  void schedule_after(Seconds dt, EventFn fn);
+
+  /// Create a process that starts at the current simulated time.
+  Process& spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Run until the event queue drains.  Throws SimulationError if
+  /// processes remain blocked with no pending events (deadlock), and
+  /// rethrows the first exception raised inside any process body.
+  void run();
+
+  /// Run until simulated time would exceed `t`; pending events at later
+  /// times remain queued.
+  void run_until(Seconds t);
+
+  /// Number of processes spawned over the engine's lifetime.
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+  /// Number of events executed so far (for microbenchmarks/tests).
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class Process;
+  void dispatch_one();
+  void check_deadlock() const;
+  void rethrow_process_error();
+
+  EventQueue queue_;
+  Seconds now_{0.0};
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint64_t events_executed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gearsim::sim

@@ -1,0 +1,55 @@
+// Event queue for the discrete-event kernel.
+//
+// A min-heap ordered by (time, insertion sequence).  The sequence number
+// makes simultaneous events fire in FIFO order, which keeps the whole
+// simulation deterministic — a hard requirement for the regression tests
+// and for the paper-reproduction harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gearsim::sim {
+
+/// Callback fired when simulated time reaches the event's timestamp.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(Seconds time, EventFn fn) {
+    heap_.push(Entry{time, next_seq_++, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
+
+  /// Remove and return the earliest event's callback, advancing nothing.
+  EventFn pop(Seconds& time_out) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    time_out = e.time;
+    return std::move(e.fn);
+  }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gearsim::sim

@@ -1,0 +1,86 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gearsim::trace {
+
+RankBreakdown analyze_rank(std::span<const TraceRecord> records,
+                           Seconds run_start, Seconds run_end) {
+  GEARSIM_REQUIRE(run_end >= run_start, "run interval reversed");
+  RankBreakdown out;
+  out.wall = run_end - run_start;
+  out.mpi_calls = records.size();
+
+  Seconds idle{};
+  Seconds reducible{};
+  // Reducible-work scan state: are we past a send with no intervening
+  // blocking point, and how much computation accumulated since that send?
+  bool send_open = false;
+  Seconds since_send{};
+  Seconds prev_exit = run_start;
+
+  for (const TraceRecord& rec : records) {
+    GEARSIM_REQUIRE(rec.enter >= prev_exit, "trace records out of order");
+    const Seconds compute_gap = rec.enter - prev_exit;
+    if (send_open) since_send += compute_gap;
+
+    idle += rec.duration();
+
+    const bool is_send =
+        rec.type == mpi::CallType::kSend || rec.type == mpi::CallType::kIsend ||
+        rec.type == mpi::CallType::kSendrecv;
+    if (mpi::is_blocking_point(rec.type) && send_open) {
+      // A blocking point ends the current reducible window.
+      reducible += since_send;
+      send_open = false;
+      since_send = Seconds{};
+    }
+    if (is_send) {
+      // "We assume that the send is asynchronous": work after the last
+      // send cannot delay remote progress, so start (or restart) the
+      // reducible window at this send's completion.  A sendrecv both
+      // blocks (handled above) and sends (opens a fresh window here).
+      send_open = true;
+      since_send = Seconds{};
+    }
+    prev_exit = rec.exit;
+  }
+
+  out.idle = idle;
+  out.active = out.wall - idle;
+  out.reducible = reducible;
+  out.critical = out.active - reducible;
+  GEARSIM_ENSURE(out.active.value() >= -1e-9, "negative active time");
+  GEARSIM_ENSURE(out.critical.value() >= -1e-9, "negative critical time");
+  return out;
+}
+
+ClusterBreakdown analyze_cluster(const Tracer& tracer, Seconds run_start,
+                                 Seconds run_end) {
+  ClusterBreakdown out;
+  out.wall = run_end - run_start;
+  out.ranks.reserve(tracer.num_ranks());
+
+  Seconds active_sum{};
+  Seconds idle_sum{};
+  std::size_t max_rank = 0;
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    out.ranks.push_back(analyze_rank(tracer.records(r), run_start, run_end));
+    const RankBreakdown& rb = out.ranks.back();
+    active_sum += rb.active;
+    idle_sum += rb.idle;
+    if (rb.active > out.ranks[max_rank].active) max_rank = r;
+  }
+  const auto n = static_cast<double>(tracer.num_ranks());
+  out.active_max = out.ranks[max_rank].active;
+  out.idle_derived = out.wall - out.active_max;
+  out.active_mean = active_sum / n;
+  out.idle_mean = idle_sum / n;
+  out.critical = out.ranks[max_rank].critical;
+  out.reducible = out.ranks[max_rank].reducible;
+  return out;
+}
+
+}  // namespace gearsim::trace

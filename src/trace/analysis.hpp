@@ -1,0 +1,53 @@
+// Post-processing of MPI traces into the paper's time decompositions.
+//
+// Step 1 of the methodology: split each rank's run into active time T^A
+// (outside MPI) and idle time T^I (inside blocking MPI calls, which
+// *includes* actual communication time).  The cluster-level T^A(n) is the
+// MAXIMUM active time over ranks, per the paper; the cluster T^I(n) is
+// then wall - T^A(n) so that T = T^A + T^I holds.
+//
+// The refined model further splits T^A into critical work T^C and
+// reducible work T^R: "the post-processing analysis conservatively
+// determines the reducible work to be computation between the last send
+// and a blocking point" — work that can be slowed without delaying any
+// other node, because no data leaves the node in that window.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace gearsim::trace {
+
+/// Per-rank decomposition of one run.
+struct RankBreakdown {
+  Seconds wall{};       ///< Run end - run start.
+  Seconds active{};     ///< T^A: time outside MPI.
+  Seconds idle{};       ///< T^I: time inside MPI calls.
+  Seconds critical{};   ///< T^C: active work on the communication path.
+  Seconds reducible{};  ///< T^R: active work with downstream slack.
+  std::size_t mpi_calls = 0;
+};
+
+/// Whole-run decomposition in the paper's terms.
+struct ClusterBreakdown {
+  Seconds wall{};         ///< Execution time T(n).
+  Seconds active_max{};   ///< T^A(n): max over ranks.
+  Seconds idle_derived{}; ///< T^I(n) = wall - active_max.
+  Seconds active_mean{};  ///< Mean rank active time (load-balance view).
+  Seconds idle_mean{};    ///< Mean rank idle time.
+  Seconds critical{};     ///< T^C of the max-active rank.
+  Seconds reducible{};    ///< T^R of the max-active rank.
+  std::vector<RankBreakdown> ranks;
+};
+
+/// Decompose one rank's records over [run_start, run_end].
+RankBreakdown analyze_rank(std::span<const TraceRecord> records,
+                           Seconds run_start, Seconds run_end);
+
+/// Decompose a full run from its tracer.
+ClusterBreakdown analyze_cluster(const Tracer& tracer, Seconds run_start,
+                                 Seconds run_end);
+
+}  // namespace gearsim::trace

@@ -1,0 +1,30 @@
+#include "trace/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace gearsim::trace {
+
+void export_csv(const Tracer& tracer, std::ostream& out) {
+  out << "rank,call,enter_s,exit_s,duration_s,bytes,peer\n";
+  out.precision(9);
+  for (std::size_t rank = 0; rank < tracer.num_ranks(); ++rank) {
+    for (const TraceRecord& rec : tracer.records(rank)) {
+      out << rank << ',' << mpi::to_string(rec.type) << ','
+          << rec.enter.value() << ',' << rec.exit.value() << ','
+          << rec.duration().value() << ',' << rec.bytes << ',' << rec.peer
+          << '\n';
+    }
+  }
+}
+
+void export_csv_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  GEARSIM_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  export_csv(tracer, out);
+  GEARSIM_ENSURE(out.good(), "failed writing " + path);
+}
+
+}  // namespace gearsim::trace

@@ -1,0 +1,20 @@
+// Trace export: one CSV row per MPI call, for external timeline viewers
+// and ad-hoc analysis (pandas, gnuplot).  Mirrors the paper's "writes a
+// timestamp to a log file" instrumentation output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace gearsim::trace {
+
+/// Write `rank,call,enter_s,exit_s,duration_s,bytes,peer` rows (with a
+/// header) for every record of every rank, in per-rank order.
+void export_csv(const Tracer& tracer, std::ostream& out);
+
+/// Convenience: write to a file; creates/truncates.
+void export_csv_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace gearsim::trace

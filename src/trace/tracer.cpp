@@ -1,0 +1,60 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace gearsim::trace {
+
+Tracer::Tracer(std::size_t num_ranks)
+    : buffers_(num_ranks), open_(num_ranks, kNone) {
+  GEARSIM_REQUIRE(num_ranks > 0, "tracer needs at least one rank");
+}
+
+void Tracer::on_enter(mpi::Rank rank, mpi::CallType type, Seconds now,
+                      Bytes bytes, mpi::Rank peer) {
+  const auto r = static_cast<std::size_t>(rank);
+  GEARSIM_REQUIRE(r < buffers_.size(), "rank out of range");
+  GEARSIM_REQUIRE(open_[r] == kNone, "nested traced MPI calls on one rank");
+  TraceRecord record;
+  record.type = type;
+  record.enter = now;
+  record.exit = now;
+  record.bytes = bytes;
+  record.peer = peer;
+  open_[r] = buffers_[r].size();
+  buffers_[r].push_back(record);
+}
+
+void Tracer::on_exit(mpi::Rank rank, mpi::CallType type, Seconds now) {
+  const auto r = static_cast<std::size_t>(rank);
+  GEARSIM_REQUIRE(r < buffers_.size(), "rank out of range");
+  GEARSIM_REQUIRE(open_[r] != kNone, "exit without matching enter");
+  TraceRecord& record = buffers_[r][open_[r]];
+  GEARSIM_REQUIRE(record.type == type, "mismatched enter/exit call types");
+  record.exit = now;
+  open_[r] = kNone;
+}
+
+const std::vector<TraceRecord>& Tracer::records(std::size_t rank) const {
+  GEARSIM_REQUIRE(rank < buffers_.size(), "rank out of range");
+  return buffers_[rank];
+}
+
+std::size_t Tracer::total_records() const {
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b.size();
+  return n;
+}
+
+void Tracer::clear() {
+  for (auto& buffer : buffers_) buffer.clear();
+  std::fill(open_.begin(), open_.end(), kNone);
+}
+
+std::size_t Tracer::count(std::size_t rank, mpi::CallType type) const {
+  GEARSIM_REQUIRE(rank < buffers_.size(), "rank out of range");
+  return static_cast<std::size_t>(
+      std::count_if(buffers_[rank].begin(), buffers_[rank].end(),
+                    [type](const TraceRecord& r) { return r.type == type; }));
+}
+
+}  // namespace gearsim::trace

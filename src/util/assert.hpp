@@ -1,0 +1,54 @@
+// Assertion and error machinery for gearsim.
+//
+// GEARSIM_REQUIRE / GEARSIM_ENSURE throw (they are contract checks on
+// public API boundaries and must fire in release builds too); they carry
+// file:line context so simulation misuse surfaces with a precise location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gearsim {
+
+/// Thrown when a public-API precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when the simulation reaches an inconsistent internal state
+/// (e.g. deadlock among MPI ranks, event scheduled in the past).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gearsim
+
+#define GEARSIM_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::gearsim::detail::contract_failure("precondition", #expr,          \
+                                          __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (false)
+
+#define GEARSIM_ENSURE(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::gearsim::detail::contract_failure("postcondition", #expr,         \
+                                          __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (false)

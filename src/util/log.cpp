@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace gearsim {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("GEARSIM_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}()};
+
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::clog << "[gearsim:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace gearsim

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first; logging defaults to warnings only and
+// is globally configurable (GEARSIM_LOG=debug|info|warn|error or
+// set_log_level).  Log lines carry the simulation context supplied by the
+// caller, not wall-clock timestamps — simulated time is what matters here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gearsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug"/"info"/"warn"/"error"; unknown strings map to kWarn.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace gearsim
+
+#define GEARSIM_LOG(level, expr)                                   \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::gearsim::log_level())) {                \
+      std::ostringstream gearsim_log_os;                           \
+      gearsim_log_os << expr;                                      \
+      ::gearsim::detail::emit(level, gearsim_log_os.str());        \
+    }                                                              \
+  } while (false)
+
+#define GEARSIM_DEBUG(expr) GEARSIM_LOG(::gearsim::LogLevel::kDebug, expr)
+#define GEARSIM_INFO(expr) GEARSIM_LOG(::gearsim::LogLevel::kInfo, expr)
+#define GEARSIM_WARN(expr) GEARSIM_LOG(::gearsim::LogLevel::kWarn, expr)
+#define GEARSIM_ERROR(expr) GEARSIM_LOG(::gearsim::LogLevel::kError, expr)

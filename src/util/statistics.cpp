@@ -1,0 +1,202 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace gearsim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  GEARSIM_REQUIRE(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  GEARSIM_REQUIRE(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  GEARSIM_REQUIRE(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+namespace {
+
+/// Shared core: OLS of y against a precomputed basis vector.
+LinearFit ols(std::span<const double> basis, std::span<const double> y) {
+  const auto n = static_cast<double>(y.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sx += basis[i];
+    sy += y[i];
+    sxx += basis[i] * basis[i];
+    sxy += basis[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  const bool degenerate =
+      std::abs(denom) < 1e-12 * std::max(1.0, n * sxx);
+  LinearFit fit;
+  if (degenerate) {
+    // Degenerate basis (all x equal, or the constant shape): best constant.
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  double rss = 0, tss = 0;
+  const double ybar = sy / n;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * basis[i]);
+    rss += r * r;
+    const double t = y[i] - ybar;
+    tss += t * t;
+  }
+  fit.rss = rss;
+  fit.r_squared = (tss > 0.0) ? std::max(0.0, 1.0 - rss / tss)
+                              : (rss <= 1e-12 ? 1.0 : 0.0);
+  // Coefficient standard errors: sigma^2 = RSS / (n - 2); the constant
+  // (degenerate) case has one parameter, sigma^2 = RSS / (n - 1).
+  if (degenerate) {
+    if (y.size() >= 2) {
+      fit.stderr_intercept = std::sqrt(rss / (n - 1.0) / n);
+    }
+  } else if (y.size() >= 3) {
+    const double sigma2 = rss / (n - 2.0);
+    const double sxx_centered = sxx - sx * sx / n;
+    fit.stderr_slope = std::sqrt(sigma2 / sxx_centered);
+    fit.stderr_intercept =
+        std::sqrt(sigma2 * (1.0 / n + (sx / n) * (sx / n) / sxx_centered));
+  }
+  return fit;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  GEARSIM_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  GEARSIM_REQUIRE(x.size() >= 2, "need at least two points for a line");
+  return ols(x, y);
+}
+
+LinearFit fit_constant(std::span<const double> y) {
+  GEARSIM_REQUIRE(!y.empty(), "fit_constant of empty sample");
+  std::vector<double> zeros(y.size(), 0.0);
+  return ols(zeros, y);
+}
+
+std::string to_string(ScalingShape s) {
+  switch (s) {
+    case ScalingShape::kConstant: return "constant";
+    case ScalingShape::kLogarithmic: return "logarithmic";
+    case ScalingShape::kLinear: return "linear";
+    case ScalingShape::kQuadratic: return "quadratic";
+  }
+  return "?";
+}
+
+double shape_basis(ScalingShape s, double x) {
+  switch (s) {
+    case ScalingShape::kConstant: return 0.0;
+    case ScalingShape::kLogarithmic: return std::log(x);
+    case ScalingShape::kLinear: return x;
+    case ScalingShape::kQuadratic: return x * x;
+  }
+  return 0.0;
+}
+
+double ShapeFit::at(double x) const { return a + b * shape_basis(shape, x); }
+
+ShapeFit fit_shape(ScalingShape s, std::span<const double> x,
+                   std::span<const double> y) {
+  GEARSIM_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  GEARSIM_REQUIRE(!x.empty(), "fit_shape of empty sample");
+  if (s == ScalingShape::kLogarithmic) {
+    for (double xi : x) GEARSIM_REQUIRE(xi > 0.0, "log shape needs x > 0");
+  }
+  std::vector<double> basis(x.size());
+  std::transform(x.begin(), x.end(), basis.begin(),
+                 [s](double xi) { return shape_basis(s, xi); });
+  const LinearFit lf = ols(basis, y);
+  ShapeFit sf;
+  sf.shape = s;
+  sf.a = lf.intercept;
+  sf.b = lf.slope;
+  sf.r_squared = lf.r_squared;
+  sf.rss = lf.rss;
+  return sf;
+}
+
+std::vector<ShapeFit> classify_shape(std::span<const double> x,
+                                     std::span<const double> y,
+                                     double improvement) {
+  GEARSIM_REQUIRE(x.size() == y.size() && x.size() >= 3,
+                  "classification needs at least three (n, T) points");
+  std::vector<ShapeFit> fits;
+  for (auto s : {ScalingShape::kConstant, ScalingShape::kLogarithmic,
+                 ScalingShape::kLinear, ScalingShape::kQuadratic}) {
+    fits.push_back(fit_shape(s, x, y));
+  }
+  const double const_rss = fits[0].rss;
+  // Stable sort by RSS; then apply parsimony: if nothing beats the constant
+  // model by the required margin, the constant model leads.
+  std::stable_sort(fits.begin(), fits.end(),
+                   [](const ShapeFit& a, const ShapeFit& b) {
+                     return a.rss < b.rss;
+                   });
+  if (fits.front().shape != ScalingShape::kConstant &&
+      fits.front().rss > (1.0 - improvement) * const_rss) {
+    auto it = std::find_if(fits.begin(), fits.end(), [](const ShapeFit& f) {
+      return f.shape == ScalingShape::kConstant;
+    });
+    std::rotate(fits.begin(), it, it + 1);
+  }
+  return fits;
+}
+
+double mean_of(std::span<const double> v) {
+  GEARSIM_REQUIRE(!v.empty(), "mean of empty span");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double LinearFit::prediction_stderr(double x) const {
+  // Var(a + b x) = Var(a) + x^2 Var(b) + 2x Cov(a,b); with centered OLS
+  // Cov(a,b) = -xbar * Var(b).  We did not retain xbar, so approximate
+  // with the conservative no-covariance bound (exact for xbar = 0 and an
+  // upper bound otherwise).
+  return std::sqrt(stderr_intercept * stderr_intercept +
+                   x * x * stderr_slope * stderr_slope);
+}
+
+double rel_diff(double a, double b) {
+  GEARSIM_REQUIRE(b != 0.0, "relative difference against zero");
+  return (a - b) / b;
+}
+
+}  // namespace gearsim

@@ -1,0 +1,109 @@
+// Statistics and least-squares fitting.
+//
+// The paper's Section-4 model is regression-heavy: Amdahl fractions are
+// fit from T^A(n) samples, and communication/idle time is classified into
+// one of four scaling shapes (constant, logarithmic, linear, quadratic) by
+// fitting each shape and picking the best.  This header provides the
+// numeric machinery; the interpretation lives in src/model/.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gearsim {
+
+/// Welford online accumulator: count / mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 for a perfect fit.  When
+  /// the y values are constant, defined as 1 if the fit is exact.
+  double r_squared = 0.0;
+  /// Residual sum of squares.
+  double rss = 0.0;
+  /// OLS standard errors of the coefficients (0 when underdetermined,
+  /// i.e. fewer than three points or a degenerate basis).
+  double stderr_intercept = 0.0;
+  double stderr_slope = 0.0;
+
+  [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+
+  /// Standard error of the *mean prediction* at x (coefficient
+  /// uncertainty only, not residual scatter).
+  [[nodiscard]] double prediction_stderr(double x) const;
+};
+
+/// OLS fit of y against x.  Requires x.size() == y.size() >= 2 and at
+/// least two distinct x values.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = c (the best constant, i.e. the mean), reporting rss/r².
+LinearFit fit_constant(std::span<const double> y);
+
+/// The communication-scaling shapes of the paper's Step 2: T^I(n) is
+/// classified as constant, logarithmic, linear, or quadratic in the node
+/// count.  (LU is the paper's constant case: more messages, smaller each.)
+enum class ScalingShape { kConstant, kLogarithmic, kLinear, kQuadratic };
+
+[[nodiscard]] std::string to_string(ScalingShape s);
+
+/// A fitted shape: y ≈ a + b * basis(x), where basis is 0 / ln x / x / x².
+struct ShapeFit {
+  ScalingShape shape = ScalingShape::kConstant;
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+  double rss = 0.0;
+
+  [[nodiscard]] double at(double x) const;
+};
+
+/// The basis value phi(x) for a shape (constant -> 0, log -> ln x, ...).
+[[nodiscard]] double shape_basis(ScalingShape s, double x);
+
+/// Least-squares fit of one given shape.
+ShapeFit fit_shape(ScalingShape s, std::span<const double> x,
+                   std::span<const double> y);
+
+/// Fit all four shapes and return them ordered best-first.  Selection uses
+/// residual sum of squares with a parsimony tie-break: the constant model
+/// wins unless a richer shape reduces RSS by at least the `improvement`
+/// fraction (default: must halve it).  This mirrors the paper's practice
+/// of preferring the simplest shape consistent with the data — a sloped
+/// basis always shaves *some* residual off noise.
+std::vector<ShapeFit> classify_shape(std::span<const double> x,
+                                     std::span<const double> y,
+                                     double improvement = 0.5);
+
+/// Mean of a span; requires non-empty input.
+double mean_of(std::span<const double> v);
+
+/// Relative difference (a-b)/b; requires b != 0.
+double rel_diff(double a, double b);
+
+}  // namespace gearsim

@@ -1,0 +1,120 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gearsim {
+
+std::string fmt_fixed(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_percent(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  if (v >= 0) os << '+';
+  os << v * 100.0 << '%';
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  GEARSIM_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GEARSIM_REQUIRE(cells.size() == columns_.size(),
+                  "row width must match column count");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits > 0 &&
+         s.find_first_not_of("+-0123456789.%eE*x ") == std::string::npos;
+}
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto hline = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = width[c] - cells[c].size();
+      const bool right = align_numeric && looks_numeric(cells[c]);
+      os << "| " << (right ? std::string(pad, ' ') + cells[c]
+                           : cells[c] + std::string(pad, ' '))
+         << ' ';
+    }
+    os << "|\n";
+  };
+  hline();
+  emit(columns_, /*align_numeric=*/false);
+  hline();
+  for (const auto& row : rows_) {
+    if (row.rule_before) hline();
+    emit(row.cells, /*align_numeric=*/true);
+  }
+  hline();
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace gearsim

@@ -1,0 +1,46 @@
+// Text and CSV table output for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// set of aligned-text rows (for the terminal) and optionally CSV (for
+// replotting).  This keeps the formatting in one place so all harnesses
+// print the same way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gearsim {
+
+/// Fixed-point formatting helpers used across harness output.
+std::string fmt_fixed(double v, int precision);
+/// "+4.2%" style; `v` is a fraction (0.042 -> "+4.2%").
+std::string fmt_percent(double v, int precision = 1);
+
+/// A simple column-aligned text table.  Columns are declared first; rows
+/// must match the column count.  Rendering right-aligns numeric-looking
+/// cells and left-aligns the rest.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace gearsim

@@ -1,0 +1,86 @@
+// Strong unit types for the quantities the simulator trades in.
+//
+// Energy/time/power/frequency/voltage values flow through many layers
+// (CPU model -> power model -> meter -> analytic model); mixing them up is
+// the classic source of silent 1000x errors.  Each quantity is a distinct
+// type with only the physically meaningful cross-type operators defined
+// (W * s = J, J / s = W, cycles / Hz = s, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace gearsim {
+
+/// A double with a phantom tag.  Explicit construction only; arithmetic
+/// within a unit plus scalar scaling.  `value()` exposes the raw double in
+/// the base SI unit of the tag (seconds, joules, watts, hertz, volts).
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) { value_ += o.value_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { value_ -= o.value_; return *this; }
+  constexpr Quantity& operator*=(double s) { value_ *= s; return *this; }
+  constexpr Quantity& operator/=(double s) { value_ /= s; return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity(a.value_ + b.value_); }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity(a.value_ - b.value_); }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.value_); }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity(a.value_ * s); }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity(a.value_ * s); }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity(a.value_ / s); }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.value_ / b.value_; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+using Seconds = Quantity<struct SecondsTag>;
+using Joules = Quantity<struct JoulesTag>;
+using Watts = Quantity<struct WattsTag>;
+using Hertz = Quantity<struct HertzTag>;
+using Volts = Quantity<struct VoltsTag>;
+
+// --- physically meaningful cross-type operators -------------------------
+constexpr Joules operator*(Watts p, Seconds t) { return Joules(p.value() * t.value()); }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts(e.value() / t.value()); }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds(e.value() / p.value()); }
+/// `cycles / frequency = time`: the CPU-model workhorse.
+constexpr Seconds cycles_over(double cycles, Hertz f) { return Seconds(cycles / f.value()); }
+
+// --- convenience constructors -------------------------------------------
+constexpr Seconds seconds(double v) { return Seconds(v); }
+constexpr Seconds milliseconds(double v) { return Seconds(v * 1e-3); }
+constexpr Seconds microseconds(double v) { return Seconds(v * 1e-6); }
+constexpr Seconds nanoseconds(double v) { return Seconds(v * 1e-9); }
+constexpr Joules joules(double v) { return Joules(v); }
+constexpr Joules kilojoules(double v) { return Joules(v * 1e3); }
+constexpr Watts watts(double v) { return Watts(v); }
+constexpr Hertz hertz(double v) { return Hertz(v); }
+constexpr Hertz megahertz(double v) { return Hertz(v * 1e6); }
+constexpr Hertz gigahertz(double v) { return Hertz(v * 1e9); }
+constexpr Volts volts(double v) { return Volts(v); }
+
+/// Bytes are counted, not measured; a plain integer type with a name.
+using Bytes = std::uint64_t;
+constexpr Bytes kilobytes(double v) { return static_cast<Bytes>(v * 1024.0); }
+constexpr Bytes megabytes(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+
+/// True when |a-b| <= tol (absolute) — handy for unit types in tests.
+template <typename Tag>
+constexpr bool near(Quantity<Tag> a, Quantity<Tag> b, double tol) {
+  const double d = a.value() - b.value();
+  return (d < 0 ? -d : d) <= tol;
+}
+
+}  // namespace gearsim

@@ -1,0 +1,44 @@
+// Workload characterization helpers.
+//
+// Skeleton workloads are calibrated by three paper-visible quantities:
+// UPM (Table 1), sequential active time T^A(1), and the Amdahl serial
+// fraction F_s.  These helpers convert that characterization into concrete
+// compute blocks: solve T^A(1) = uops/(upc*f1) + misses*L with
+// uops = UPM*misses for the miss count, then share work across ranks as
+// T^A(n) = T^A(1) (F_p/n + F_s) — the serial part is *replicated* work
+// (every rank performs it), which is how it appears in NAS codes.
+#pragma once
+
+#include "cpu/compute.hpp"
+#include "cpu/cpu_model.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::workloads {
+
+/// The compute block whose fastest-gear execution time is `seq_active`
+/// with micro-op/miss ratio `upm` and MLP overlap `overlap`.
+inline cpu::ComputeBlock block_for_time(const cpu::CpuModel& model, double upm,
+                                        Seconds seq_active,
+                                        double overlap = 0.0) {
+  GEARSIM_REQUIRE(upm > 0.0, "UPM must be positive");
+  GEARSIM_REQUIRE(seq_active.value() > 0.0, "active time must be positive");
+  GEARSIM_REQUIRE(overlap >= 0.0 && overlap < 1.0, "overlap must be in [0,1)");
+  const double per_miss =
+      (1.0 - overlap) * upm /
+          (model.params().upc_eff * model.gears().fastest().frequency.value()) +
+      model.params().mem_latency.value();
+  const double misses = seq_active.value() / per_miss;
+  return cpu::block_from_upm(upm, misses, overlap);
+}
+
+/// Amdahl share of the total work one rank performs: F_p/n + F_s.
+inline double amdahl_share(double serial_fraction, int nprocs) {
+  GEARSIM_REQUIRE(serial_fraction >= 0.0 && serial_fraction < 1.0,
+                  "serial fraction must be in [0,1)");
+  GEARSIM_REQUIRE(nprocs >= 1, "need at least one process");
+  const double fp = 1.0 - serial_fraction;
+  return fp / static_cast<double>(nprocs) + serial_fraction;
+}
+
+}  // namespace gearsim::workloads

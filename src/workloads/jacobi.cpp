@@ -1,0 +1,25 @@
+#include "workloads/jacobi.hpp"
+
+#include "workloads/characterize.hpp"
+#include "workloads/patterns.hpp"
+
+namespace gearsim::workloads {
+
+void Jacobi::run(cluster::RankContext& ctx) const {
+  const int n = ctx.nprocs();
+  const double share = params_.weak_scaling
+                           ? 1.0
+                           : amdahl_share(params_.serial_fraction, n);
+  const cpu::ComputeBlock block =
+      block_for_time(ctx.cpu_model(), params_.upm, params_.seq_active)
+          .scaled(share / static_cast<double>(params_.iterations));
+  for (int it = 0; it < params_.iterations; ++it) {
+    ctx.compute(block);
+    chain_halo_exchange(ctx, params_.halo_bytes);
+    if (n > 1 && (it + 1) % params_.norm_every == 0) {
+      ctx.comm().allreduce(8);  // Global residual for the convergence test.
+    }
+  }
+}
+
+}  // namespace gearsim::workloads

@@ -1,0 +1,45 @@
+// Hand-written Jacobi iteration (the paper's Figure 3 application).
+//
+// 1-D block decomposition of a 2-D grid: per iteration each rank updates
+// its block and exchanges one fixed-size halo row with each neighbor,
+// with a scalar allreduce every `norm_every` iterations for the
+// convergence test.  Unlike the NAS codes it runs on any node count;
+// calibrated to the paper's measured speedups of ~1.9 / 3.6 / 5.0 / 6.4 /
+// 7.7 on 2 / 4 / 6 / 8 / 10 nodes, which makes every adjacent pair of
+// energy-time curves a case-3 pair.
+#pragma once
+
+#include "cluster/workload.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::workloads {
+
+class Jacobi final : public cluster::Workload {
+ public:
+  struct Params {
+    double upm = 30.0;             ///< Stencil sweep: moderately memory-bound.
+    Seconds seq_active = seconds(80.0);
+    double serial_fraction = 0.005;
+    int iterations = 200;
+    Bytes halo_bytes = kilobytes(64);  ///< One grid row of doubles.
+    int norm_every = 10;
+    /// Weak scaling: grow the grid with the node count so per-rank work
+    /// stays constant (`seq_active` becomes the per-rank time at every
+    /// n).  The NAS suite is strong-scaled ("non-scaled speedup"), which
+    /// is why its cluster energy blows up at scale (paper §4.2); this
+    /// flag provides the contrast.
+    bool weak_scaling = false;
+  };
+
+  Jacobi() = default;
+  explicit Jacobi(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Jacobi"; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  void run(cluster::RankContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace gearsim::workloads

@@ -1,0 +1,130 @@
+// Skeletons of the six NAS parallel benchmarks the paper measures
+// (class B: EP, CG, MG, LU, BT, SP; FT and IS are excluded in the paper
+// too).  Each skeleton reproduces the benchmark's *characterization* —
+// UPM from Table 1, iteration structure, and communication pattern — and
+// issues real messages through the simulated MPI, so active/idle
+// decompositions, contention, and scaling behavior all emerge from the
+// same mechanisms as on the paper's cluster.
+//
+// Communication-shape classifications the skeletons are built to exhibit
+// (paper Step 2): BT, EP, MG, SP logarithmic; CG quadratic; LU nominally
+// linear but — as the paper's traces found — effectively constant (more
+// messages, smaller each, as nodes are added).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/workload.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::workloads {
+
+/// Calibration record for one NAS benchmark.
+struct NasParams {
+  const char* name = "";
+  double upm = 100.0;        ///< Table 1 micro-ops per L2 miss.
+  Seconds seq_active{};      ///< T^A(1) at the fastest gear.
+  double serial_fraction = 0.01;
+  int iterations = 50;
+  /// Memory-level-parallelism overlap (see cpu::ComputeBlock::overlap).
+  /// Nonzero only for LU: the paper's slope table shows LU out of UPM
+  /// order — its runtime behavior is more memory-bound than its counter
+  /// ratio suggests, which is what ultimately enables its case-3 showing
+  /// in Figure 2.
+  double overlap = 0.0;
+};
+
+/// Shared skeleton machinery: per-iteration Amdahl-split compute blocks.
+class NasSkeleton : public cluster::Workload {
+ public:
+  explicit NasSkeleton(NasParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return params_.name; }
+  [[nodiscard]] const NasParams& params() const { return params_; }
+
+ protected:
+  /// The compute block one rank executes per iteration on `ctx.nprocs()`
+  /// nodes.
+  [[nodiscard]] cpu::ComputeBlock iteration_block(
+      const cluster::RankContext& ctx) const;
+
+  NasParams params_;
+};
+
+/// EP — embarrassingly parallel random-number kernel.  Pure compute (the
+/// suite's highest UPM, 844) with three tiny allreduces at the end;
+/// near-perfect speedup, the paper's case-2 exemplar.
+class NasEp final : public NasSkeleton {
+ public:
+  NasEp();
+  void run(cluster::RankContext& ctx) const override;
+};
+
+/// CG — conjugate gradient.  The suite's most memory-bound code (UPM
+/// 8.60): sparse mat-vec iterations with partner exchanges modeled as a
+/// pairwise alltoall plus two scalar allreduces per iteration.  Dense
+/// traffic through a finite switch fabric gives the quadratic T^I(n) the
+/// paper reports, and the poor 4->8 speedup of Figure 2.
+class NasCg final : public NasSkeleton {
+ public:
+  NasCg();
+  void run(cluster::RankContext& ctx) const override;
+
+  /// Per-ordered-pair message size (calibration knob).
+  Bytes pair_bytes = kilobytes(120);
+};
+
+/// MG — multigrid V-cycles.  Halo exchanges shrink with the level and
+/// with the node count (surface/volume), while the coarse levels are
+/// effectively replicated work — a large serial fraction — making the
+/// first doubling a case-1 (poor speedup) transition as in Figure 2.
+class NasMg final : public NasSkeleton {
+ public:
+  NasMg();
+  void run(cluster::RankContext& ctx) const override;
+
+  int levels = 8;
+  Bytes fine_halo_bytes = kilobytes(384);  ///< Finest-level halo at n=1.
+  Bytes coarse_bytes = kilobytes(192);     ///< Agglomerated coarse grid.
+};
+
+/// LU — SSOR with 2D pipelined wavefronts: many small north/south/east/
+/// west messages whose count grows and size shrinks as nodes are added,
+/// so total communication stays nearly constant (the paper's LU anomaly).
+class NasLu final : public NasSkeleton {
+ public:
+  NasLu();
+  void run(cluster::RankContext& ctx) const override;
+
+  Bytes sweep_bytes = kilobytes(120);  ///< Wavefront traffic scale; a rank
+                                       ///< moves 4x this per iteration.
+};
+
+/// BT — block-tridiagonal ADI on a square process grid (1, 4, 9, 16, 25
+/// ranks): face exchanges along rows and columns in three directions.
+class NasBt final : public NasSkeleton {
+ public:
+  NasBt();
+  void run(cluster::RankContext& ctx) const override;
+  [[nodiscard]] bool supports(int nprocs) const override;
+
+  Bytes face_bytes = kilobytes(240);  ///< Face size at n=1 scale.
+};
+
+/// SP — scalar-pentadiagonal ADI; same square-grid structure as BT with a
+/// lower UPM (49.5) and heavier synchronization.
+class NasSp final : public NasSkeleton {
+ public:
+  NasSp();
+  void run(cluster::RankContext& ctx) const override;
+  [[nodiscard]] bool supports(int nprocs) const override;
+
+  Bytes face_bytes = kilobytes(280);
+  Bytes sync_bytes = kilobytes(355);  ///< Per-iteration reduction payload.
+};
+
+/// True when `n` is a perfect square (BT/SP process-grid requirement).
+[[nodiscard]] bool is_square(int n);
+
+}  // namespace gearsim::workloads

@@ -1,0 +1,67 @@
+#include "workloads/nas_extra.hpp"
+
+#include "workloads/characterize.hpp"
+
+namespace gearsim::workloads {
+
+void NasFt::run(cluster::RankContext& ctx) const {
+  const int n = ctx.nprocs();
+  const cpu::ComputeBlock block =
+      block_for_time(ctx.cpu_model(), params_.upm, params_.seq_active)
+          .scaled(amdahl_share(params_.serial_fraction, n) /
+                  static_cast<double>(params_.iterations));
+  // The transpose exchanges the full volume every iteration regardless of
+  // node count; the per-pair share shrinks as 1/n^2.
+  const Bytes pair =
+      n > 1 ? params_.transpose_bytes / static_cast<Bytes>(n) /
+                  static_cast<Bytes>(n)
+            : 0;
+  for (int it = 0; it < params_.iterations; ++it) {
+    ctx.compute(block);
+    if (n > 1) {
+      ctx.comm().alltoall(pair);   // Forward transpose.
+      ctx.comm().alltoall(pair);   // Inverse transpose.
+      ctx.comm().allreduce(16);    // Checksum.
+    }
+  }
+}
+
+bool NasIs::fits_in_memory(int nprocs) const {
+  if (params_.cls == Class::kB) return true;
+  return params_.working_set_c / static_cast<Bytes>(nprocs) <=
+         params_.node_memory;
+}
+
+void NasIs::run(cluster::RankContext& ctx) const {
+  const int n = ctx.nprocs();
+  const bool class_c = params_.cls == Class::kC;
+  const Seconds seq_active =
+      class_c ? params_.seq_active_c : params_.seq_active_b;
+  cpu::ComputeBlock block =
+      block_for_time(ctx.cpu_model(), params_.upm, seq_active)
+          .scaled(amdahl_share(0.02, n) /
+                  static_cast<double>(params_.iterations));
+  if (class_c && !fits_in_memory(n)) {
+    // The per-node key range exceeds RAM: every miss becomes a paging
+    // access.  Model as extra memory references at unchanged UPM counters
+    // (the CPU work is the same; the memory system is catastrophically
+    // slower), which is what makes the paper call comparative energy
+    // results on 1-2 nodes "meaningless".
+    block.l2_misses *= params_.thrash_factor;
+  }
+  const Bytes keys =
+      class_c ? params_.keys_bytes_c : params_.keys_bytes_b;
+  const Bytes pair = n > 1 ? keys / static_cast<Bytes>(n) /
+                                 static_cast<Bytes>(n)
+                           : 0;
+  for (int it = 0; it < params_.iterations; ++it) {
+    ctx.compute(block);  // Local counting / ranking.
+    if (n > 1) {
+      ctx.comm().allreduce(params_.bucket_bytes);  // Bucket boundaries.
+      ctx.comm().alltoall(pair);                   // Key redistribution.
+      ctx.comm().allreduce(8);  // Partial-verification reduction.
+    }
+  }
+}
+
+}  // namespace gearsim::workloads

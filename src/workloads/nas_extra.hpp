@@ -1,0 +1,90 @@
+// FT and IS: the two NAS benchmarks the paper *excludes* from its
+// figures, implemented anyway so the library covers the full suite and
+// the exclusions themselves are reproducible:
+//
+//  * "The NAS FT benchmark is not shown because we cannot get it to
+//    work" — FT's global transposes move enormous messages; on a 1 GB
+//    node the class-B working set plus MPI buffering is marginal.  Our
+//    skeleton runs, and bench/appendix_ft_is.cpp shows its curves.
+//  * "IS is not shown because (1) class B is too small to get any
+//    parallel speedup and (2) class C thrashes on 1 and 2 nodes, making
+//    comparative energy results meaningless."  Both effects are modeled:
+//    class B is latency-dominated (tiny compute per rank), and class C's
+//    per-node working set exceeds node memory below 4 nodes, multiplying
+//    every memory reference by a paging penalty.
+#pragma once
+
+#include "cluster/workload.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::workloads {
+
+/// FT — 3-D FFT: large compute slabs separated by global transposes
+/// (alltoall of slab partitions) plus a checksum reduction per iteration.
+class NasFt final : public cluster::Workload {
+ public:
+  struct Params {
+    double upm = 95.0;  ///< FFT butterflies are cache-friendly per miss.
+    Seconds seq_active = seconds(160.0);
+    double serial_fraction = 0.01;
+    int iterations = 20;
+    /// Total transpose volume per iteration, split across ordered pairs.
+    Bytes transpose_bytes = megabytes(24);
+  };
+
+  NasFt() = default;
+  explicit NasFt(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "FT"; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  void run(cluster::RankContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// IS — integer (bucket) sort: one counting pass, a key alltoall, a local
+/// rank pass, and a verification allreduce per iteration.  Class selects
+/// the paper's two pathologies.
+class NasIs final : public cluster::Workload {
+ public:
+  enum class Class { kB, kC };
+
+  struct Params {
+    Class cls = Class::kB;
+    double upm = 20.0;  ///< Random-access histogramming: memory-bound.
+    /// Class-B total work is small — that is pathology (1).
+    Seconds seq_active_b = seconds(4.0);
+    Seconds seq_active_c = seconds(36.0);
+    int iterations = 10;
+    Bytes keys_bytes_b = megabytes(4);    ///< Keys exchanged per iteration.
+    Bytes keys_bytes_c = megabytes(34);
+    /// Bucket-count reduction per iteration: a fixed-size collective
+    /// whose cost *grows* with node count — the structural reason class B
+    /// cannot speed up (its compute shrinks while this does not).
+    Bytes bucket_bytes = kilobytes(512);
+    /// Class-C total working set; divided across nodes.  Below the
+    /// memory floor the run pages — pathology (2).
+    Bytes working_set_c = megabytes(2600);
+    Bytes node_memory = megabytes(1024);  ///< The paper's 1 GB nodes.
+    /// Memory-latency multiplier while paging (disk-backed misses).
+    double thrash_factor = 12.0;
+  };
+
+  NasIs() = default;
+  explicit NasIs(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override {
+    return params_.cls == Class::kB ? "IS.B" : "IS.C";
+  }
+  [[nodiscard]] const Params& params() const { return params_; }
+  void run(cluster::RankContext& ctx) const override;
+
+  /// True when the per-node share of the class-C working set fits RAM.
+  [[nodiscard]] bool fits_in_memory(int nprocs) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace gearsim::workloads

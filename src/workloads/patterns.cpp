@@ -1,0 +1,89 @@
+#include "workloads/patterns.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gearsim::workloads {
+
+namespace {
+constexpr int kTagFwd = 1;
+constexpr int kTagBwd = 2;
+
+int isqrt(int n) {
+  int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  while (r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+}  // namespace
+
+void ring_halo_exchange(cluster::RankContext& ctx, Bytes bytes) {
+  const int n = ctx.nprocs();
+  if (n == 1) return;
+  const mpi::Rank right = (ctx.rank() + 1) % n;
+  const mpi::Rank left = (ctx.rank() - 1 + n) % n;
+  ctx.comm().sendrecv(right, kTagFwd, bytes, left, kTagFwd);
+  ctx.comm().sendrecv(left, kTagBwd, bytes, right, kTagBwd);
+}
+
+void chain_halo_exchange(cluster::RankContext& ctx, Bytes bytes) {
+  const int n = ctx.nprocs();
+  if (n == 1) return;
+  const bool has_left = ctx.rank() > 0;
+  const bool has_right = ctx.rank() + 1 < n;
+  const mpi::Rank left = ctx.rank() - 1;
+  const mpi::Rank right = ctx.rank() + 1;
+  if (has_right && has_left) {
+    ctx.comm().sendrecv(right, kTagFwd, bytes, left, kTagFwd);
+    ctx.comm().sendrecv(left, kTagBwd, bytes, right, kTagBwd);
+  } else if (has_right) {
+    ctx.comm().send(right, kTagFwd, bytes);
+    ctx.comm().recv(right, kTagBwd);
+  } else {  // Rightmost.
+    ctx.comm().recv(left, kTagFwd);
+    ctx.comm().send(left, kTagBwd, bytes);
+  }
+}
+
+void adi_sweep(cluster::RankContext& ctx, Bytes face_bytes) {
+  const int n = ctx.nprocs();
+  if (n == 1) return;
+  const int q = isqrt(n);
+  GEARSIM_REQUIRE(q * q == n, "ADI sweep needs a square process grid");
+  const int row = ctx.rank() / q;
+  const int col = ctx.rank() % q;
+  const auto face = static_cast<Bytes>(static_cast<double>(face_bytes) /
+                                       static_cast<double>(q));
+  for (int dir = 0; dir < 3; ++dir) {
+    // Row neighbors for the x sweep, column neighbors for y and z.
+    mpi::Rank next;
+    mpi::Rank prev;
+    if (dir == 0) {
+      next = row * q + (col + 1) % q;
+      prev = row * q + (col - 1 + q) % q;
+    } else {
+      next = ((row + 1) % q) * q + col;
+      prev = ((row - 1 + q) % q) * q + col;
+    }
+    for (int step = 0; step < q - 1; ++step) {
+      ctx.comm().sendrecv(next, kTagFwd + dir, face, prev, kTagFwd + dir);
+    }
+  }
+}
+
+void wavefront_exchange(cluster::RankContext& ctx, Bytes volume_scale) {
+  const int n = ctx.nprocs();
+  if (n == 1) return;
+  const mpi::Rank right = (ctx.rank() + 1) % n;
+  const mpi::Rank left = (ctx.rank() - 1 + n) % n;
+  const int msgs =
+      2 * static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const Bytes per_msg = volume_scale * 4 / static_cast<Bytes>(msgs);
+  for (int m = 0; m < msgs / 2; ++m) {
+    ctx.comm().sendrecv(right, kTagFwd, per_msg, left, kTagFwd);
+    ctx.comm().sendrecv(left, kTagBwd, per_msg, right, kTagBwd);
+  }
+}
+
+}  // namespace gearsim::workloads

@@ -1,0 +1,30 @@
+// Reusable communication patterns for workload authors.
+//
+// The NAS skeletons are built from a handful of recurring exchange
+// structures; these helpers expose them so custom workloads (and tests)
+// can compose the same building blocks instead of hand-rolling
+// deadlock-safe neighbor exchanges.
+#pragma once
+
+#include "cluster/workload.hpp"
+
+namespace gearsim::workloads {
+
+/// Bidirectional halo exchange on a periodic 1-D ring: every rank trades
+/// `bytes` with each neighbor.  No-op on one rank.
+void ring_halo_exchange(cluster::RankContext& ctx, Bytes bytes);
+
+/// Bidirectional halo exchange on a non-periodic 1-D chain (ends have one
+/// neighbor), as in the Jacobi example.  No-op on one rank.
+void chain_halo_exchange(cluster::RankContext& ctx, Bytes bytes);
+
+/// The BT/SP ADI structure: three directional phases on a q x q process
+/// grid; each phase performs (q-1) pipeline exchanges of `face_bytes / q`
+/// with the row (x) or column (y, z) neighbor.  Requires nprocs == q*q.
+void adi_sweep(cluster::RankContext& ctx, Bytes face_bytes);
+
+/// LU-style wavefront: 2*ceil(sqrt(n)) messages per call whose sizes
+/// shrink with n such that the per-rank volume stays ~volume_scale*4.
+void wavefront_exchange(cluster::RankContext& ctx, Bytes volume_scale);
+
+}  // namespace gearsim::workloads

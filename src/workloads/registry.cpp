@@ -1,0 +1,78 @@
+#include "workloads/registry.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/nas_extra.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace gearsim::workloads {
+
+namespace {
+template <typename W>
+RegistryEntry entry(const char* name) {
+  return RegistryEntry{name, [] { return std::make_unique<W>(); }};
+}
+}  // namespace
+
+const std::vector<RegistryEntry>& nas_suite() {
+  static const std::vector<RegistryEntry> suite = {
+      entry<NasEp>("EP"), entry<NasBt>("BT"), entry<NasLu>("LU"),
+      entry<NasMg>("MG"), entry<NasSp>("SP"), entry<NasCg>("CG"),
+  };
+  return suite;
+}
+
+const std::vector<RegistryEntry>& all_workloads() {
+  static const std::vector<RegistryEntry> all = [] {
+    std::vector<RegistryEntry> v = nas_suite();
+    v.push_back(entry<Jacobi>("Jacobi"));
+    v.push_back(entry<Synthetic>("SYNTH"));
+    // The two codes the paper excluded from its figures, kept runnable so
+    // the exclusions themselves are reproducible (bench/appendix_ft_is).
+    v.push_back(entry<NasFt>("FT"));
+    v.push_back(RegistryEntry{"IS.B", [] {
+                                return std::unique_ptr<cluster::Workload>(
+                                    std::make_unique<NasIs>());
+                              }});
+    v.push_back(RegistryEntry{"IS.C", [] {
+                                NasIs::Params p;
+                                p.cls = NasIs::Class::kC;
+                                return std::unique_ptr<cluster::Workload>(
+                                    std::make_unique<NasIs>(p));
+                              }});
+    return v;
+  }();
+  return all;
+}
+
+std::unique_ptr<cluster::Workload> make_workload(const std::string& name) {
+  for (const auto& e : all_workloads()) {
+    if (e.name == name) return e.make();
+  }
+  GEARSIM_REQUIRE(false, "unknown workload: " + name);
+  return nullptr;  // Unreachable.
+}
+
+std::vector<int> paper_node_counts(const cluster::Workload& workload,
+                                   int max_nodes) {
+  GEARSIM_REQUIRE(max_nodes >= 1, "need at least one node");
+  std::vector<int> counts;
+  const std::string name = workload.name();
+  if (name == "BT" || name == "SP") {
+    for (int q = 1; q * q <= max_nodes; ++q) counts.push_back(q * q);
+  } else if (name == "Jacobi" || name == "SYNTH") {
+    counts.push_back(1);
+    for (int n = 2; n <= max_nodes; n += 2) counts.push_back(n);
+  } else {
+    for (int n = 1; n <= max_nodes; n *= 2) counts.push_back(n);
+  }
+  counts.erase(std::remove_if(counts.begin(), counts.end(),
+                              [&](int n) { return !workload.supports(n); }),
+               counts.end());
+  return counts;
+}
+
+}  // namespace gearsim::workloads

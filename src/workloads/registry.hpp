@@ -1,0 +1,35 @@
+// Workload registry: name -> factory, plus the canonical benchmark sets
+// the harnesses iterate over (the paper's six NAS codes, in Table-1 order).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/workload.hpp"
+
+namespace gearsim::workloads {
+
+struct RegistryEntry {
+  std::string name;
+  std::function<std::unique_ptr<cluster::Workload>()> make;
+};
+
+/// The six NAS benchmarks in the paper's Table-1 (descending UPM) order:
+/// EP, BT, LU, MG, SP, CG.
+const std::vector<RegistryEntry>& nas_suite();
+
+/// Everything: NAS suite + Jacobi + the synthetic benchmark.
+const std::vector<RegistryEntry>& all_workloads();
+
+/// Instantiate by name (case-sensitive); throws ContractError if unknown.
+std::unique_ptr<cluster::Workload> make_workload(const std::string& name);
+
+/// Node counts up to `max_nodes` on which `workload` runs, matching the
+/// paper's configurations: powers of two for the NAS non-grid codes,
+/// perfect squares for BT/SP, every even count for Jacobi/SYNTH.
+std::vector<int> paper_node_counts(const cluster::Workload& workload,
+                                   int max_nodes);
+
+}  // namespace gearsim::workloads

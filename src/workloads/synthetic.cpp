@@ -1,0 +1,54 @@
+#include "workloads/synthetic.hpp"
+
+#include "cpu/cache.hpp"
+#include "util/random.hpp"
+#include "workloads/characterize.hpp"
+#include "workloads/patterns.hpp"
+
+namespace gearsim::workloads {
+
+void Synthetic::run(cluster::RankContext& ctx) const {
+  const int n = ctx.nprocs();
+  const cpu::ComputeBlock block =
+      block_for_time(ctx.cpu_model(), params_.upm, params_.seq_active)
+          .scaled(amdahl_share(params_.serial_fraction, n) /
+                  static_cast<double>(params_.iterations));
+  for (int it = 0; it < params_.iterations; ++it) {
+    ctx.compute(block);
+    if (n > 1) {
+      ring_halo_exchange(ctx, params_.halo_bytes);
+      if ((it + 1) % params_.norm_every == 0) ctx.comm().allreduce(8);
+    }
+  }
+}
+
+double Synthetic::measured_l2_miss_rate(std::size_t accesses,
+                                        std::uint64_t seed) const {
+  cpu::CacheHierarchy caches = cpu::athlon64_caches();
+  Rng rng(seed);
+  std::uint64_t stream_addr = 0;
+  // Warm the hierarchy so compulsory misses don't dominate the estimate.
+  const std::size_t warmup = accesses / 10;
+  for (std::size_t i = 0; i < accesses + warmup; ++i) {
+    if (i == warmup) {
+      caches.l1().reset_stats();
+      caches.l2().reset_stats();
+    }
+    std::uint64_t addr;
+    if (rng.uniform() < params_.chase_fraction) {
+      // Dependent far pointer: anywhere in the working set.
+      addr = rng.below(params_.working_set);
+    } else {
+      // Unit-stride stream through a small hot region.
+      stream_addr = (stream_addr + 8) % kilobytes(256);
+      addr = stream_addr;
+    }
+    caches.access(addr);
+  }
+  // Paper-style miss rate: fraction of memory references (L1 probes)
+  // that go all the way to main memory.
+  return static_cast<double>(caches.l2().stats().misses) /
+         static_cast<double>(caches.l1().stats().accesses);
+}
+
+}  // namespace gearsim::workloads

@@ -1,0 +1,182 @@
+// Tests for the analytic (counter-only) curve predictor and the trace
+// CSV exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/experiment.hpp"
+#include "model/analytic.hpp"
+#include <cstdio>
+#include <fstream>
+
+#include "trace/export.hpp"
+#include "trace/timeline.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/registry.hpp"
+
+namespace gearsim {
+namespace {
+
+cpu::CpuModel athlon_cpu() {
+  return cpu::CpuModel(cpu::CpuParams{}, cpu::athlon64_gears());
+}
+cpu::PowerModel athlon_power() {
+  return cpu::PowerModel(cpu::PowerParams{}, cpu::athlon64_gears());
+}
+
+TEST(Analytic, CurveHasOnePointPerGear) {
+  const model::Curve c = model::analytic_single_node_curve(
+      athlon_cpu(), athlon_power(), 50.0, seconds(100.0));
+  ASSERT_EQ(c.points.size(), 6u);
+  EXPECT_DOUBLE_EQ(c.points[0].time.value(), 100.0);
+  for (std::size_t g = 1; g < 6; ++g) {
+    EXPECT_GT(c.points[g].time.value(), c.points[g - 1].time.value());
+  }
+}
+
+TEST(Analytic, MatchesSimulationForEveryNasBenchmark) {
+  // The analytic curve from (UPM, overlap, T1) must coincide with the
+  // measured single-node gear sweep — they share the same physics; only
+  // per-rank jitter (a pure scale factor on one node) separates them.
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  const auto cpu_model = athlon_cpu();
+  const auto power_model = athlon_power();
+  for (const auto& entry : workloads::nas_suite()) {
+    const auto workload = entry.make();
+    const auto* nas =
+        dynamic_cast<const workloads::NasSkeleton*>(workload.get());
+    const auto measured =
+        model::curve_from_runs(runner.gear_sweep(*workload, 1));
+    const model::Curve predicted = model::analytic_single_node_curve(
+        cpu_model, power_model, nas->params().upm, measured.points[0].time,
+        nas->params().overlap);
+    for (std::size_t g = 0; g < 6; ++g) {
+      EXPECT_NEAR(predicted.points[g].time / measured.points[g].time, 1.0,
+                  0.01)
+          << entry.name << " gear " << g + 1;
+      EXPECT_NEAR(predicted.points[g].energy / measured.points[g].energy, 1.0,
+                  0.01)
+          << entry.name << " gear " << g + 1;
+    }
+  }
+}
+
+TEST(Analytic, AdviseGearRespectsTheDelayBudget) {
+  const auto cpu_model = athlon_cpu();
+  // CG-class memory pressure: 10% budget admits gear 5 (paper: ~10%
+  // delay at gear 5).
+  EXPECT_EQ(model::advise_gear_for_delay(cpu_model, 8.6, 0.10), 4u);
+  // EP-class compute: even gear 2 costs ~11%, so a 5% budget keeps gear 1.
+  EXPECT_EQ(model::advise_gear_for_delay(cpu_model, 844.0, 0.05), 0u);
+  // Unlimited budget: slowest gear.
+  EXPECT_EQ(model::advise_gear_for_delay(cpu_model, 844.0, 10.0), 5u);
+}
+
+TEST(Analytic, PredictedEnergyDeltaMatchesHeadlines) {
+  const auto cpu_model = athlon_cpu();
+  const auto power_model = athlon_power();
+  // CG gear 2: ~-9.5%; EP gear 2: ~-2%.
+  EXPECT_NEAR(model::predicted_energy_delta(cpu_model, power_model, 8.6, 1),
+              -0.093, 0.01);
+  EXPECT_NEAR(model::predicted_energy_delta(cpu_model, power_model, 844.0, 1),
+              -0.023, 0.01);
+}
+
+TEST(Analytic, MoreMemoryPressureMeansDeeperSavings) {
+  const auto cpu_model = athlon_cpu();
+  const auto power_model = athlon_power();
+  double prev = 1.0;
+  for (double upm : {844.0, 79.6, 49.5, 8.6, 2.5}) {
+    const double delta =
+        model::predicted_energy_delta(cpu_model, power_model, upm, 4);
+    EXPECT_LT(delta, prev) << upm;
+    prev = delta;
+  }
+}
+
+// --- trace export ------------------------------------------------------------------
+
+TEST(TraceExport, CsvContainsEveryRecord) {
+  trace::Tracer tracer(2);
+  tracer.on_enter(0, mpi::CallType::kSend, seconds(1.0), 512, 1);
+  tracer.on_exit(0, mpi::CallType::kSend, seconds(1.5));
+  tracer.on_enter(1, mpi::CallType::kRecv, seconds(0.5), 0, 0);
+  tracer.on_exit(1, mpi::CallType::kRecv, seconds(2.0));
+  std::ostringstream os;
+  trace::export_csv(tracer, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("rank,call,enter_s,exit_s,duration_s,bytes,peer", 0),
+            0u);
+  EXPECT_NE(csv.find("0,Send,1,1.5,0.5,512,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,Recv,0.5,2,1.5,0,0"), std::string::npos);
+}
+
+TEST(TraceExport, EndToEndFromASimulatedRun) {
+  cluster::ClusterConfig config = cluster::athlon_cluster();
+  cluster::ExperimentRunner runner(config);
+  // RunResult does not expose the tracer, so run a small world manually.
+  sim::Engine engine;
+  net::Network network(net::ethernet_100mbps(), 2);
+  mpi::World world(engine, network, 2);
+  trace::Tracer tracer(2);
+  world.add_observer(&tracer);
+  for (int r = 0; r < 2; ++r) {
+    sim::Process& proc =
+        engine.spawn("r" + std::to_string(r), [&world, r](sim::Process&) {
+          mpi::Comm comm(world, r);
+          comm.barrier();
+          comm.allreduce(64);
+        });
+    world.bind_rank(r, proc);
+  }
+  engine.run();
+  std::ostringstream os;
+  trace::export_csv(tracer, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("Barrier"), std::string::npos);
+  EXPECT_NE(csv.find("Allreduce"), std::string::npos);
+  // Header + 4 records.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(Timeline, RendersOneRowPerRankWithColoredCalls) {
+  trace::Tracer tracer(2);
+  tracer.on_enter(0, mpi::CallType::kSend, seconds(0.2), 1024, 1);
+  tracer.on_exit(0, mpi::CallType::kSend, seconds(0.3));
+  tracer.on_enter(1, mpi::CallType::kRecv, seconds(0.0), 0, 0);
+  tracer.on_exit(1, mpi::CallType::kRecv, seconds(0.35));
+  tracer.on_enter(1, mpi::CallType::kBarrier, seconds(0.5), 0, -1);
+  tracer.on_exit(1, mpi::CallType::kBarrier, seconds(0.6));
+  const std::string svg =
+      trace::render_timeline(tracer, seconds(1.0), "demo");
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find(">r0<"), std::string::npos);
+  EXPECT_NE(svg.find(">r1<"), std::string::npos);
+  EXPECT_NE(svg.find("#e4572e"), std::string::npos);  // Send.
+  EXPECT_NE(svg.find("#17a398"), std::string::npos);  // Recv.
+  EXPECT_NE(svg.find("#7c5cbf"), std::string::npos);  // Collective.
+  EXPECT_NE(svg.find("<title>Send [0.2000, 0.3000] s</title>"),
+            std::string::npos);
+}
+
+TEST(Timeline, RunnerWritesTimelineSvg) {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  cluster::RunOptions options;
+  options.timeline_svg_path = "/tmp/gearsim_timeline_test.svg";
+  (void)runner.run(*workloads::make_workload("MG"), 4, options);
+  std::ifstream in(options.timeline_svg_path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(options.timeline_svg_path.c_str());
+}
+
+TEST(Timeline, RejectsEmptyRun) {
+  trace::Tracer tracer(1);
+  EXPECT_THROW((void)trace::render_timeline(tracer, Seconds{}, "x"),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace gearsim

@@ -1,0 +1,128 @@
+// Unit tests for the set-associative LRU cache simulator and the modeled
+// Athlon-64 hierarchy.
+#include <gtest/gtest.h>
+
+#include "cpu/cache.hpp"
+#include "util/random.hpp"
+
+namespace gearsim::cpu {
+namespace {
+
+CacheConfig tiny() { return CacheConfig{/*size=*/1024, /*line=*/64, /*assoc=*/2}; }
+
+TEST(CacheSim, GeometryDerivation) {
+  const CacheSim c(tiny());
+  EXPECT_EQ(c.num_sets(), 8u);  // 1024 / (64 * 2).
+}
+
+TEST(CacheSim, FirstTouchMissesThenHits) {
+  CacheSim c(tiny());
+  EXPECT_FALSE(c.access(0));  // Compulsory miss.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));  // Same line.
+  EXPECT_FALSE(c.access(64)); // Next line.
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  CacheSim c(tiny());  // 8 sets, 2 ways; lines A, B, C map to set 0 if
+                       // their line index % 8 == 0.
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 8 * 64;
+  const std::uint64_t d = 16 * 64;
+  c.access(a);
+  c.access(b);       // Set 0 now holds {a, b}.
+  c.access(a);       // a is MRU; b is LRU.
+  c.access(d);       // Evicts b.
+  EXPECT_TRUE(c.access(d));
+  EXPECT_TRUE(c.access(a));
+  // b was evicted; probing it is a miss (and reinserts it, evicting the
+  // now-LRU d — every probe mutates recency state).
+  EXPECT_FALSE(c.access(b));
+  EXPECT_FALSE(c.access(d));
+}
+
+TEST(CacheSim, FullyAssociativeBehavesAsLruList) {
+  CacheSim c({/*size=*/256, /*line=*/64, /*assoc=*/4});  // One set.
+  for (std::uint64_t i = 0; i < 4; ++i) c.access(i * 64);
+  EXPECT_TRUE(c.access(0));           // All resident.
+  c.access(4 * 64);                   // Evicts LRU = line 1.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(1 * 64));
+}
+
+TEST(CacheSim, SequentialStreamMissesOncePerLine) {
+  CacheSim c({kilobytes(512), 64, 16});
+  const std::uint64_t misses = c.access_range(0, kilobytes(64));
+  EXPECT_EQ(misses, kilobytes(64) / 64);
+  c.reset_stats();
+  c.access_range(0, kilobytes(64));  // Fits: all hits.
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCapacityThrashes) {
+  CacheSim c({kilobytes(64), 64, 2});
+  // Stream 1 MB twice: second pass still misses (capacity).
+  c.access_range(0, megabytes(1));
+  c.reset_stats();
+  c.access_range(0, megabytes(1));
+  EXPECT_GT(c.stats().miss_rate(), 0.9);
+}
+
+TEST(CacheSim, FlushInvalidatesEverything) {
+  CacheSim c(tiny());
+  c.access(0);
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim({1000, 64, 2}), ContractError);   // Not whole sets.
+  EXPECT_THROW(CacheSim({1024, 60, 2}), ContractError);   // Line not 2^k.
+  EXPECT_THROW(CacheSim({1024, 64, 0}), ContractError);   // Zero ways.
+}
+
+TEST(CacheSim, MissRateRequiresAccesses) {
+  CacheSim c(tiny());
+  EXPECT_THROW((void)c.stats().miss_rate(), ContractError);
+}
+
+TEST(CacheHierarchy, L1FiltersL2) {
+  CacheHierarchy h = athlon64_caches();
+  EXPECT_TRUE(h.access(0));   // Miss to memory (cold).
+  EXPECT_FALSE(h.access(0));  // L1 hit.
+  EXPECT_EQ(h.l2().stats().accesses, 1u);  // Only the L1 miss probed L2.
+}
+
+TEST(CacheHierarchy, L2CatchesL1CapacityMisses) {
+  CacheHierarchy h = athlon64_caches();
+  // Touch 256 KB: fits L2 (512 KB), exceeds L1 (64 KB).
+  for (std::uint64_t a = 0; a < kilobytes(256); a += 64) h.access(a);
+  h.l1().reset_stats();
+  h.l2().reset_stats();
+  std::uint64_t mem_misses = 0;
+  for (std::uint64_t a = 0; a < kilobytes(256); a += 64) {
+    if (h.access(a)) ++mem_misses;
+  }
+  EXPECT_EQ(mem_misses, 0u);                    // L2 holds it all.
+  EXPECT_GT(h.l1().stats().misses, 2000u);      // L1 thrashes.
+}
+
+TEST(CacheHierarchy, RandomFarAccessesMissBothLevels) {
+  CacheHierarchy h = athlon64_caches();
+  Rng rng(3);
+  // Warm up, then measure.
+  for (int i = 0; i < 20000; ++i) h.access(rng.below(megabytes(256)));
+  h.l1().reset_stats();
+  h.l2().reset_stats();
+  int misses = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (h.access(rng.below(megabytes(256)))) ++misses;
+  }
+  EXPECT_GT(static_cast<double>(misses) / probes, 0.95);
+}
+
+}  // namespace
+}  // namespace gearsim::cpu

@@ -1,0 +1,219 @@
+// Tests for the cluster harness: presets, the experiment runner's
+// accounting identities, determinism, and gear-sweep structure.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "model/gear_data.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/registry.hpp"
+
+namespace gearsim::cluster {
+namespace {
+
+TEST(Presets, AthlonMatchesThePaperMachine) {
+  const ClusterConfig c = athlon_cluster();
+  EXPECT_EQ(c.max_nodes, 10);
+  EXPECT_EQ(c.gears.size(), 6u);
+  EXPECT_DOUBLE_EQ(c.gears.fastest().frequency.value(), 2e9);
+}
+
+TEST(Presets, SunClusterIsFixedGear32Nodes) {
+  const ClusterConfig c = sun_cluster();
+  EXPECT_EQ(c.max_nodes, 32);
+  EXPECT_EQ(c.gears.size(), 1u);
+}
+
+TEST(Presets, XeonClusterHasASharedNoisyNetwork) {
+  EXPECT_GT(xeon_cluster().network.latency_jitter, 0.0);
+}
+
+TEST(Runner, RejectsInvalidRuns) {
+  ExperimentRunner runner(athlon_cluster());
+  const workloads::Jacobi jacobi;
+  EXPECT_THROW((void)runner.run(jacobi, 0, 0), ContractError);
+  EXPECT_THROW((void)runner.run(jacobi, 11, 0), ContractError);   // > max.
+  EXPECT_THROW((void)runner.run(jacobi, 2, 6), ContractError);    // Bad gear.
+  const auto bt = workloads::make_workload("BT");
+  EXPECT_THROW((void)runner.run(*bt, 8, 0), ContractError);       // Not square.
+}
+
+TEST(Runner, EnergyIdentityHolds) {
+  // total == active + idle; total == sum over nodes; mean powers weighted
+  // by the respective times reproduce the energies.
+  ExperimentRunner runner(athlon_cluster());
+  const RunResult r = runner.run(workloads::Jacobi(), 4, 2);
+  EXPECT_NEAR(r.energy.value(),
+              (r.active_energy + r.idle_energy).value(),
+              1e-6 * r.energy.value());
+  Joules per_node{};
+  Seconds active_time{};
+  Seconds idle_time{};
+  for (const auto& ne : r.node_energy) {
+    per_node += ne.total;
+    active_time += ne.active_time;
+    idle_time += ne.idle_time;
+  }
+  EXPECT_NEAR(per_node.value(), r.energy.value(), 1e-6 * r.energy.value());
+  EXPECT_NEAR((r.mean_active_power * active_time).value(),
+              r.active_energy.value(), 1e-6 * r.active_energy.value());
+  EXPECT_NEAR((r.mean_idle_power * idle_time).value(),
+              r.idle_energy.value(), 1e-6 * r.idle_energy.value());
+}
+
+TEST(Runner, WallClockIdentities) {
+  ExperimentRunner runner(athlon_cluster());
+  const RunResult r = runner.run(workloads::Jacobi(), 4, 0);
+  // Every node's active+idle time equals the wall clock.
+  for (const auto& ne : r.node_energy) {
+    EXPECT_NEAR(ne.total_time().value(), r.wall.value(),
+                1e-9 + 1e-9 * r.wall.value());
+  }
+  // Breakdown wall equals run wall; active_max + idle_derived == wall.
+  EXPECT_DOUBLE_EQ(r.breakdown.wall.value(), r.wall.value());
+  EXPECT_NEAR((r.breakdown.active_max + r.breakdown.idle_derived).value(),
+              r.wall.value(), 1e-9);
+}
+
+TEST(Runner, RunsAreDeterministic) {
+  ExperimentRunner a(athlon_cluster());
+  ExperimentRunner b(athlon_cluster());
+  const RunResult ra = a.run(workloads::Jacobi(), 6, 3);
+  const RunResult rb = b.run(workloads::Jacobi(), 6, 3);
+  EXPECT_DOUBLE_EQ(ra.wall.value(), rb.wall.value());
+  EXPECT_DOUBLE_EQ(ra.energy.value(), rb.energy.value());
+  EXPECT_EQ(ra.messages, rb.messages);
+}
+
+TEST(Runner, SeedChangesJitterOnly) {
+  ClusterConfig config = athlon_cluster();
+  ExperimentRunner a(config);
+  config.seed = 777;
+  ExperimentRunner b(config);
+  const RunResult ra = a.run(workloads::Jacobi(), 4, 0);
+  const RunResult rb = b.run(workloads::Jacobi(), 4, 0);
+  EXPECT_NE(ra.wall.value(), rb.wall.value());
+  EXPECT_NEAR(ra.wall / rb.wall, 1.0, 0.05);  // Jitter is percent-level.
+  EXPECT_EQ(ra.messages, rb.messages);
+}
+
+TEST(Runner, ZeroImbalanceMakesRanksSymmetric) {
+  ClusterConfig config = athlon_cluster();
+  config.load_imbalance = 0.0;
+  ExperimentRunner runner(config);
+  const RunResult r = runner.run(*workloads::make_workload("EP"), 4, 0);
+  // Compute is symmetric; tiny spread remains from tree positions in the
+  // final allreduce.
+  EXPECT_NEAR(r.breakdown.active_mean / r.breakdown.active_max, 1.0, 1e-4);
+}
+
+TEST(Runner, GearSweepCoversAllGearsFastestFirst) {
+  ExperimentRunner runner(athlon_cluster());
+  const auto runs = runner.gear_sweep(workloads::Jacobi(), 2);
+  ASSERT_EQ(runs.size(), 6u);
+  for (std::size_t g = 0; g < runs.size(); ++g) {
+    EXPECT_EQ(runs[g].gear_index, g);
+    EXPECT_EQ(runs[g].gear_label, static_cast<int>(g) + 1);
+  }
+  // Paper invariant: the fastest gear takes the least time.
+  for (std::size_t g = 1; g < runs.size(); ++g) {
+    EXPECT_GE(runs[g].wall.value(), runs[0].wall.value());
+  }
+}
+
+TEST(Runner, SlowerGearReducesMeanActivePower) {
+  ExperimentRunner runner(athlon_cluster());
+  const auto runs = runner.gear_sweep(workloads::Jacobi(), 1);
+  for (std::size_t g = 1; g < runs.size(); ++g) {
+    EXPECT_LT(runs[g].mean_active_power.value(),
+              runs[g - 1].mean_active_power.value());
+  }
+}
+
+TEST(Runner, SpeedupHelper) {
+  ExperimentRunner runner(athlon_cluster());
+  const RunResult r1 = runner.run(workloads::Jacobi(), 1, 0);
+  const RunResult r4 = runner.run(workloads::Jacobi(), 4, 0);
+  EXPECT_NEAR(speedup(r1, r4), r1.wall / r4.wall, 1e-12);
+}
+
+TEST(GearData, MeasurementProtocolProducesMonotoneSg) {
+  ExperimentRunner runner(athlon_cluster());
+  const model::GearData data =
+      model::measure_gear_data(runner, *workloads::make_workload("CG"));
+  ASSERT_EQ(data.size(), 6u);
+  EXPECT_DOUBLE_EQ(data.at(0).slowdown, 1.0);
+  for (std::size_t g = 1; g < 6; ++g) {
+    EXPECT_GE(data.at(g).slowdown, data.at(g - 1).slowdown);
+    EXPECT_LT(data.at(g).active_power.value(),
+              data.at(g - 1).active_power.value());
+    EXPECT_LT(data.at(g).idle_power.value(), data.at(g).active_power.value());
+  }
+  EXPECT_THROW((void)data.at(6), ContractError);
+}
+
+TEST(GearData, SgBoundedByCycleRatio) {
+  ExperimentRunner runner(athlon_cluster());
+  for (const char* name : {"EP", "CG", "LU"}) {
+    const model::GearData data =
+        model::measure_gear_data(runner, *workloads::make_workload(name));
+    for (std::size_t g = 0; g < 6; ++g) {
+      EXPECT_LE(data.at(g).slowdown,
+                runner.config().gears.cycle_time_ratio(g) + 1e-9)
+          << name << " gear " << g;
+    }
+  }
+}
+
+TEST(Runner, SunClusterRunsAllNasAt32) {
+  ExperimentRunner runner(sun_cluster());
+  const auto ep = workloads::make_workload("EP");
+  const RunResult r = runner.run(*ep, 32, 0);
+  EXPECT_GT(r.wall.value(), 0.0);
+  EXPECT_EQ(r.node_energy.size(), 32u);
+}
+
+TEST(Runner, XeonClusterIsNoisyAcrossSeeds) {
+  // The paper discarded this machine: a shared network makes timings
+  // unreliable.  Verify the preset actually produces that behavior.
+  ClusterConfig config = xeon_cluster();
+  ExperimentRunner a(config);
+  config.network.jitter_seed = 1234;
+  ExperimentRunner b(config);
+  const auto cg = workloads::make_workload("CG");
+  const Seconds ta = a.run(*cg, 8, 0).wall;
+  const Seconds tb = b.run(*cg, 8, 0).wall;
+  EXPECT_NE(ta.value(), tb.value());
+}
+
+TEST(Runner, RepeatedRunsQuantifyJitter) {
+  ExperimentRunner runner(athlon_cluster());
+  const auto stats =
+      runner.run_repeated(*workloads::make_workload("MG"), 4, 0, 5);
+  EXPECT_EQ(stats.runs.size(), 5u);
+  EXPECT_EQ(stats.time_s.count(), 5u);
+  // Different seeds produce different (but close) times.
+  EXPECT_GT(stats.time_s.stddev(), 0.0);
+  EXPECT_LT(stats.time_cv(), 0.03);  // ~1% imbalance -> small spread.
+  EXPECT_NEAR(stats.mean_time().value(), stats.runs[0].wall.value(),
+              0.05 * stats.runs[0].wall.value());
+}
+
+TEST(Runner, RepeatedRunsWithZeroImbalanceAreIdenticalModuloNetwork) {
+  ClusterConfig config = athlon_cluster();
+  config.load_imbalance = 0.0;
+  ExperimentRunner runner(config);
+  const auto stats =
+      runner.run_repeated(*workloads::make_workload("EP"), 2, 0, 3);
+  // EP has (almost) no network sensitivity; the spread collapses.
+  EXPECT_LT(stats.time_cv(), 1e-6);
+}
+
+TEST(Runner, RepeatedRunsRequirePositiveCount) {
+  ExperimentRunner runner(athlon_cluster());
+  EXPECT_THROW(
+      (void)runner.run_repeated(*workloads::make_workload("EP"), 1, 0, 0),
+      ContractError);
+}
+
+}  // namespace
+}  // namespace gearsim::cluster

@@ -1,0 +1,273 @@
+// Unit and property tests for the CPU substrate: gears, compute blocks,
+// the timing model (incl. the paper's slowdown bound), and the power
+// model's calibration envelope.
+#include <gtest/gtest.h>
+
+#include "cpu/compute.hpp"
+#include "cpu/cpu_model.hpp"
+#include "cpu/gear.hpp"
+#include "cpu/power_model.hpp"
+
+namespace gearsim::cpu {
+namespace {
+
+CpuModel athlon_cpu() { return CpuModel(CpuParams{}, athlon64_gears()); }
+
+// --- gear table ---------------------------------------------------------------
+
+TEST(GearTable, Athlon64Ladder) {
+  const GearTable gears = athlon64_gears();
+  ASSERT_EQ(gears.size(), 6u);
+  EXPECT_EQ(gears.fastest().label, 1);
+  EXPECT_DOUBLE_EQ(gears.fastest().frequency.value(), 2e9);
+  EXPECT_DOUBLE_EQ(gears.slowest().frequency.value(), 0.8e9);
+  EXPECT_DOUBLE_EQ(gears.fastest().voltage.value(), 1.5);
+  EXPECT_DOUBLE_EQ(gears.slowest().voltage.value(), 1.0);
+}
+
+TEST(GearTable, CycleTimeRatio) {
+  const GearTable gears = athlon64_gears();
+  EXPECT_DOUBLE_EQ(gears.cycle_time_ratio(0), 1.0);
+  EXPECT_NEAR(gears.cycle_time_ratio(1), 2000.0 / 1800.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gears.cycle_time_ratio(5), 2.5);
+}
+
+TEST(GearTable, RejectsNonMonotoneFrequencies) {
+  EXPECT_THROW(GearTable({{1, megahertz(1000), volts(1.2)},
+                          {2, megahertz(1500), volts(1.1)}}),
+               ContractError);
+}
+
+TEST(GearTable, RejectsVoltageIncreaseAtSlowerGear) {
+  EXPECT_THROW(GearTable({{1, megahertz(2000), volts(1.2)},
+                          {2, megahertz(1500), volts(1.4)}}),
+               ContractError);
+}
+
+TEST(GearTable, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(GearTable({}), ContractError);
+  const GearTable g = athlon64_gears();
+  EXPECT_THROW((void)g.gear(6), ContractError);
+}
+
+TEST(GearTable, FixedGearHasOneEntry) {
+  const GearTable g = fixed_gear(megahertz(1200), volts(1.6));
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.cycle_time_ratio(0), 1.0);
+}
+
+// --- compute blocks --------------------------------------------------------------
+
+TEST(ComputeBlock, UpmAndScaling) {
+  const ComputeBlock b = block_from_upm(50.0, 1000.0);
+  EXPECT_DOUBLE_EQ(b.uops, 50000.0);
+  EXPECT_DOUBLE_EQ(b.upm(), 50.0);
+  const ComputeBlock half = b.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.upm(), 50.0);  // UPM is scale-invariant.
+  EXPECT_DOUBLE_EQ(half.l2_misses, 500.0);
+}
+
+TEST(ComputeBlock, AdditionPreservesCriticalWork) {
+  const ComputeBlock a = block_from_upm(100.0, 10.0, 0.5);
+  const ComputeBlock b = block_from_upm(100.0, 10.0, 0.0);
+  const ComputeBlock sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.uops, 2000.0);
+  EXPECT_DOUBLE_EQ(sum.critical_uops(),
+                   a.critical_uops() + b.critical_uops());
+}
+
+TEST(ComputeBlock, UpmRequiresMisses) {
+  const ComputeBlock pure_cpu{1000.0, 0.0};
+  EXPECT_THROW((void)pure_cpu.upm(), ContractError);
+}
+
+TEST(ComputeBlock, OverlapReducesCriticalUops) {
+  const ComputeBlock b = block_from_upm(100.0, 10.0, 0.25);
+  EXPECT_DOUBLE_EQ(b.critical_uops(), 750.0);
+}
+
+// --- timing model ---------------------------------------------------------------
+
+TEST(CpuModel, PureCpuBlockScalesWithFrequency) {
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock b{1e9, 0.0};
+  const Seconds t1 = m.execute_time(b, 0);
+  const Seconds t6 = m.execute_time(b, 5);
+  EXPECT_NEAR(t6 / t1, 2.5, 1e-12);  // Exactly the cycle-time ratio.
+}
+
+TEST(CpuModel, PureMemoryBlockIsFrequencyInvariant) {
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock b{0.0, 1e6};
+  EXPECT_DOUBLE_EQ(m.execute_time(b, 0).value(), m.execute_time(b, 5).value());
+}
+
+TEST(CpuModel, SlowdownBoundHolds) {
+  // The paper's bound: 1 <= T_{i+1}/T_i <= f_i/f_{i+1}, for any mix.
+  const CpuModel m = athlon_cpu();
+  for (double upm : {1.0, 8.6, 49.5, 73.5, 844.0, 1e6}) {
+    const ComputeBlock b = block_from_upm(upm, 1e5);
+    for (std::size_t g = 1; g < m.gears().size(); ++g) {
+      const double ratio = m.execute_time(b, g) / m.execute_time(b, g - 1);
+      const double cap =
+          m.gears().gear(g - 1).frequency / m.gears().gear(g).frequency;
+      EXPECT_GE(ratio, 1.0) << "upm=" << upm << " gear=" << g;
+      EXPECT_LE(ratio, cap + 1e-12) << "upm=" << upm << " gear=" << g;
+    }
+  }
+}
+
+TEST(CpuModel, ObservedUpcRisesAtLowerGearsForMemoryBoundCode) {
+  // Paper Section 3.1: "In memory-bound applications, the UPC increases
+  // as frequency decreases."
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock cg = block_from_upm(8.6, 1e6);
+  EXPECT_GT(m.observed_upc(cg, 5), m.observed_upc(cg, 0));
+  // And is nearly flat for CPU-bound code.
+  const ComputeBlock ep = block_from_upm(844.0, 1e3);
+  EXPECT_NEAR(m.observed_upc(ep, 5) / m.observed_upc(ep, 0), 1.0, 0.05);
+}
+
+TEST(CpuModel, CpuBoundFractionOrdering) {
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock ep = block_from_upm(844.0, 1e3);
+  const ComputeBlock cg = block_from_upm(8.6, 1e3);
+  EXPECT_GT(m.cpu_bound_fraction(ep, 0), 0.9);
+  EXPECT_LT(m.cpu_bound_fraction(cg, 0), 0.2);
+}
+
+TEST(CpuModel, KappaRoundTrip) {
+  const CpuModel m = athlon_cpu();
+  for (double upm : {8.6, 73.5, 844.0}) {
+    EXPECT_NEAR(m.upm_for_kappa(m.kappa(upm)), upm, 1e-9);
+  }
+}
+
+TEST(CpuModel, SlowdownMatchesClosedForm) {
+  // T_g/T_1 = (kappa f1/fg + 1) / (kappa + 1).
+  const CpuModel m = athlon_cpu();
+  const double upm = 50.0;
+  const double kappa = m.kappa(upm);
+  const ComputeBlock b = block_from_upm(upm, 1e5);
+  for (std::size_t g = 0; g < m.gears().size(); ++g) {
+    const double f_ratio = m.gears().cycle_time_ratio(g);
+    const double expected = (kappa * f_ratio + 1.0) / (kappa + 1.0);
+    EXPECT_NEAR(m.slowdown(b, g), expected, 1e-12);
+  }
+}
+
+TEST(CpuModel, OverlapReducesFrequencySensitivity) {
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock plain = block_from_upm(73.5, 1e5, 0.0);
+  const ComputeBlock mlp = block_from_upm(73.5, 1e5, 0.75);
+  EXPECT_GT(m.slowdown(plain, 5), m.slowdown(mlp, 5));
+  EXPECT_GE(m.slowdown(mlp, 5), 1.0);
+}
+
+TEST(CpuModel, EmptyBlockTakesNoTime) {
+  const CpuModel m = athlon_cpu();
+  EXPECT_DOUBLE_EQ(m.execute_time(ComputeBlock{}, 0).value(), 0.0);
+}
+
+// --- power model -----------------------------------------------------------------
+
+PowerModel athlon_power() { return PowerModel(PowerParams{}, athlon64_gears()); }
+
+TEST(PowerModel, TopGearSystemPowerInPaperEnvelope) {
+  // Paper: 140-150 W system power at the fastest gear.
+  const PowerModel p = athlon_power();
+  const double w = p.active_power(0, 1.0).value();
+  EXPECT_GE(w, 140.0);
+  EXPECT_LE(w, 150.0);
+}
+
+TEST(PowerModel, CpuShareInPaperEnvelope) {
+  // Paper: the CPU consumes ~45-55% of system power.
+  const PowerModel p = athlon_power();
+  const double share = p.cpu_share(0, 1.0);
+  EXPECT_GE(share, 0.45);
+  EXPECT_LE(share, 0.55);
+}
+
+TEST(PowerModel, ActivePowerDecreasesWithGear) {
+  const PowerModel p = athlon_power();
+  for (std::size_t g = 1; g < 6; ++g) {
+    EXPECT_LT(p.active_power(g, 1.0), p.active_power(g - 1, 1.0)) << g;
+  }
+}
+
+TEST(PowerModel, IdlePowerDecreasesWithGear) {
+  const PowerModel p = athlon_power();
+  for (std::size_t g = 1; g < 6; ++g) {
+    EXPECT_LT(p.idle_power(g), p.idle_power(g - 1)) << g;
+  }
+}
+
+TEST(PowerModel, IdleBelowActiveAtEveryGear) {
+  const PowerModel p = athlon_power();
+  for (std::size_t g = 0; g < 6; ++g) {
+    EXPECT_LT(p.idle_power(g), p.active_power(g, 0.0)) << g;
+  }
+}
+
+TEST(PowerModel, BusyFractionRaisesPower) {
+  const PowerModel p = athlon_power();
+  EXPECT_LT(p.active_power(0, 0.0), p.active_power(0, 1.0));
+  EXPECT_THROW((void)p.active_power(0, 1.5), ContractError);
+}
+
+TEST(PowerModel, DynamicTermScalesWithVSquaredF) {
+  // With zero base and zero static power, active power at full activity
+  // and stall floor 1 is exactly P_dyn * (V/V1)^2 (f/f1).
+  PowerParams params;
+  params.base = watts(0.0);
+  params.cpu_static = watts(0.0);
+  params.cpu_dynamic = watts(100.0);
+  params.stall_activity_floor = 1.0;
+  const PowerModel p(params, athlon64_gears());
+  const GearTable gears = athlon64_gears();
+  for (std::size_t g = 0; g < gears.size(); ++g) {
+    const double v = gears.gear(g).voltage / gears.fastest().voltage;
+    const double f = gears.gear(g).frequency / gears.fastest().frequency;
+    EXPECT_NEAR(p.active_power(g, 1.0).value(), 100.0 * v * v * f, 1e-9) << g;
+  }
+}
+
+TEST(PowerModel, RejectsBadParams) {
+  PowerParams params;
+  params.idle_activity = 1.5;
+  EXPECT_THROW(PowerModel(params, athlon64_gears()), ContractError);
+  params = PowerParams{};
+  params.stall_activity_floor = -0.1;
+  EXPECT_THROW(PowerModel(params, athlon64_gears()), ContractError);
+}
+
+// --- parameterized: the headline CG/EP calibration points ------------------------
+
+struct GearCase {
+  double upm;
+  std::size_t gear;
+  double min_delay, max_delay;  // Fractional slowdown envelope.
+};
+
+class SlowdownEnvelope : public ::testing::TestWithParam<GearCase> {};
+
+TEST_P(SlowdownEnvelope, WithinPaperBand) {
+  const GearCase c = GetParam();
+  const CpuModel m = athlon_cpu();
+  const ComputeBlock b = block_from_upm(c.upm, 1e5);
+  const double delay = m.slowdown(b, c.gear) - 1.0;
+  EXPECT_GE(delay, c.min_delay);
+  EXPECT_LE(delay, c.max_delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPoints, SlowdownEnvelope,
+    ::testing::Values(
+        GearCase{8.6, 1, 0.0, 0.02},     // CG gear 2: <1% (we allow 2%).
+        GearCase{8.6, 4, 0.07, 0.13},    // CG gear 5: ~10%.
+        GearCase{844.0, 1, 0.09, 0.112}, // EP gear 2: ~11%.
+        GearCase{844.0, 5, 1.3, 1.5}));  // EP gear 6: near cycle ratio 2.5x.
+
+}  // namespace
+}  // namespace gearsim::cpu

@@ -1,0 +1,165 @@
+// Property tests for the workload calibration knobs: every public knob
+// must move the observable it claims to control, in the right direction,
+// without breaking the run-level invariants.
+#include <gtest/gtest.h>
+
+#include "cluster/dvfs.hpp"
+#include "cluster/experiment.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/nas.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace gearsim::workloads {
+namespace {
+
+cluster::ExperimentRunner athlon() {
+  return cluster::ExperimentRunner(cluster::athlon_cluster());
+}
+
+TEST(Knobs, CgPairBytesScalesIdleTime) {
+  auto runner = athlon();
+  NasCg light;
+  light.pair_bytes = kilobytes(40);
+  NasCg heavy;
+  heavy.pair_bytes = kilobytes(240);
+  const Seconds idle_light =
+      runner.run(light, 8, 0).breakdown.idle_derived;
+  const Seconds idle_heavy =
+      runner.run(heavy, 8, 0).breakdown.idle_derived;
+  EXPECT_GT(idle_heavy / idle_light, 3.0);
+}
+
+TEST(Knobs, LuSweepBytesScalesCommConstant) {
+  auto runner = athlon();
+  NasLu thin;
+  thin.sweep_bytes = kilobytes(60);
+  NasLu thick;
+  thick.sweep_bytes = kilobytes(240);
+  const Seconds i_thin = runner.run(thin, 4, 0).breakdown.idle_derived;
+  const Seconds i_thick = runner.run(thick, 4, 0).breakdown.idle_derived;
+  EXPECT_GT(i_thick / i_thin, 2.0);
+}
+
+TEST(Knobs, MgLevelsScaleHaloTraffic) {
+  auto runner = athlon();
+  NasMg shallow;
+  shallow.levels = 4;
+  NasMg deep;
+  deep.levels = 8;
+  const auto shallow_run = runner.run(shallow, 4, 0);
+  const auto deep_run = runner.run(deep, 4, 0);
+  EXPECT_GT(deep_run.messages, shallow_run.messages);
+  EXPECT_GT(deep_run.net_bytes, shallow_run.net_bytes);
+}
+
+TEST(Knobs, SpSyncBytesControlTheIdleShare) {
+  auto runner = athlon();
+  NasSp quiet;
+  quiet.sync_bytes = kilobytes(50);
+  NasSp loud;
+  loud.sync_bytes = kilobytes(500);
+  const auto quiet_run = runner.run(quiet, 9, 0);
+  const auto loud_run = runner.run(loud, 9, 0);
+  EXPECT_GT(loud_run.breakdown.idle_derived / loud_run.wall,
+            quiet_run.breakdown.idle_derived / quiet_run.wall);
+}
+
+TEST(Knobs, JacobiHaloBytesDegradeSpeedup) {
+  auto runner = athlon();
+  Jacobi::Params p;
+  p.halo_bytes = kilobytes(16);
+  const Jacobi small(p);
+  p.halo_bytes = kilobytes(256);
+  const Jacobi big(p);
+  const double speedup_small =
+      runner.run(small, 1, 0).wall / runner.run(small, 8, 0).wall;
+  const double speedup_big =
+      runner.run(big, 1, 0).wall / runner.run(big, 8, 0).wall;
+  EXPECT_GT(speedup_small, speedup_big + 0.5);
+}
+
+TEST(Knobs, SyntheticUpmControlsGearSensitivity) {
+  auto runner = athlon();
+  Synthetic::Params p;
+  p.upm = 2.5;
+  const Synthetic memory_bound(p);
+  p.upm = 200.0;
+  const Synthetic compute_bound(p);
+  const double slow_mb = runner.run(memory_bound, 1, 5).wall /
+                         runner.run(memory_bound, 1, 0).wall;
+  const double slow_cb = runner.run(compute_bound, 1, 5).wall /
+                         runner.run(compute_bound, 1, 0).wall;
+  EXPECT_LT(slow_mb, 1.2);
+  EXPECT_GT(slow_cb, 2.0);
+}
+
+TEST(Knobs, SerialFractionFlattensScaling) {
+  // Same structure, doubled serial fraction: worse speedup.
+  auto runner = athlon();
+  Jacobi::Params p;
+  p.serial_fraction = 0.005;
+  const Jacobi parallel_ish(p);
+  p.serial_fraction = 0.15;
+  const Jacobi serial_ish(p);
+  const double s1 = runner.run(parallel_ish, 1, 0).wall /
+                    runner.run(parallel_ish, 8, 0).wall;
+  const double s2 = runner.run(serial_ish, 1, 0).wall /
+                    runner.run(serial_ish, 8, 0).wall;
+  EXPECT_GT(s1, s2 + 1.0);
+}
+
+TEST(Knobs, IterationCountPreservesTotals) {
+  // Splitting the same work across more iterations must not change the
+  // 1-node runtime (no comm) beyond rounding.
+  auto runner = athlon();
+  Jacobi::Params p;
+  p.iterations = 100;
+  const Jacobi coarse(p);
+  p.iterations = 400;
+  const Jacobi fine(p);
+  const Seconds t_coarse = runner.run(coarse, 1, 0).wall;
+  const Seconds t_fine = runner.run(fine, 1, 0).wall;
+  EXPECT_NEAR(t_fine / t_coarse, 1.0, 1e-6);
+}
+
+TEST(Knobs, GearSwitchLatencyScalesPolicyOverhead) {
+  cluster::ClusterConfig cheap_config = cluster::athlon_cluster();
+  cheap_config.gear_switch_latency = microseconds(10.0);
+  cluster::ClusterConfig pricey_config = cluster::athlon_cluster();
+  pricey_config.gear_switch_latency = microseconds(1000.0);
+  cluster::ExperimentRunner cheap(cheap_config);
+  cluster::ExperimentRunner pricey(pricey_config);
+  const cluster::CommDownshift policy(0, 5);
+  cluster::RunOptions options;
+  options.policy = &policy;
+  const auto lu = make_workload("LU");
+  const Seconds t_cheap = cheap.run(*lu, 4, options).wall;
+  const Seconds t_pricey = pricey.run(*lu, 4, options).wall;
+  EXPECT_GT(t_pricey.value(), t_cheap.value());
+}
+
+TEST(Knobs, WeakScalingHoldsPerRankWorkConstant) {
+  auto runner = athlon();
+  Jacobi::Params p;
+  p.weak_scaling = true;
+  const Jacobi weak(p);
+  const Seconds t1 = runner.run(weak, 1, 0).wall;
+  const Seconds t8 = runner.run(weak, 8, 0).wall;
+  // Per-rank work constant: wall time ~flat (halo + allreduce overheads).
+  EXPECT_NEAR(t8 / t1, 1.0, 0.10);
+}
+
+TEST(Knobs, WeakScalingEnergyPerWorkStaysFlat) {
+  auto runner = athlon();
+  Jacobi::Params p;
+  p.weak_scaling = true;
+  const Jacobi weak(p);
+  const Joules e1 = runner.run(weak, 1, 0).energy;
+  const cluster::RunResult r8 = runner.run(weak, 8, 0);
+  // 8 nodes perform 8x the work; energy per unit of work ~flat.
+  EXPECT_NEAR(r8.energy.value() / 8.0 / e1.value(), 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace gearsim::workloads

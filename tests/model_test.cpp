@@ -1,0 +1,325 @@
+// Tests for the analytic model layer: Amdahl fitting, communication
+// classification, the naive/refined predictors, and curve analytics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/amdahl.hpp"
+#include "model/comm_model.hpp"
+#include "model/predictor.hpp"
+#include "model/tradeoff.hpp"
+
+namespace gearsim::model {
+namespace {
+
+// --- Amdahl ------------------------------------------------------------------
+
+std::vector<Seconds> amdahl_series(double t1, double fs,
+                                   const std::vector<double>& nodes) {
+  std::vector<Seconds> out;
+  for (double n : nodes) out.push_back(seconds(t1 * ((1.0 - fs) / n + fs)));
+  return out;
+}
+
+TEST(Amdahl, RecoversExactFractions) {
+  const std::vector<double> nodes = {1, 2, 4, 8};
+  const auto active = amdahl_series(100.0, 0.07, nodes);
+  const AmdahlFit fit = fit_amdahl(nodes, active);
+  EXPECT_NEAR(fit.serial_fraction, 0.07, 1e-9);
+  EXPECT_NEAR(fit.t1.value(), 100.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.parallel_fraction(), 0.93, 1e-9);
+}
+
+TEST(Amdahl, PredictsActiveTime) {
+  const std::vector<double> nodes = {1, 2, 4};
+  const AmdahlFit fit = fit_amdahl(nodes, amdahl_series(50.0, 0.1, nodes));
+  EXPECT_NEAR(fit.active_time(10).value(), 50.0 * (0.9 / 10 + 0.1), 1e-9);
+}
+
+TEST(Amdahl, PerfectlyParallelCode) {
+  const std::vector<double> nodes = {1, 2, 4, 8, 16};
+  const AmdahlFit fit = fit_amdahl(nodes, amdahl_series(80.0, 0.0, nodes));
+  EXPECT_NEAR(fit.serial_fraction, 0.0, 1e-9);
+}
+
+TEST(Amdahl, ClampsNegativeNoiseToZero) {
+  // Slightly superlinear data would give Fs < 0; the fit clamps.
+  const std::vector<double> nodes = {1, 2, 4};
+  const std::vector<Seconds> active = {seconds(100.0), seconds(48.0),
+                                       seconds(23.0)};
+  EXPECT_GE(fit_amdahl(nodes, active).serial_fraction, 0.0);
+}
+
+TEST(Amdahl, PerConfigFamilyIsConstantForExactData) {
+  const std::vector<double> nodes = {1, 2, 4, 8};
+  const auto active = amdahl_series(100.0, 0.05, nodes);
+  const auto family =
+      per_config_serial_fractions(seconds(100.0), nodes, active);
+  ASSERT_EQ(family.size(), 3u);  // n=1 is excluded.
+  for (double fs : family) EXPECT_NEAR(fs, 0.05, 1e-9);
+}
+
+TEST(Amdahl, FamilyDetectsParallelismChange) {
+  // The paper's CG outlier: parallelism increases from 4 to 8 nodes on
+  // one cluster — visible as a *decreasing* per-config F_s.
+  const std::vector<double> nodes = {2, 4, 8};
+  const std::vector<Seconds> active = {seconds(52.5), seconds(27.5),
+                                       seconds(13.0)};
+  const auto family =
+      per_config_serial_fractions(seconds(100.0), nodes, active);
+  EXPECT_GT(family[0], family[2]);
+}
+
+TEST(Amdahl, TrendRegressionExtrapolates) {
+  const std::vector<double> nodes = {2, 4, 8, 16};
+  const std::vector<double> fs = {0.050, 0.052, 0.054, 0.058};
+  const LinearFit trend = fit_serial_fraction_trend(nodes, fs);
+  EXPECT_NEAR(trend.at(32.0), 0.0665, 0.003);
+}
+
+TEST(Amdahl, SingleSampleTrendIsConstant) {
+  const std::vector<double> nodes = {4};
+  const std::vector<double> fs = {0.05};
+  const LinearFit trend = fit_serial_fraction_trend(nodes, fs);
+  EXPECT_DOUBLE_EQ(trend.at(100.0), 0.05);
+}
+
+// --- communication classification ------------------------------------------------
+
+std::vector<Seconds> shaped(ScalingShape s, double a, double b,
+                            const std::vector<double>& nodes) {
+  std::vector<Seconds> out;
+  for (double n : nodes) out.push_back(seconds(a + b * shape_basis(s, n)));
+  return out;
+}
+
+TEST(CommModel, ClassifiesEachShape) {
+  const std::vector<double> nodes = {1, 2, 4, 8, 16};  // n=1 gets dropped.
+  for (auto s : {ScalingShape::kLogarithmic, ScalingShape::kLinear,
+                 ScalingShape::kQuadratic}) {
+    const CommFit fit =
+        classify_communication(nodes, shaped(s, 1.0, 2.0, nodes));
+    EXPECT_EQ(fit.shape(), s) << to_string(s);
+  }
+}
+
+TEST(CommModel, ConstantWinsOnFlatData) {
+  const std::vector<double> nodes = {2, 4, 8, 16};
+  const std::vector<Seconds> idle = {seconds(5.01), seconds(4.99),
+                                     seconds(5.02), seconds(4.98)};
+  EXPECT_EQ(classify_communication(nodes, idle).shape(),
+            ScalingShape::kConstant);
+}
+
+TEST(CommModel, PredictionsClampToZero) {
+  const std::vector<double> nodes = {2, 4, 8};
+  const CommFit fit = fit_communication(
+      ScalingShape::kLinear, nodes,
+      shaped(ScalingShape::kLinear, 10.0, -2.0, nodes));
+  EXPECT_DOUBLE_EQ(fit.idle_time(100.0).value(), 0.0);
+}
+
+TEST(CommModel, ForcedShapeStillFitsCoefficients) {
+  const std::vector<double> nodes = {2, 4, 8};
+  const CommFit fit = fit_communication(
+      ScalingShape::kQuadratic, nodes,
+      shaped(ScalingShape::kQuadratic, 0.5, 0.1, nodes));
+  EXPECT_NEAR(fit.best.a, 0.5, 1e-9);
+  EXPECT_NEAR(fit.best.b, 0.1, 1e-9);
+  EXPECT_NEAR(fit.idle_time(32).value(), 0.5 + 0.1 * 1024, 1e-6);
+}
+
+TEST(CommModel, SingleNodeSamplesAreExcluded) {
+  const std::vector<double> nodes = {1, 1, 2, 4};
+  const std::vector<Seconds> idle = {seconds(0), seconds(0), seconds(2),
+                                     seconds(4)};
+  EXPECT_THROW(classify_communication(nodes, idle), ContractError);
+}
+
+// --- predictors -----------------------------------------------------------------
+
+GearPoint gear(double slowdown, double p_active, double p_idle) {
+  return GearPoint{0, slowdown, watts(p_active), watts(p_idle)};
+}
+
+TimeDecomposition decomp(double active, double idle, double reducible,
+                         int nodes) {
+  TimeDecomposition t;
+  t.active = seconds(active);
+  t.idle = seconds(idle);
+  t.reducible = seconds(reducible);
+  t.critical = seconds(active - reducible);
+  t.nodes = nodes;
+  return t;
+}
+
+TEST(Predictor, NaiveMatchesPaperEquations) {
+  // T_g = S_g T^A + T^I; E_g = m (P_g S_g T^A + I_g T^I).
+  const Prediction p = predict_naive(decomp(100, 20, 0, 4),
+                                     gear(1.2, 120.0, 90.0));
+  EXPECT_NEAR(p.time.value(), 1.2 * 100 + 20, 1e-9);
+  EXPECT_NEAR(p.energy.value(), 4 * (120.0 * 120 + 90.0 * 20), 1e-9);
+}
+
+TEST(Predictor, RefinedEqualsNaiveWithoutReducibleWork) {
+  const TimeDecomposition t = decomp(100, 20, 0, 2);
+  const GearPoint g = gear(1.3, 110.0, 85.0);
+  const Prediction naive = predict_naive(t, g);
+  const Prediction refined = predict_refined(t, g);
+  EXPECT_NEAR(refined.time.value(), naive.time.value(), 1e-9);
+  EXPECT_NEAR(refined.energy.value(), naive.energy.value(), 1e-9);
+}
+
+TEST(Predictor, RefinedHidesReducibleSlowdownInSlack) {
+  // 40 s reducible, 20 s idle, S_g = 1.2: the 8 s of stretch fit inside
+  // the idle slack, so only the critical part extends the run.
+  const TimeDecomposition t = decomp(100, 20, 40, 1);
+  const GearPoint g = gear(1.2, 100.0, 80.0);
+  const Prediction p = predict_refined(t, g);
+  // T = S_g(TC+TR) + TI + TR - S_g TR = 1.2*100 + 20 + 40 - 48 = 132.
+  EXPECT_NEAR(p.time.value(), 132.0, 1e-9);
+  EXPECT_LT(p.time.value(), predict_naive(t, g).time.value());
+  // E = P S_g(TC+TR) + I (TI + TR - S_g TR) = 100*120 + 80*12.
+  EXPECT_NEAR(p.energy.value(), 12000.0 + 960.0, 1e-9);
+}
+
+TEST(Predictor, RefinedInflectionWhenSlackExhausted) {
+  // TI + TR <= S_g TR: all slack consumed; pure active stretch.
+  const TimeDecomposition t = decomp(100, 5, 80, 1);
+  const GearPoint g = gear(1.5, 100.0, 80.0);
+  const Prediction p = predict_refined(t, g);
+  EXPECT_NEAR(p.time.value(), 150.0, 1e-9);
+  EXPECT_NEAR(p.energy.value(), 100.0 * 150.0, 1e-9);
+}
+
+TEST(Predictor, RefinedIsContinuousAtTheInflection) {
+  // Approach the inflection from both sides; times must agree.
+  const GearPoint g = gear(1.25, 100.0, 80.0);
+  const double tr = 80.0;                // S_g TR = 100 = TI + TR at TI=20.
+  const Prediction below =
+      predict_refined(decomp(100, 20.0 - 1e-9, tr, 1), g);
+  const Prediction above =
+      predict_refined(decomp(100, 20.0 + 1e-9, tr, 1), g);
+  EXPECT_NEAR(below.time.value(), above.time.value(), 1e-6);
+}
+
+TEST(Predictor, TopGearIsIdentityOnTime) {
+  const TimeDecomposition t = decomp(100, 30, 50, 8);
+  const GearPoint g = gear(1.0, 145.0, 98.0);
+  EXPECT_NEAR(predict_refined(t, g).time.value(), 130.0, 1e-9);
+  EXPECT_NEAR(predict_naive(t, g).time.value(), 130.0, 1e-9);
+}
+
+TEST(Predictor, RejectsInconsistentDecomposition) {
+  TimeDecomposition t = decomp(100, 10, 20, 1);
+  t.critical = seconds(100.0);  // critical + reducible != active.
+  EXPECT_THROW(predict_refined(t, gear(1.1, 100, 80)), ContractError);
+  EXPECT_THROW(predict_naive(decomp(100, 10, 0, 1), gear(0.9, 100, 80)),
+               ContractError);
+}
+
+// --- tradeoff analytics ------------------------------------------------------------
+
+Curve make_curve(int nodes, std::initializer_list<std::pair<double, double>>
+                                time_energy) {
+  Curve c;
+  c.nodes = nodes;
+  int label = 1;
+  for (const auto& [t, e] : time_energy) {
+    c.points.push_back(EtPoint{label++, seconds(t), joules(e)});
+  }
+  return c;
+}
+
+TEST(Tradeoff, SlopeMatchesPaperDefinition) {
+  const EtPoint a{1, seconds(100.0), joules(15000.0)};
+  const EtPoint b{2, seconds(102.0), joules(14000.0)};
+  EXPECT_NEAR(slope_between(a, b), -500.0, 1e-9);
+  EXPECT_THROW((void)slope_between(a, a), ContractError);
+}
+
+TEST(Tradeoff, RelativeDeltas) {
+  const Curve c = make_curve(1, {{100, 1000}, {110, 900}});
+  const auto rel = relative_to_fastest(c);
+  EXPECT_NEAR(rel[1].time_delta, 0.10, 1e-12);
+  EXPECT_NEAR(rel[1].energy_delta, -0.10, 1e-12);
+}
+
+TEST(Tradeoff, MinEnergyIndex) {
+  const Curve c = make_curve(1, {{100, 1000}, {105, 950}, {120, 990}});
+  EXPECT_EQ(min_energy_index(c), 1u);
+}
+
+TEST(Tradeoff, ParetoFrontierDropsDominatedPoints) {
+  const Curve c =
+      make_curve(1, {{100, 1000}, {105, 950}, {110, 960}, {120, 940}});
+  const auto frontier = pareto_frontier(c);
+  // {110, 960} is dominated by {105, 950}.
+  EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Tradeoff, CaseClassificationGeometry) {
+  const Curve small = make_curve(4, {{100, 1000}, {104, 980}, {115, 995}});
+  // Case 2: faster and cheaper at the fastest gear.
+  const Curve super = make_curve(8, {{48, 990}, {50, 960}});
+  EXPECT_EQ(classify_transition(small, super),
+            SpeedupCase::kPerfectOrSuper);
+  // Case 3: fastest gear costs more, but gear 2 dominates small's fastest.
+  const Curve good = make_curve(8, {{60, 1100}, {70, 995}});
+  EXPECT_EQ(classify_transition(small, good), SpeedupCase::kGoodSpeedup);
+  // Case 1: everything on the bigger cluster costs more energy.
+  const Curve poor = make_curve(8, {{80, 1400}, {90, 1300}});
+  EXPECT_EQ(classify_transition(small, poor), SpeedupCase::kPoorSpeedup);
+}
+
+TEST(Tradeoff, ClassificationRequiresGrowth) {
+  const Curve a = make_curve(4, {{100, 1000}});
+  const Curve b = make_curve(2, {{100, 1000}});
+  EXPECT_THROW((void)classify_transition(a, b), ContractError);
+}
+
+TEST(Tradeoff, PowerCapPicksFastestFeasiblePoint) {
+  // Mean powers: 10, 9.05, 8.3 W.
+  const Curve c = make_curve(1, {{100, 1000}, {105, 950}, {108, 900}});
+  const auto pick = best_under_power_cap(c, watts(9.5));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->gear_label, 2);
+  EXPECT_FALSE(best_under_power_cap(c, watts(5.0)).has_value());
+}
+
+TEST(Tradeoff, EnergyBudgetQuery) {
+  const Curve c = make_curve(1, {{100, 1000}, {105, 950}, {108, 900}});
+  const auto pick = best_under_energy_budget(c, joules(960.0));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->gear_label, 2);
+}
+
+TEST(Tradeoff, ConcordanceCountsSortedPairs) {
+  const std::vector<TradeoffSummary> sorted = {
+      {"A", 800, -0.1, 0}, {"B", 80, -0.5, 0}, {"C", 8, -2.0, 0}};
+  EXPECT_DOUBLE_EQ(upm_slope_concordance(sorted), 1.0);
+  const std::vector<TradeoffSummary> one_outlier = {
+      {"A", 800, -0.1, 0}, {"B", 80, -2.0, 0}, {"C", 8, -0.5, 0}};
+  EXPECT_NEAR(upm_slope_concordance(one_outlier), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Tradeoff, CurveFromRunsSortsByGear) {
+  std::vector<cluster::RunResult> runs(2);
+  runs[0].nodes = 4;
+  runs[0].gear_label = 2;
+  runs[0].wall = seconds(110);
+  runs[0].energy = joules(900);
+  runs[1].nodes = 4;
+  runs[1].gear_label = 1;
+  runs[1].wall = seconds(100);
+  runs[1].energy = joules(1000);
+  const Curve c = curve_from_runs(runs);
+  EXPECT_EQ(c.points[0].gear_label, 1);
+  EXPECT_DOUBLE_EQ(c.fastest().time.value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.at_gear(2).energy.value(), 900.0);
+  EXPECT_THROW((void)c.at_gear(5), ContractError);
+}
+
+}  // namespace
+}  // namespace gearsim::model

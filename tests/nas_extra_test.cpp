@@ -1,0 +1,159 @@
+// Tests for FT and IS — the benchmarks the paper excludes — verifying
+// that the stated exclusion pathologies reproduce and that FT behaves as
+// a normal workload on our substrate.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "model/tradeoff.hpp"
+#include "workloads/nas_extra.hpp"
+#include "workloads/registry.hpp"
+
+namespace gearsim::workloads {
+namespace {
+
+cluster::ExperimentRunner athlon() {
+  return cluster::ExperimentRunner(cluster::athlon_cluster());
+}
+
+// --- IS class B: pathology (1), no parallel speedup -----------------------------
+
+TEST(NasIs, ClassBHasNoUsefulSpeedup) {
+  auto runner = athlon();
+  const NasIs is_b;
+  const Seconds t1 = runner.run(is_b, 1, 0).wall;
+  double best = 0.0;
+  for (int n : {2, 4, 8}) {
+    best = std::max(best, t1 / runner.run(is_b, n, 0).wall);
+  }
+  EXPECT_LT(best, 1.4);  // "too small to get any parallel speedup".
+}
+
+TEST(NasIs, ClassBEventuallySlowsDown) {
+  // The fixed-size bucket reduction grows with node count while compute
+  // shrinks: by 8 nodes the run is slower than sequential.
+  auto runner = athlon();
+  const NasIs is_b;
+  EXPECT_GT(runner.run(is_b, 8, 0).wall.value(),
+            runner.run(is_b, 1, 0).wall.value());
+}
+
+// --- IS class C: pathology (2), thrashing below the memory floor -----------------
+
+TEST(NasIs, ClassCMemoryFloor) {
+  NasIs::Params p;
+  p.cls = NasIs::Class::kC;
+  const NasIs is_c(p);
+  EXPECT_FALSE(is_c.fits_in_memory(1));
+  EXPECT_FALSE(is_c.fits_in_memory(2));
+  EXPECT_TRUE(is_c.fits_in_memory(4));
+  EXPECT_TRUE(is_c.fits_in_memory(8));
+  EXPECT_TRUE(NasIs().fits_in_memory(1));  // Class B always fits.
+}
+
+TEST(NasIs, ClassCThrashCliffIsSuperlinear) {
+  auto runner = athlon();
+  NasIs::Params p;
+  p.cls = NasIs::Class::kC;
+  const NasIs is_c(p);
+  const Seconds t1 = runner.run(is_c, 1, 0).wall;
+  const Seconds t2 = runner.run(is_c, 2, 0).wall;
+  const Seconds t4 = runner.run(is_c, 4, 0).wall;
+  // Crossing the memory floor (2 -> 4 nodes) is worth far more than a
+  // doubling; within the thrashing regime scaling is ordinary.
+  EXPECT_GT(t2 / t4, 4.0);
+  EXPECT_LT(t1 / t2, 2.5);
+  EXPECT_GT(t1 / t4, 6.0);  // The "meaningless comparison" cliff.
+}
+
+TEST(NasIs, ThrashFactorControlsTheCliff) {
+  auto runner = athlon();
+  NasIs::Params p;
+  p.cls = NasIs::Class::kC;
+  p.thrash_factor = 1.0;  // Paging disabled: no cliff.
+  const NasIs no_thrash(p);
+  const Seconds t2 = runner.run(no_thrash, 2, 0).wall;
+  const Seconds t4 = runner.run(no_thrash, 4, 0).wall;
+  EXPECT_LT(t2 / t4, 2.5);
+}
+
+TEST(NasIs, ThrashingRunsDrawMemoryBoundPower) {
+  // Paging multiplies memory references, so the 1-node class-C run is
+  // extremely memory-bound: near-vertical energy-time curve.
+  auto runner = athlon();
+  NasIs::Params p;
+  p.cls = NasIs::Class::kC;
+  const NasIs is_c(p);
+  const auto rel = model::relative_to_fastest(
+      model::curve_from_runs(runner.gear_sweep(is_c, 1)));
+  EXPECT_LT(rel[4].time_delta, 0.04);    // Gear 5 barely slower...
+  EXPECT_LT(rel[4].energy_delta, -0.18); // ...much cheaper.
+}
+
+// --- FT ----------------------------------------------------------------------------
+
+TEST(NasFt, RunsAndScalesReasonably) {
+  auto runner = athlon();
+  const NasFt ft;
+  const Seconds t1 = runner.run(ft, 1, 0).wall;
+  const Seconds t4 = runner.run(ft, 4, 0).wall;
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 4.0);  // Transpose-bound: clearly sub-linear.
+}
+
+TEST(NasFt, TransposeVolumeIsNodeCountInvariant) {
+  // The global transpose moves the whole dataset regardless of n; the
+  // wire carries the off-diagonal share, total * (1 - 1/n).
+  auto runner = athlon();
+  const NasFt ft;
+  const cluster::RunResult r2 = runner.run(ft, 2, 0);
+  const cluster::RunResult r8 = runner.run(ft, 8, 0);
+  const double dataset2 = static_cast<double>(r2.net_bytes) / (1.0 - 1.0 / 2);
+  const double dataset8 = static_cast<double>(r8.net_bytes) / (1.0 - 1.0 / 8);
+  EXPECT_NEAR(dataset8 / dataset2, 1.0, 0.05);
+}
+
+TEST(NasFt, SlowdownBoundHolds) {
+  auto runner = athlon();
+  const NasFt ft;
+  const auto runs = runner.gear_sweep(ft, 4);
+  for (std::size_t g = 1; g < runs.size(); ++g) {
+    const double ratio = runs[g].wall / runs[g - 1].wall;
+    EXPECT_GE(ratio, 1.0 - 0.015);
+    EXPECT_LE(ratio,
+              runner.config().gears.cycle_time_ratio(g) /
+                      runner.config().gears.cycle_time_ratio(g - 1) +
+                  1e-9);
+  }
+}
+
+// --- sampled metering (the paper's rig, end to end) --------------------------------
+
+TEST(SampledMetering, MatchesExactAccountingWithinOnePercent) {
+  cluster::ClusterConfig config = cluster::athlon_cluster();
+  config.sample_power = true;
+  cluster::ExperimentRunner runner(config);
+  const auto cg = workloads::make_workload("CG");
+  const cluster::RunResult r = runner.run(*cg, 4, 2);
+  ASSERT_TRUE(r.sampled_energy.has_value());
+  EXPECT_NEAR(*r.sampled_energy / r.energy, 1.0, 0.01);
+}
+
+TEST(SampledMetering, NoiseIsToleratedByIntegration) {
+  cluster::ClusterConfig config = cluster::athlon_cluster();
+  config.sample_power = true;
+  config.multimeter.noise_stddev_watts = 3.0;
+  cluster::ExperimentRunner runner(config);
+  const cluster::RunResult r = runner.run(*workloads::make_workload("MG"), 2, 0);
+  ASSERT_TRUE(r.sampled_energy.has_value());
+  EXPECT_NEAR(*r.sampled_energy / r.energy, 1.0, 0.02);
+}
+
+TEST(SampledMetering, OffByDefault) {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  const cluster::RunResult r = runner.run(*workloads::make_workload("EP"), 1, 0);
+  EXPECT_FALSE(r.sampled_energy.has_value());
+}
+
+}  // namespace
+}  // namespace gearsim::workloads

@@ -1,0 +1,141 @@
+// Unit tests for the network model: latency/bandwidth arithmetic, NIC
+// serialization, incast and backplane contention, presets.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace gearsim::net {
+namespace {
+
+NetworkParams quiet() {
+  NetworkParams p;
+  p.latency = microseconds(100.0);
+  p.link_bandwidth = 10e6;      // 10 MB/s for round numbers.
+  p.backplane_bandwidth = 80e6;
+  return p;
+}
+
+TEST(Network, UncontendedTransferIsLatencyPlusSerialization) {
+  Network net(quiet(), 4);
+  const Seconds t = net.transfer(0, 1, 1'000'000, seconds(0.0));
+  // 100 us latency + 0.1 s wire.
+  EXPECT_NEAR(t.value(), 0.1001, 1e-9);
+  EXPECT_NEAR(net.uncontended_time(1'000'000).value(), 0.1001, 1e-9);
+}
+
+TEST(Network, ZeroByteMessageCostsLatencyOnly) {
+  Network net(quiet(), 2);
+  EXPECT_NEAR(net.transfer(0, 1, 0, seconds(0.0)).value(), 1e-4, 1e-12);
+}
+
+TEST(Network, SenderNicSerializesBackToBackMessages) {
+  Network net(quiet(), 4);
+  const Seconds t1 = net.transfer(0, 1, 1'000'000, seconds(0.0));
+  const Seconds t2 = net.transfer(0, 2, 1'000'000, seconds(0.0));
+  // The second message waits for the first to clear the TX link.
+  EXPECT_NEAR(t2.value() - t1.value(), 0.1, 1e-9);
+}
+
+TEST(Network, IncastSerializesAtTheReceiver) {
+  Network net(quiet(), 4);
+  const Seconds a = net.transfer(1, 0, 1'000'000, seconds(0.0));
+  const Seconds b = net.transfer(2, 0, 1'000'000, seconds(0.0));
+  const Seconds c = net.transfer(3, 0, 1'000'000, seconds(0.0));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // Three 0.1 s messages into one RX link: the last finishes ~0.3 s in.
+  EXPECT_NEAR(c.value(), 0.3001, 1e-3);
+}
+
+TEST(Network, DisjointPairsDoNotInterfereBelowBackplaneLimit) {
+  Network net(quiet(), 4);
+  const Seconds a = net.transfer(0, 1, 1'000'000, seconds(0.0));
+  const Seconds b = net.transfer(2, 3, 1'000'000, seconds(0.0));
+  // The 80 MB/s fabric admits both 10 MB/s flows with a small offset.
+  EXPECT_NEAR(a.value(), b.value(), 0.02);
+}
+
+TEST(Network, BackplaneSaturationCreatesClusterWideContention) {
+  NetworkParams p = quiet();
+  p.backplane_bandwidth = p.link_bandwidth;  // Hub-like shared medium.
+  Network net(p, 4);
+  (void)net.transfer(0, 1, 1'000'000, seconds(0.0));
+  const Seconds b = net.transfer(2, 3, 1'000'000, seconds(0.0));
+  // The disjoint pair now queues behind the first flow's fabric share.
+  EXPECT_GT(b.value(), 0.19);
+}
+
+TEST(Network, ReservationsPersistAcrossCalls) {
+  Network net(quiet(), 2);
+  (void)net.transfer(0, 1, 10'000'000, seconds(0.0));  // 1 s of TX.
+  const Seconds t = net.transfer(0, 1, 0, seconds(0.5));
+  EXPECT_GT(t.value(), 1.0);  // Injected mid-transfer, queued behind it.
+}
+
+TEST(Network, LateInjectionSeesIdleNetwork) {
+  Network net(quiet(), 2);
+  (void)net.transfer(0, 1, 1'000'000, seconds(0.0));
+  const Seconds t = net.transfer(0, 1, 1'000'000, seconds(10.0));
+  EXPECT_NEAR(t.value(), 10.1001, 1e-9);
+}
+
+TEST(Network, CountsTraffic) {
+  Network net(quiet(), 2);
+  (void)net.transfer(0, 1, 500, seconds(0.0));
+  (void)net.transfer(1, 0, 700, seconds(0.0));
+  EXPECT_EQ(net.messages_carried(), 2u);
+  EXPECT_EQ(net.bytes_carried(), 1200u);
+}
+
+TEST(Network, JitterIsDeterministicPerSeed) {
+  NetworkParams p = quiet();
+  p.latency_jitter = 0.5;
+  Network a(p, 2);
+  Network b(p, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.transfer(0, 1, 1000, seconds(i)).value(),
+                     b.transfer(0, 1, 1000, seconds(i)).value());
+  }
+}
+
+TEST(Network, JitterPerturbsLatency) {
+  NetworkParams p = quiet();
+  p.latency_jitter = 0.5;
+  Network net(p, 2);
+  bool saw_different = false;
+  const double base = net.uncontended_time(0).value();
+  for (int i = 0; i < 20; ++i) {
+    const Seconds t = net.transfer(0, 1, 0, seconds(10.0 * i));
+    if (std::abs((t.value() - 10.0 * i) - base) > 1e-9) saw_different = true;
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(Network, RejectsInvalidEndpoints) {
+  Network net(quiet(), 2);
+  EXPECT_THROW((void)net.transfer(0, 0, 1, seconds(0.0)), ContractError);
+  EXPECT_THROW((void)net.transfer(0, 5, 1, seconds(0.0)), ContractError);
+}
+
+TEST(Network, RejectsBadParams) {
+  NetworkParams p = quiet();
+  p.backplane_bandwidth = p.link_bandwidth / 2;
+  EXPECT_THROW(Network(p, 2), ContractError);
+  p = quiet();
+  p.link_bandwidth = 0.0;
+  EXPECT_THROW(Network(p, 2), ContractError);
+}
+
+TEST(Presets, PaperEthernetIsRoughly100Mbps) {
+  const NetworkParams p = ethernet_100mbps();
+  EXPECT_GT(p.link_bandwidth, 10e6);
+  EXPECT_LT(p.link_bandwidth, 12.5e6);
+  EXPECT_DOUBLE_EQ(p.latency_jitter, 0.0);
+}
+
+TEST(Presets, XeonClusterIsJittery) {
+  EXPECT_GT(shared_xeon_network().latency_jitter, 0.0);
+}
+
+}  // namespace
+}  // namespace gearsim::net

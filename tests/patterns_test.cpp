@@ -1,0 +1,113 @@
+// Unit tests for the communication-pattern library: message counts,
+// volumes, and deadlock-freedom of each building block.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workloads/patterns.hpp"
+
+namespace gearsim::workloads {
+namespace {
+
+/// Minimal workload wrapper running one pattern once per rank.
+class OnePattern final : public cluster::Workload {
+ public:
+  using Fn = void (*)(cluster::RankContext&);
+  OnePattern(std::string name, Fn fn, bool square_only = false)
+      : name_(std::move(name)), fn_(fn), square_only_(square_only) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool supports(int n) const override {
+    if (!square_only_) return n >= 1;
+    int r = 1;
+    while (r * r < n) ++r;
+    return r * r == n;
+  }
+  void run(cluster::RankContext& ctx) const override { fn_(ctx); }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  bool square_only_;
+};
+
+cluster::RunResult run_pattern(const cluster::Workload& w, int nodes) {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  return runner.run(w, nodes, 0);
+}
+
+TEST(Patterns, RingHaloMessageCount) {
+  const OnePattern w("ring", [](cluster::RankContext& ctx) {
+    ring_halo_exchange(ctx, kilobytes(10));
+  });
+  for (int n : {2, 3, 5, 8}) {
+    const auto r = run_pattern(w, n);
+    // Two sendrecvs per rank = 2n messages of 10KB.
+    EXPECT_EQ(r.messages, static_cast<std::uint64_t>(2 * n)) << n;
+    EXPECT_EQ(r.net_bytes, static_cast<Bytes>(2 * n) * kilobytes(10)) << n;
+  }
+}
+
+TEST(Patterns, RingHaloIsNoopOnOneRank) {
+  const OnePattern w("ring", [](cluster::RankContext& ctx) {
+    ring_halo_exchange(ctx, kilobytes(10));
+  });
+  EXPECT_EQ(run_pattern(w, 1).messages, 0u);
+}
+
+TEST(Patterns, ChainHaloHasOpenEnds) {
+  const OnePattern w("chain", [](cluster::RankContext& ctx) {
+    chain_halo_exchange(ctx, kilobytes(10));
+  });
+  for (int n : {2, 4, 7}) {
+    const auto r = run_pattern(w, n);
+    // Each of the n-1 adjacencies carries one message each way.
+    EXPECT_EQ(r.messages, static_cast<std::uint64_t>(2 * (n - 1))) << n;
+  }
+}
+
+TEST(Patterns, AdiSweepCountsAndGridRequirement) {
+  const OnePattern w(
+      "adi",
+      [](cluster::RankContext& ctx) { adi_sweep(ctx, kilobytes(90)); },
+      /*square_only=*/true);
+  for (int n : {4, 9}) {
+    const auto r = run_pattern(w, n);
+    int q = 1;
+    while (q * q < n) ++q;
+    // 3 directions x (q-1) steps x 1 sendrecv per rank.
+    EXPECT_EQ(r.messages, static_cast<std::uint64_t>(n * 3 * (q - 1))) << n;
+    // Faces are face_bytes / q.
+    EXPECT_EQ(r.net_bytes, static_cast<Bytes>(n * 3 * (q - 1)) *
+                               (kilobytes(90) / static_cast<Bytes>(q)))
+        << n;
+  }
+}
+
+TEST(Patterns, WavefrontVolumeIsNodeInvariant) {
+  const OnePattern w("wave", [](cluster::RankContext& ctx) {
+    wavefront_exchange(ctx, kilobytes(120));
+  });
+  const auto r4 = run_pattern(w, 4);
+  const auto r9 = run_pattern(w, 9);
+  // Per-rank volume ~ 4 * scale regardless of n; message count grows.
+  EXPECT_NEAR(static_cast<double>(r4.net_bytes) / 4,
+              static_cast<double>(r9.net_bytes) / 9, 1.0);
+  EXPECT_GT(static_cast<double>(r9.messages) / 9,
+            static_cast<double>(r4.messages) / 4);
+}
+
+TEST(Patterns, AllCompleteAtEveryGear) {
+  // Deadlock-freedom across the gear ladder (timing shifts must not
+  // change matching).
+  const OnePattern w("combo", [](cluster::RankContext& ctx) {
+    ring_halo_exchange(ctx, kilobytes(4));
+    chain_halo_exchange(ctx, kilobytes(4));
+    wavefront_exchange(ctx, kilobytes(4));
+  });
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  for (std::size_t g = 0; g < runner.num_gears(); ++g) {
+    EXPECT_GT(runner.run(w, 4, g).messages, 0u) << g;
+  }
+}
+
+}  // namespace
+}  // namespace gearsim::workloads

@@ -1,0 +1,179 @@
+// Unit tests for the power-measurement substrate: the exact piecewise
+// integrator and the sampling multimeter (the paper's wall-outlet rig).
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.hpp"
+#include "power/multimeter.hpp"
+#include "sim/engine.hpp"
+
+namespace gearsim::power {
+namespace {
+
+TEST(EnergyMeter, IntegratesPiecewiseConstantExactly) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(0.0), watts(100.0), NodeState::kActive);
+  m.set_power(0, seconds(2.0), watts(50.0), NodeState::kIdle);
+  m.finish(seconds(5.0));
+  EXPECT_DOUBLE_EQ(m.node(0).total.value(), 100.0 * 2 + 50.0 * 3);
+  EXPECT_DOUBLE_EQ(m.node(0).active.value(), 200.0);
+  EXPECT_DOUBLE_EQ(m.node(0).idle.value(), 150.0);
+  EXPECT_DOUBLE_EQ(m.node(0).active_time.value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.node(0).idle_time.value(), 3.0);
+}
+
+TEST(EnergyMeter, MeanPowers) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(0.0), watts(120.0), NodeState::kActive);
+  m.set_power(0, seconds(1.0), watts(80.0), NodeState::kActive);
+  m.set_power(0, seconds(3.0), watts(90.0), NodeState::kIdle);
+  m.finish(seconds(4.0));
+  // Active: 120*1 + 80*2 = 280 J over 3 s.
+  EXPECT_NEAR(m.node(0).mean_active_power().value(), 280.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.node(0).mean_idle_power().value(), 90.0);
+}
+
+TEST(EnergyMeter, AggregatesAcrossNodes) {
+  EnergyMeter m(3);
+  for (std::size_t n = 0; n < 3; ++n) {
+    m.set_power(n, seconds(0.0), watts(10.0 * (n + 1)), NodeState::kActive);
+  }
+  m.finish(seconds(1.0));
+  EXPECT_DOUBLE_EQ(m.total_energy().value(), 10.0 + 20.0 + 30.0);
+  EXPECT_DOUBLE_EQ(m.total_active_energy().value(), 60.0);
+  EXPECT_DOUBLE_EQ(m.total_idle_energy().value(), 0.0);
+}
+
+TEST(EnergyMeter, ZeroDurationSegmentsContributeNothing) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(0.0), watts(100.0), NodeState::kIdle);
+  m.set_power(0, seconds(0.0), watts(5000.0), NodeState::kActive);
+  m.set_power(0, seconds(0.0), watts(100.0), NodeState::kIdle);
+  m.finish(seconds(1.0));
+  EXPECT_DOUBLE_EQ(m.node(0).total.value(), 100.0);
+}
+
+TEST(EnergyMeter, RejectsTimeTravelAndBadInput) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(1.0), watts(10.0), NodeState::kActive);
+  EXPECT_THROW(m.set_power(0, seconds(0.5), watts(10.0), NodeState::kActive),
+               ContractError);
+  EXPECT_THROW(m.set_power(0, seconds(2.0), watts(-1.0), NodeState::kActive),
+               ContractError);
+  EXPECT_THROW(m.set_power(1, seconds(2.0), watts(1.0), NodeState::kActive),
+               ContractError);
+  m.finish(seconds(2.0));
+  EXPECT_THROW(m.finish(seconds(3.0)), ContractError);
+}
+
+TEST(EnergyMeter, ProfileRecording) {
+  EnergyMeter m(1);
+  m.enable_profile_recording();
+  m.set_power(0, seconds(0.0), watts(100.0), NodeState::kActive);
+  m.set_power(0, seconds(1.0), watts(90.0), NodeState::kIdle);
+  m.finish(seconds(2.0));
+  const auto& prof = m.profile(0);
+  ASSERT_EQ(prof.size(), 3u);  // Two transitions + the closing sample.
+  EXPECT_DOUBLE_EQ(prof[0].power.value(), 100.0);
+  EXPECT_EQ(prof[1].state, NodeState::kIdle);
+  EXPECT_DOUBLE_EQ(prof[2].time.value(), 2.0);
+}
+
+TEST(EnergyMeter, ProfileRequiresOptIn) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(0.0), watts(1.0), NodeState::kIdle);
+  m.finish(seconds(1.0));
+  EXPECT_THROW((void)m.profile(0), ContractError);
+}
+
+TEST(EnergyMeter, InstantaneousReadsLastLevel) {
+  EnergyMeter m(1);
+  m.set_power(0, seconds(0.0), watts(42.0), NodeState::kActive);
+  EXPECT_DOUBLE_EQ(m.instantaneous(0).value(), 42.0);
+}
+
+// --- multimeter -----------------------------------------------------------------
+
+TEST(Multimeter, ConstantPowerIntegratesExactly) {
+  sim::Engine engine;
+  Multimeter meter(engine, MultimeterConfig{40.0, 0.0, 1},
+                   [] { return watts(100.0); });
+  meter.start();
+  engine.schedule_at(seconds(10.0), [&] { meter.stop(); });
+  engine.run();
+  EXPECT_NEAR(meter.energy().value(), 1000.0, 1e-9);
+  EXPECT_GE(meter.sample_count(), 400u);
+}
+
+TEST(Multimeter, TracksAStepChangeWithinSamplePeriodError) {
+  sim::Engine engine;
+  Watts level = watts(150.0);
+  Multimeter meter(engine, MultimeterConfig{50.0, 0.0, 1},
+                   [&] { return level; });
+  meter.start();
+  engine.schedule_at(seconds(5.0), [&] { level = watts(90.0); });
+  engine.schedule_at(seconds(10.0), [&] { meter.stop(); });
+  engine.run();
+  const double exact = 150.0 * 5 + 90.0 * 5;
+  // Trapezoid error on one step is bounded by dP * sample_period / 2.
+  EXPECT_NEAR(meter.energy().value(), exact, 60.0 * (1.0 / 50.0));
+}
+
+TEST(Multimeter, NoiseAveragesOut) {
+  sim::Engine engine;
+  Multimeter meter(engine, MultimeterConfig{200.0, 5.0, 7},
+                   [] { return watts(100.0); });
+  meter.start();
+  engine.schedule_at(seconds(20.0), [&] { meter.stop(); });
+  engine.run();
+  EXPECT_NEAR(meter.energy().value(), 2000.0, 25.0);
+}
+
+TEST(Multimeter, MatchesExactMeterOnASimulatedWorkloadProfile) {
+  // The validation the paper's rig cannot do: compare the sampling path
+  // against closed-form integration of the same piecewise profile.
+  sim::Engine engine;
+  EnergyMeter exact(1);
+  exact.set_power(0, seconds(0.0), watts(145.0), NodeState::kActive);
+  Multimeter sampled(engine, MultimeterConfig{40.0, 0.0, 1},
+                     [&] { return exact.instantaneous(0); });
+  sampled.start();
+  // Alternate active/idle every 0.5 s for 8 s.
+  for (int k = 1; k <= 16; ++k) {
+    const bool idle = k % 2 == 1;
+    engine.schedule_at(seconds(0.5 * k), [&, idle] {
+      exact.set_power(0, engine.now(), idle ? watts(95.0) : watts(145.0),
+                      idle ? NodeState::kIdle : NodeState::kActive);
+    });
+  }
+  engine.schedule_at(seconds(8.0), [&] { sampled.stop(); });
+  engine.run();
+  exact.finish(seconds(8.0));
+  const double rel_error = std::abs(sampled.energy().value() -
+                                    exact.node(0).total.value()) /
+                           exact.node(0).total.value();
+  EXPECT_LT(rel_error, 0.02);  // "Several tens of samples a second" is
+                               // plenty for 0.5 s phases.
+}
+
+TEST(Multimeter, StopWithoutStartThrows) {
+  sim::Engine engine;
+  Multimeter meter(engine, MultimeterConfig{}, [] { return watts(1.0); });
+  EXPECT_THROW(meter.stop(), ContractError);
+}
+
+TEST(Multimeter, RestartAfterStop) {
+  sim::Engine engine;
+  Multimeter meter(engine, MultimeterConfig{100.0, 0.0, 1},
+                   [] { return watts(10.0); });
+  meter.start();
+  engine.schedule_at(seconds(1.0), [&] { meter.stop(); });
+  engine.schedule_at(seconds(2.0), [&] { meter.start(); });
+  engine.schedule_at(seconds(3.0), [&] { meter.stop(); });
+  engine.run();
+  // Two 1-second windows at 10 W; the gap (with its own start sample)
+  // contributes one inter-window trapezoid of 10 W * 1 s.
+  EXPECT_NEAR(meter.energy().value(), 30.0, 0.2);
+}
+
+}  // namespace
+}  // namespace gearsim::power

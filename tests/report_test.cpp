@@ -1,0 +1,138 @@
+// Tests for the SVG report module: tick generation, document structure,
+// escaping, figure building, and file output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/figures.hpp"
+#include "report/svg_plot.hpp"
+
+namespace gearsim::report {
+namespace {
+
+TEST(NiceTicks, RoundValuesCoverTheRange) {
+  const auto ticks = nice_ticks(0.0, 10.0);
+  ASSERT_GE(ticks.size(), 4u);
+  ASSERT_LE(ticks.size(), 9u);
+  EXPECT_GE(ticks.front(), 0.0);
+  EXPECT_LE(ticks.back(), 10.0 + 1e-9);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_NEAR(ticks[i] - ticks[i - 1], ticks[1] - ticks[0], 1e-9);
+  }
+}
+
+TEST(NiceTicks, HandlesOffsetsAndSmallRanges) {
+  const auto ticks = nice_ticks(97.3, 151.8);
+  EXPECT_GE(ticks.front(), 97.3);
+  EXPECT_LE(ticks.back(), 151.8 + 1e-6);
+  const auto tiny = nice_ticks(0.001, 0.009);
+  EXPECT_GE(tiny.size(), 3u);
+  EXPECT_THROW(nice_ticks(5.0, 5.0), ContractError);
+}
+
+SvgSeries simple_series() {
+  SvgSeries s;
+  s.label = "4 nodes";
+  s.points = {{100.0, 15.0}, {105.0, 14.0}, {112.0, 13.5}};
+  s.point_labels = {"g1", "g2", "g3"};
+  return s;
+}
+
+TEST(SvgPlot, RendersWellFormedDocument) {
+  SvgPlot plot("Figure X", "time [s]", "energy [kJ]");
+  plot.add_series(simple_series());
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Figure X"), std::string::npos);
+  EXPECT_NE(svg.find("time [s]"), std::string::npos);
+  EXPECT_NE(svg.find("energy [kJ]"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  // One marker per point plus one legend dot.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 4u);
+  EXPECT_NE(svg.find(">g2<"), std::string::npos);  // Point annotation.
+}
+
+TEST(SvgPlot, EscapesMarkup) {
+  SvgPlot plot("a < b & c", "x", "y");
+  SvgSeries s;
+  s.label = "<series>";
+  s.points = {{0.0, 0.0}, {1.0, 1.0}};
+  plot.add_series(std::move(s));
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;series&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("<series>"), std::string::npos);
+}
+
+TEST(SvgPlot, MultipleSeriesGetDistinctColors) {
+  SvgPlot plot("t", "x", "y");
+  for (int i = 0; i < 3; ++i) {
+    SvgSeries s;
+    s.label = "s" + std::to_string(i);
+    s.points = {{0.0, static_cast<double>(i)}, {1.0, i + 1.0}};
+    plot.add_series(std::move(s));
+  }
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+  EXPECT_NE(svg.find("#2ca02c"), std::string::npos);
+}
+
+TEST(SvgPlot, RejectsBadInput) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_THROW(plot.render(), ContractError);  // No series.
+  SvgSeries empty;
+  empty.label = "e";
+  EXPECT_THROW(plot.add_series(empty), ContractError);
+  SvgSeries mismatched = simple_series();
+  mismatched.point_labels.pop_back();
+  EXPECT_THROW(plot.add_series(mismatched), ContractError);
+}
+
+TEST(SvgPlot, WritesAFile) {
+  const std::string path = "/tmp/gearsim_report_test.svg";
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series());
+  plot.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Figures, EnergyTimeFigureFromCurves) {
+  model::Curve c4;
+  c4.nodes = 4;
+  c4.points = {{1, seconds(100), kilojoules(15)},
+               {2, seconds(104), kilojoules(14)}};
+  model::Curve c8;
+  c8.nodes = 8;
+  c8.points = {{1, seconds(60), kilojoules(17)},
+               {2, seconds(63), kilojoules(16)}};
+  const SvgPlot plot = energy_time_figure("Figure 2: LU", {c4, c8});
+  EXPECT_EQ(plot.series_count(), 2u);
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("4 nodes"), std::string::npos);
+  EXPECT_NE(svg.find("8 nodes"), std::string::npos);
+  EXPECT_NE(svg.find(">g1<"), std::string::npos);
+}
+
+TEST(Figures, SingleNodeLabel) {
+  model::Curve c1;
+  c1.nodes = 1;
+  c1.points = {{1, seconds(100), kilojoules(15)}};
+  const std::string svg = energy_time_figure("f", {c1}).render();
+  EXPECT_NE(svg.find("1 node<"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gearsim::report

@@ -1,0 +1,233 @@
+// Unit tests for the discrete-event kernel: event ordering, time
+// semantics, process scheduling, deadlock detection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace gearsim::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(seconds(3.0), [&] { fired.push_back(3); });
+  q.push(seconds(1.0), [&] { fired.push_back(1); });
+  q.push(seconds(2.0), [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    Seconds t{};
+    q.pop(t)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(seconds(1.0), [&, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    Seconds t{};
+    q.pop(t)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, TimeAdvancesToEventTimestamps) {
+  Engine e;
+  std::vector<double> seen;
+  e.schedule_at(seconds(1.5), [&] { seen.push_back(e.now().value()); });
+  e.schedule_at(seconds(0.5), [&] { seen.push_back(e.now().value()); });
+  e.run();
+  EXPECT_EQ(seen, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(e.now().value(), 1.5);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(seconds(2.0), [&] {
+    e.schedule_after(seconds(3.0), [&] { fired_at = e.now().value(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule_at(seconds(1.0), [&] {
+    EXPECT_THROW(e.schedule_at(seconds(0.5), [] {}), ContractError);
+  });
+  e.run();
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(seconds(1.0), [&] { ++fired; });
+  e.schedule_at(seconds(10.0), [&] { ++fired; });
+  e.run_until(seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now().value(), 1.0);
+  e.run();  // Drain the rest.
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.schedule_at(seconds(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 10u);
+}
+
+TEST(Process, DelayAdvancesSimTimeOnly) {
+  Engine e;
+  std::vector<double> stamps;
+  e.spawn("p", [&](Process& p) {
+    stamps.push_back(p.now().value());
+    p.delay(seconds(2.0));
+    stamps.push_back(p.now().value());
+    p.delay(seconds(0.5));
+    stamps.push_back(p.now().value());
+  });
+  e.run();
+  EXPECT_EQ(stamps, (std::vector<double>{0.0, 2.0, 2.5}));
+}
+
+TEST(Process, ZeroDelayIsAllowed) {
+  Engine e;
+  bool done = false;
+  e.spawn("p", [&](Process& p) {
+    p.delay(seconds(0.0));
+    done = true;
+  });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Process, NegativeDelayThrows) {
+  Engine e;
+  e.spawn("p", [&](Process& p) {
+    EXPECT_THROW(p.delay(seconds(-1.0)), ContractError);
+  });
+  e.run();
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Engine e;
+  std::vector<std::string> order;
+  e.spawn("a", [&](Process& p) {
+    order.push_back("a0");
+    p.delay(seconds(1.0));
+    order.push_back("a1");
+    p.delay(seconds(2.0));  // Wakes at t=3.
+    order.push_back("a3");
+  });
+  e.spawn("b", [&](Process& p) {
+    order.push_back("b0");
+    p.delay(seconds(2.0));
+    order.push_back("b2");
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a0", "b0", "a1", "b2", "a3"}));
+}
+
+TEST(Process, BlockAndWakeHandshake) {
+  Engine e;
+  std::vector<std::string> order;
+  Process& consumer = e.spawn("consumer", [&](Process& p) {
+    order.push_back("consumer-blocks");
+    p.block();
+    order.push_back("consumer-woken@" + std::to_string(p.now().value()));
+  });
+  e.spawn("producer", [&](Process& p) {
+    p.delay(seconds(5.0));
+    order.push_back("producer-wakes");
+    consumer.wake();
+  });
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "consumer-blocks");
+  EXPECT_EQ(order[1], "producer-wakes");
+  EXPECT_EQ(order[2], "consumer-woken@5.000000");
+}
+
+TEST(Process, WakeOnNonBlockedThrows) {
+  Engine e;
+  Process& a = e.spawn("a", [](Process& p) { p.delay(seconds(1.0)); });
+  e.spawn("b", [&](Process&) { EXPECT_THROW(a.wake(), ContractError); });
+  e.run();
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  Engine e;
+  e.spawn("stuck", [](Process& p) { p.block(); });
+  EXPECT_THROW(e.run(), SimulationError);
+}
+
+TEST(Engine, DeadlockMessageNamesProcesses) {
+  Engine e;
+  e.spawn("rank0", [](Process& p) { p.block(); });
+  e.spawn("rank1", [](Process& p) { p.block(); });
+  try {
+    e.run();
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("rank0"), std::string::npos);
+    EXPECT_NE(what.find("rank1"), std::string::npos);
+  }
+}
+
+TEST(Engine, ProcessExceptionPropagates) {
+  Engine e;
+  e.spawn("boom", [](Process& p) {
+    p.delay(seconds(1.0));
+    throw std::runtime_error("kaboom");
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, ManyProcessesFinish) {
+  Engine e;
+  int finished = 0;
+  for (int i = 0; i < 64; ++i) {
+    e.spawn("p" + std::to_string(i), [&, i](Process& p) {
+      p.delay(seconds(0.001 * i));
+      ++finished;
+    });
+  }
+  e.run();
+  EXPECT_EQ(finished, 64);
+  EXPECT_EQ(e.process_count(), 64u);
+}
+
+TEST(Engine, TeardownWithLiveProcessesDoesNotHang) {
+  // An engine destroyed while a process is blocked must terminate the
+  // process thread cleanly (no join hang, no crash).
+  auto e = std::make_unique<Engine>();
+  e->spawn("forever", [](Process& p) { p.block(); });
+  try {
+    e->run();
+  } catch (const SimulationError&) {
+    // Expected deadlock; now destroy with the process still blocked.
+  }
+  e.reset();
+  SUCCEED();
+}
+
+TEST(Process, StateTransitions) {
+  Engine e;
+  Process& p = e.spawn("p", [](Process& self) { self.delay(seconds(1.0)); });
+  EXPECT_EQ(p.state(), Process::State::kReady);
+  e.run();
+  EXPECT_EQ(p.state(), Process::State::kFinished);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.name(), "p");
+}
+
+}  // namespace
+}  // namespace gearsim::sim

@@ -1,0 +1,281 @@
+// gearsim — command-line front end for the simulator.
+//
+//   gearsim list
+//   gearsim run   --workload CG --nodes 4 [--gear 2] [--cluster athlon]
+//   gearsim sweep --workload CG --nodes 4 [--csv] [--cluster athlon]
+//   gearsim space --workload LU [--csv]
+//   gearsim model --workload SP --target 64
+//
+// `run` executes one experiment and prints its full measurement record;
+// `sweep` prints one energy-time curve (optionally CSV for replotting);
+// `space` sweeps every valid (nodes x gear) configuration; `model` runs
+// the paper's five-step methodology and predicts a larger cluster.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "model/analytic.hpp"
+#include "model/pipeline.hpp"
+#include "model/tradeoff.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace gearsim;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? std::stoi(it->second) : fallback;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.count(key) > 0;
+  }
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) return std::nullopt;
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.options[token] = "1";  // Boolean flag.
+    }
+  }
+  return args;
+}
+
+cluster::ClusterConfig cluster_by_name(const std::string& name) {
+  if (name == "athlon") return cluster::athlon_cluster();
+  if (name == "sun") return cluster::sun_cluster();
+  if (name == "xeon") return cluster::xeon_cluster();
+  throw ContractError("unknown cluster: " + name +
+                      " (expected athlon, sun, or xeon)");
+}
+
+int cmd_list() {
+  TextTable table({"name", "valid node counts (athlon)", "notes"});
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto w = entry.make();
+    std::string counts;
+    for (int n : workloads::paper_node_counts(*w, 10)) {
+      if (!counts.empty()) counts += ' ';
+      counts += std::to_string(n);
+    }
+    std::string note;
+    if (entry.name == "FT") note = "excluded from the paper's figures";
+    if (entry.name.rfind("IS", 0) == 0) note = "excluded (see appendix bench)";
+    table.add_row({entry.name, counts, note});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+void print_run(const cluster::RunResult& r) {
+  TextTable table({"metric", "value"});
+  table.add_row({"nodes", std::to_string(r.nodes)});
+  table.add_row({"gear", std::to_string(r.gear_label)});
+  table.add_row({"wall time [s]", fmt_fixed(r.wall.value(), 3)});
+  table.add_row({"energy [kJ]", fmt_fixed(r.energy.value() / 1e3, 3)});
+  table.add_row({"active energy [kJ]",
+                 fmt_fixed(r.active_energy.value() / 1e3, 3)});
+  table.add_row({"idle energy [kJ]",
+                 fmt_fixed(r.idle_energy.value() / 1e3, 3)});
+  table.add_row({"mean active power [W]",
+                 fmt_fixed(r.mean_active_power.value(), 1)});
+  table.add_row({"mean idle power [W]",
+                 fmt_fixed(r.mean_idle_power.value(), 1)});
+  table.add_row({"T^A (max rank) [s]",
+                 fmt_fixed(r.breakdown.active_max.value(), 3)});
+  table.add_row({"T^I (derived) [s]",
+                 fmt_fixed(r.breakdown.idle_derived.value(), 3)});
+  table.add_row({"T^C / T^R [s]",
+                 fmt_fixed(r.breakdown.critical.value(), 3) + " / " +
+                     fmt_fixed(r.breakdown.reducible.value(), 3)});
+  table.add_row({"MPI calls", std::to_string(r.mpi_calls)});
+  table.add_row({"messages", std::to_string(r.messages)});
+  table.add_row({"bytes moved [MB]",
+                 fmt_fixed(static_cast<double>(r.net_bytes) / 1048576.0, 1)});
+  std::cout << table.to_string();
+}
+
+int cmd_run(const Args& args) {
+  cluster::ExperimentRunner runner(
+      cluster_by_name(args.get("cluster", "athlon")));
+  const auto workload = workloads::make_workload(args.get("workload", "CG"));
+  const int nodes = args.get_int("nodes", 4);
+  const int gear = args.get_int("gear", 1);
+  print_run(runner.run(*workload, nodes, static_cast<std::size_t>(gear - 1)));
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  cluster::ExperimentRunner runner(
+      cluster_by_name(args.get("cluster", "athlon")));
+  const auto workload = workloads::make_workload(args.get("workload", "CG"));
+  const int nodes = args.get_int("nodes", 4);
+  const auto runs = runner.gear_sweep(*workload, nodes);
+  TextTable table({"gear", "MHz", "time_s", "energy_J", "mean_power_W"});
+  for (const auto& r : runs) {
+    table.add_row({std::to_string(r.gear_label),
+                   fmt_fixed(runner.config()
+                                 .gears.gear(r.gear_index)
+                                 .frequency.value() /
+                                 1e6,
+                             0),
+                   fmt_fixed(r.wall.value(), 3),
+                   fmt_fixed(r.energy.value(), 1),
+                   fmt_fixed((r.energy / r.wall).value(), 1)});
+  }
+  std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int cmd_space(const Args& args) {
+  cluster::ExperimentRunner runner(
+      cluster_by_name(args.get("cluster", "athlon")));
+  const auto workload = workloads::make_workload(args.get("workload", "LU"));
+  TextTable table({"nodes", "gear", "time_s", "energy_J"});
+  for (int n : workloads::paper_node_counts(*workload,
+                                            runner.config().max_nodes)) {
+    for (const auto& r : runner.gear_sweep(*workload, n)) {
+      table.add_row({std::to_string(n), std::to_string(r.gear_label),
+                     fmt_fixed(r.wall.value(), 3),
+                     fmt_fixed(r.energy.value(), 1)});
+    }
+  }
+  std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  cluster::ExperimentRunner athlon(cluster::athlon_cluster());
+  cluster::ExperimentRunner sun(cluster::sun_cluster());
+  const auto workload = workloads::make_workload(args.get("workload", "SP"));
+  const int target = args.get_int("target", 32);
+  model::ScalingModel::Options opts;
+  opts.primary_nodes = workloads::paper_node_counts(*workload, 9);
+  opts.validation_nodes = workloads::paper_node_counts(*workload, 32);
+  const auto scaling =
+      model::ScalingModel::build(athlon, sun, *workload, opts);
+  const model::ScalingReport& rep = scaling.report();
+  std::cout << "F_s = " << fmt_fixed(rep.amdahl_primary.serial_fraction, 4)
+            << ", communication " << to_string(rep.comm_primary.shape())
+            << ", reducible fraction "
+            << fmt_fixed(rep.reducible_fraction, 3) << "\n\n";
+  const model::Curve curve = scaling.predicted_curve(target);
+  TextTable table({"gear", "time_s", "energy_J"});
+  for (const auto& p : curve.points) {
+    table.add_row({std::to_string(p.gear_label),
+                   fmt_fixed(p.time.value(), 3),
+                   fmt_fixed(p.energy.value(), 1)});
+  }
+  std::cout << "Predicted curve on " << target << " nodes:\n"
+            << (args.has("csv") ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  // One run with full instrumentation artifacts: the per-call CSV and the
+  // per-rank activity timeline SVG.
+  cluster::ExperimentRunner runner(
+      cluster_by_name(args.get("cluster", "athlon")));
+  const auto workload = workloads::make_workload(args.get("workload", "CG"));
+  const int nodes = args.get_int("nodes", 4);
+  const int gear = args.get_int("gear", 1);
+  const std::string stem = args.get("out", "trace");
+  cluster::RunOptions options;
+  options.gear_index = static_cast<std::size_t>(gear - 1);
+  options.trace_csv_path = stem + ".csv";
+  options.timeline_svg_path = stem + ".svg";
+  const cluster::RunResult r = runner.run(*workload, nodes, options);
+  std::cout << "wrote " << options.trace_csv_path << " (" << r.mpi_calls
+            << " calls) and " << options.timeline_svg_path << '\n'
+            << "wall " << fmt_fixed(r.wall.value(), 2) << " s, T^A "
+            << fmt_fixed(r.breakdown.active_max.value(), 2) << " s, T^I "
+            << fmt_fixed(r.breakdown.idle_derived.value(), 2) << " s\n";
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  // The paper's Table-1 metric as a tool: given two counter readings
+  // (uops and L2 misses -> UPM) and a delay budget, recommend a gear and
+  // predict the whole curve -- no run needed.
+  const cluster::ClusterConfig config =
+      cluster_by_name(args.get("cluster", "athlon"));
+  const cpu::CpuModel cpu_model(config.cpu, config.gears);
+  const cpu::PowerModel power_model(config.power, config.gears);
+  const double upm = std::stod(args.get("upm", "50"));
+  const double budget = std::stod(args.get("max-delay", "0.05"));
+  const model::Curve curve = model::analytic_single_node_curve(
+      cpu_model, power_model, upm, seconds(1.0));
+  TextTable table({"gear", "predicted slowdown", "predicted energy"});
+  for (const auto& point : curve.points) {
+    table.add_row({std::to_string(point.gear_label),
+                   fmt_percent(point.time.value() - 1.0),
+                   fmt_percent(point.energy / curve.points[0].energy - 1.0)});
+  }
+  std::cout << "UPM " << fmt_fixed(upm, 1) << " (uops per L2 miss):\n"
+            << table.to_string();
+  const std::size_t gear =
+      model::advise_gear_for_delay(cpu_model, upm, budget);
+  std::cout << "Within a " << fmt_percent(budget) << " delay budget: gear "
+            << config.gears.gear(gear).label << " ("
+            << fmt_percent(model::predicted_energy_delta(cpu_model,
+                                                         power_model, upm,
+                                                         gear))
+            << " energy)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: gearsim <command> [options]\n"
+      "  list                              available workloads\n"
+      "  run    --workload W --nodes N [--gear G] [--cluster C]\n"
+      "  sweep  --workload W --nodes N [--csv] [--cluster C]\n"
+      "  space  --workload W [--csv] [--cluster C]\n"
+      "  model  --workload W [--target M] [--csv]\n"
+      "  trace  --workload W --nodes N [--gear G] [--out STEM]\n"
+      "  advise --upm X [--max-delay F] [--cluster C]\n"
+      "clusters: athlon (default), sun, xeon; gears are 1 (fastest) .. 6\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "list") return cmd_list();
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "space") return cmd_space(*args);
+    if (args->command == "model") return cmd_model(*args);
+    if (args->command == "advise") return cmd_advise(*args);
+    if (args->command == "trace") return cmd_trace(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "gearsim: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
