@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/amdahl.cpp" "src/model/CMakeFiles/gearsim_model.dir/amdahl.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/amdahl.cpp.o.d"
+  "/root/repo/src/model/analytic.cpp" "src/model/CMakeFiles/gearsim_model.dir/analytic.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/analytic.cpp.o.d"
+  "/root/repo/src/model/comm_model.cpp" "src/model/CMakeFiles/gearsim_model.dir/comm_model.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/comm_model.cpp.o.d"
+  "/root/repo/src/model/gear_data.cpp" "src/model/CMakeFiles/gearsim_model.dir/gear_data.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/gear_data.cpp.o.d"
+  "/root/repo/src/model/pipeline.cpp" "src/model/CMakeFiles/gearsim_model.dir/pipeline.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/pipeline.cpp.o.d"
+  "/root/repo/src/model/predictor.cpp" "src/model/CMakeFiles/gearsim_model.dir/predictor.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/predictor.cpp.o.d"
+  "/root/repo/src/model/tradeoff.cpp" "src/model/CMakeFiles/gearsim_model.dir/tradeoff.cpp.o" "gcc" "src/model/CMakeFiles/gearsim_model.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gearsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gearsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gearsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gearsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_util.dir/log.cpp.o"
+  "CMakeFiles/gearsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/statistics.cpp.o"
+  "CMakeFiles/gearsim_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/table.cpp.o"
+  "CMakeFiles/gearsim_util.dir/table.cpp.o.d"
+  "libgearsim_util.a"
+  "libgearsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
