@@ -1,0 +1,113 @@
+// Fault tradeoff — how failures move the energy-optimal gear.
+//
+// The paper picks its energy gear on a healthy cluster.  On an unreliable
+// one, every extra second of wall time is another second exposed to
+// failure, and every failure costs a restart plus re-execution — so slow
+// gears pay a resilience tax proportional to how long they stretch the
+// run.  This bench quantifies that: for a memory-bound code (CG, where
+// slowing down is nearly free) and a CPU-bound one (EP, where it is not),
+// it sweeps the per-node failure rate and reports the expected
+// checkpoint/restart-adjusted energy of every gear.
+//
+// Expected result: the energy-optimal gear index is monotonically
+// non-increasing in the failure rate — the flakier the cluster, the
+// faster you should run.  The bench exits non-zero if that ever fails.
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "faults/restart_model.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gearsim;
+
+namespace {
+
+struct GearPoint {
+  int label = 0;
+  Seconds wall{};
+  Joules energy{};
+};
+
+// Per-node failures/second sweep: healthy cluster up to roughly one
+// failure per node every 100 seconds.
+const double kRates[] = {0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2};
+
+bool bench_workload(const std::string& name, int nodes,
+                    const faults::CheckpointConfig& ckpt) {
+  cluster::ExperimentRunner runner(cluster::athlon_cluster());
+  const auto workload = workloads::make_workload(name);
+
+  // One solid (fault-free) measurement per gear; the expected-value
+  // restart model then composes failures on top analytically.
+  std::vector<GearPoint> gears;
+  for (const auto& run : runner.gear_sweep(*workload, nodes)) {
+    gears.push_back(GearPoint{run.gear_label, run.wall, run.energy});
+  }
+
+  std::cout << "--- " << name << " on " << nodes << " nodes (checkpoint every "
+            << ckpt.interval.value() << " s, restart " << ckpt.restart_time.value()
+            << " s) ---\n";
+  TextTable table({"rate [/node/s]", "E(g1) [kJ]", "E(g2)", "E(g3)", "E(g4)",
+                   "E(g5)", "E(g6)", "best gear", "E[restarts]"});
+
+  bool monotone = true;
+  int prev_best = gears.back().label + 1;
+  for (const double rate : kRates) {
+    const double cluster_rate = rate * static_cast<double>(nodes);
+    std::vector<std::string> row{fmt_fixed(rate, 4)};
+    int best_label = 0;
+    double best_energy = 0.0;
+    double best_restarts = 0.0;
+    for (const auto& g : gears) {
+      const faults::EnergyProfile profile =
+          faults::EnergyProfile::flat(g.energy / g.wall, g.wall);
+      const faults::RestartStats stats = faults::expected_restarts(
+          g.wall, profile, static_cast<std::size_t>(nodes), ckpt,
+          cluster_rate);
+      row.push_back(fmt_fixed(stats.energy.value() / 1e3, 2));
+      if (best_label == 0 || stats.energy.value() < best_energy) {
+        best_label = g.label;
+        best_energy = stats.energy.value();
+        best_restarts = stats.expected_failures;
+      }
+    }
+    row.push_back(std::to_string(best_label));
+    row.push_back(fmt_fixed(best_restarts, 2));
+    table.add_row(row);
+    if (best_label > prev_best) monotone = false;
+    prev_best = best_label;
+  }
+  std::cout << table.to_string();
+  std::cout << (monotone
+                    ? "optimal gear is monotone non-increasing in the rate: OK"
+                    : "MONOTONICITY VIOLATION: optimal gear moved slower "
+                      "under a higher failure rate")
+            << "\n\n";
+  return monotone;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fault tradeoff: failure rate vs energy-optimal gear ===\n\n";
+  faults::CheckpointConfig ckpt;
+  ckpt.interval = seconds(5.0);
+  ckpt.write_time = seconds(0.5);
+  ckpt.write_power = watts(120.0);
+  ckpt.restart_time = seconds(60.0);
+  ckpt.restart_power = watts(85.0);
+  ckpt.max_restarts = 1 << 20;
+
+  bool ok = true;
+  ok &= bench_workload("CG", 4, ckpt);  // Memory-bound: wide gear latitude.
+  ok &= bench_workload("EP", 4, ckpt);  // CPU-bound: little latitude.
+
+  std::cout << (ok ? "PASS" : "FAIL")
+            << ": energy-optimal gear shifts toward faster gears as the "
+               "failure rate rises.\n";
+  return ok ? 0 : 1;
+}

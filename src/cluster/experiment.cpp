@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "cluster/dvfs.hpp"
+#include "faults/injector.hpp"
+#include "faults/restart_model.hpp"
 #include "mpi/world.hpp"
 #include "power/energy_meter.hpp"
 #include "trace/timeline.hpp"
@@ -50,6 +52,15 @@ class DvfsDriver final : public mpi::CallObserver {
 
 }  // namespace
 
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kCompletedAfterRestart: return "completed-after-restart";
+    case RunOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
 ExperimentRunner::ExperimentRunner(ClusterConfig config)
     : config_(std::move(config)) {
   GEARSIM_REQUIRE(config_.max_nodes >= 1, "cluster needs at least one node");
@@ -83,6 +94,23 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   world.add_observer(&tracer);
   power::EnergyMeter meter(static_cast<std::size_t>(nodes));
 
+  // Fault layer.  An absent or empty plan installs nothing at all, so the
+  // run stays bit-identical to a fault-free one.  With a checkpoint
+  // policy the run executes "solid" (environment faults only) while
+  // recording exact power profiles, and crashes are composed analytically
+  // afterwards (compose mode); without one, a crash aborts the engine.
+  const faults::FaultPlan* plan = options.faults;
+  const bool has_faults = plan != nullptr && !plan->empty();
+  const bool compose_mode = has_faults && plan->checkpointing().has_value();
+  trace::FaultLog fault_log;
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (has_faults) {
+    injector = std::make_unique<faults::FaultInjector>(
+        *plan, network, static_cast<std::size_t>(nodes), config_.gears.size(),
+        &fault_log);
+    if (compose_mode) meter.enable_profile_recording();
+  }
+
   Rng run_rng(config_.seed);
   std::vector<Seconds> finish(static_cast<std::size_t>(nodes));
   std::vector<std::uint64_t> switches(static_cast<std::size_t>(nodes), 0);
@@ -106,6 +134,12 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
       mm.noise_seed += node;  // Independent sensor noise per meter.
       multimeters.push_back(std::make_unique<power::Multimeter>(
           engine, mm, [&meter, node] { return meter.instantaneous(node); }));
+      if (injector != nullptr) {
+        auto windows = injector->dropouts_for(node);
+        if (!windows.empty()) {
+          multimeters.back()->set_dropouts(std::move(windows));
+        }
+      }
     }
   }
   const auto on_rank_finished = [&] {
@@ -135,6 +169,9 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
           RankContext ctx(mpi::Comm(world, r), cpu_model, power_model, meter,
                           rank_gear, penalty, rank_rng,
                           config_.gear_switch_latency);
+          if (injector != nullptr && injector->throttles()) {
+            ctx.set_gear_throttle(injector.get());
+          }
           contexts[node] = &ctx;
           workload.run(ctx);
           contexts[node] = nullptr;
@@ -145,9 +182,31 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
     world.bind_rank(r, proc);
   }
 
-  engine.run();
+  // Crash events abort the engine only when no checkpoint policy exists
+  // to absorb them; in compose mode the solid run must complete.
+  if (has_faults && !compose_mode && !plan->crashes().empty()) {
+    injector->arm_crashes(engine,
+                          [&ranks_remaining] { return ranks_remaining > 0; });
+  }
 
-  const Seconds wall = *std::max_element(finish.begin(), finish.end());
+  bool aborted = false;
+  faults::CrashEvent fatal{};
+  try {
+    engine.run();
+  } catch (const faults::NodeFailure& failure) {
+    aborted = true;
+    fatal = faults::CrashEvent{failure.node, failure.at};
+    // The run is over at the crash instant.  Unwind the surviving rank
+    // threads now, while the world/network/meter they reference are still
+    // alive, then settle the books with whatever partial progress exists.
+    engine.terminate_processes();
+    for (auto& mm : multimeters) {
+      if (mm->running()) mm->stop();
+    }
+  }
+
+  const Seconds wall =
+      aborted ? fatal.at : *std::max_element(finish.begin(), finish.end());
   meter.finish(wall);
 
   RunResult result;
@@ -159,25 +218,70 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   result.active_energy = meter.total_active_energy();
   result.idle_energy = meter.total_idle_energy();
   result.breakdown = trace::analyze_cluster(tracer, Seconds{}, wall);
+  result.mpi_calls = world.traced_calls();
+  result.messages = network.messages_carried();
+  result.net_bytes = network.bytes_carried();
+  result.retransmissions = network.retransmissions();
+  for (std::uint64_t s : switches) result.gear_switches += s;
+  if (config_.sample_power) {
+    Joules sampled{};
+    double coverage = 0.0;
+    for (const auto& mm : multimeters) {
+      sampled += mm->energy();
+      coverage += mm->coverage();
+    }
+    result.sampled_energy = sampled;
+    // Every meter spans the same [0, wall] interval, so the plain mean is
+    // the span-weighted coverage.
+    result.sampled_coverage = coverage / static_cast<double>(nodes);
+  }
+  if (aborted) {
+    result.outcome = RunOutcome::kFailed;
+    result.fatal_crash = fatal;
+  } else if (compose_mode) {
+    // The engine simulated one solid run (environment faults only); fold
+    // the plan's crashes into it through the checkpoint/restart model.
+    // wall/energy/rework become end-to-end figures; the breakdown,
+    // per-node energies and mean powers keep describing the solid run.
+    const Joules solid_energy = result.energy;
+    const faults::EnergyProfile profile =
+        faults::EnergyProfile::from_meter(meter);
+    const faults::RestartStats stats = faults::compose_restarts(
+        wall, profile, static_cast<std::size_t>(nodes), *plan->checkpointing(),
+        plan->crashes(), &fault_log);
+    result.wall = stats.wall;
+    result.energy = stats.energy;
+    result.retries = stats.retries;
+    result.rework_time = stats.rework_time;
+    result.rework_energy = stats.rework_energy;
+    result.checkpoint_time = stats.checkpoint_time;
+    result.checkpoint_energy = stats.checkpoint_energy;
+    if (!stats.completed) {
+      result.outcome = RunOutcome::kFailed;
+      result.fatal_crash = faults::CrashEvent{stats.failed_node,
+                                              stats.failed_at};
+    } else if (stats.retries > 0) {
+      result.outcome = RunOutcome::kCompletedAfterRestart;
+    }
+    if (result.sampled_energy.has_value() && solid_energy.value() > 0.0) {
+      // Scale the sampled reading by the same restart inflation the exact
+      // integral saw (the rig would have metered the reruns too).
+      result.sampled_energy =
+          joules(result.sampled_energy->value() *
+                 (stats.energy.value() / solid_energy.value()));
+    }
+  }
   if (!options.trace_csv_path.empty()) {
-    trace::export_csv_file(tracer, options.trace_csv_path);
+    trace::export_csv_file(tracer, options.trace_csv_path, fault_log);
   }
   if (!options.timeline_svg_path.empty()) {
     trace::write_timeline(tracer, wall,
                            workload.name() + " on " + std::to_string(nodes) +
                                " nodes (gear " +
                                std::to_string(result.gear_label) + ")",
-                           options.timeline_svg_path);
+                           options.timeline_svg_path, fault_log);
   }
-  result.mpi_calls = world.traced_calls();
-  result.messages = network.messages_carried();
-  result.net_bytes = network.bytes_carried();
-  for (std::uint64_t s : switches) result.gear_switches += s;
-  if (config_.sample_power) {
-    Joules sampled{};
-    for (const auto& mm : multimeters) sampled += mm->energy();
-    result.sampled_energy = sampled;
-  }
+  result.fault_events = std::move(fault_log);
   result.node_energy.reserve(static_cast<std::size_t>(nodes));
 
   // Time-weighted cluster means of active/idle power: the paper's P_g and

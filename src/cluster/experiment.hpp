@@ -9,12 +9,22 @@
 
 #include "cluster/config.hpp"
 #include "cluster/workload.hpp"
+#include "faults/fault_plan.hpp"
 #include "trace/analysis.hpp"
+#include "trace/fault_events.hpp"
 #include "util/statistics.hpp"
 
 namespace gearsim::cluster {
 
 class GearPolicy;  // cluster/dvfs.hpp
+
+/// How a (possibly fault-injected) run ended.
+enum class RunOutcome {
+  kCompleted,             ///< Ran to completion with no crash.
+  kCompletedAfterRestart, ///< Crashed >= 1 times but checkpoint/restart won.
+  kFailed,                ///< A crash was fatal (no policy, or budget spent).
+};
+const char* to_string(RunOutcome outcome);
 
 /// One (workload, nodes, gear) measurement.
 struct RunResult {
@@ -35,8 +45,32 @@ struct RunResult {
   std::uint64_t gear_switches = 0;  ///< DVFS transitions across all ranks.
   /// Cluster energy as integrated by the sampling multimeters (only when
   /// ClusterConfig::sample_power is set); compare with `energy`, which is
-  /// the exact piecewise integral.
+  /// the exact piecewise integral.  Under meter-dropout faults the
+  /// trapezoid integral interpolates across the holes and
+  /// `sampled_coverage` reports how much of the span was observed.
   std::optional<Joules> sampled_energy;
+  /// Fraction of the metering span the sampling meters observed (1.0
+  /// without dropout faults or sampling).
+  double sampled_coverage = 1.0;
+
+  // --- fault / resilience accounting (defaults = fault-free run) ---------
+  RunOutcome outcome = RunOutcome::kCompleted;
+  /// Crashes absorbed by checkpoint/restart.
+  int retries = 0;
+  /// Wall time / energy beyond the crash-free (but checkpointed) run:
+  /// lost work re-executed plus restart overhead.
+  Seconds rework_time{};
+  Joules rework_energy{};
+  /// Crash-free cost of writing the checkpoints themselves.
+  Seconds checkpoint_time{};
+  Joules checkpoint_energy{};
+  /// The crash that ended a kFailed run.
+  std::optional<faults::CrashEvent> fatal_crash;
+  /// Message retransmissions forced by link-degradation faults.
+  std::uint64_t retransmissions = 0;
+  /// Every fault realized during the run, in the order recorded (also
+  /// rendered into the trace CSV / timeline SVG exports when requested).
+  trace::FaultLog fault_events;
 };
 
 /// Knobs for one experiment beyond the paper's uniform-gear scope.
@@ -52,6 +86,10 @@ struct RunOptions {
   /// When non-empty, the run's per-rank activity timeline is rendered
   /// here as SVG (see report::write_timeline).
   std::string timeline_svg_path;
+  /// Optional fault plan realized against this run (must outlive the
+  /// call).  Null — or a plan with nothing scheduled — leaves the run
+  /// bit-identical to a fault-free one.  See docs/FAULTS.md.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 class ExperimentRunner {
@@ -83,9 +121,13 @@ class ExperimentRunner {
     [[nodiscard]] Joules mean_energy() const {
       return joules(energy_j.mean());
     }
-    /// Coefficient of variation of the run times.
+    /// Coefficient of variation of the run times (0 when the sample is
+    /// empty or its mean is — degenerately — not positive, rather than
+    /// NaN/inf or a precondition failure).
     [[nodiscard]] double time_cv() const {
-      return time_s.stddev() / time_s.mean();
+      if (time_s.count() == 0) return 0.0;
+      const double m = time_s.mean();
+      return m > 0.0 ? time_s.stddev() / m : 0.0;
     }
   };
   RepeatedResult run_repeated(const Workload& workload, int nodes,

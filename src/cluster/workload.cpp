@@ -1,5 +1,6 @@
 #include "cluster/workload.hpp"
 
+#include "faults/injector.hpp"
 #include "util/assert.hpp"
 
 namespace gearsim::cluster {
@@ -36,13 +37,18 @@ void RankContext::set_gear(std::size_t gear_index) {
 }
 
 void RankContext::compute(const cpu::ComputeBlock& block) {
-  const Seconds t =
-      cpu_model_.execute_time(block, gear_index_) * speed_penalty_;
-  if (t.value() <= 0.0) return;
-  const double busy = cpu_model_.cpu_bound_fraction(block, gear_index_);
   const auto node = static_cast<std::size_t>(rank());
   sim::Process& p = proc();
-  meter_.set_power(node, p.now(), power_model_.active_power(gear_index_, busy),
+  // A straggler window silently caps the gear this block actually runs
+  // at; fault-free runs take the first branch with zero extra work.
+  const std::size_t g =
+      throttle_ == nullptr
+          ? gear_index_
+          : throttle_->effective_gear(node, p.now(), gear_index_);
+  const Seconds t = cpu_model_.execute_time(block, g) * speed_penalty_;
+  if (t.value() <= 0.0) return;
+  const double busy = cpu_model_.cpu_bound_fraction(block, g);
+  meter_.set_power(node, p.now(), power_model_.active_power(g, busy),
                    power::NodeState::kActive);
   p.delay(t);
   meter_.set_power(node, p.now(), power_model_.idle_power(gear_index_),

@@ -18,6 +18,10 @@
 #include "power/energy_meter.hpp"
 #include "util/random.hpp"
 
+namespace gearsim::faults {
+class FaultInjector;
+}
+
 namespace gearsim::cluster {
 
 /// Everything one rank of a running experiment can touch.
@@ -52,6 +56,14 @@ class RankContext {
   /// Number of DVFS transitions performed via set_gear.
   [[nodiscard]] std::uint64_t gear_switches() const { return gear_switches_; }
 
+  /// Let a fault injector cap this rank's effective gear (straggler /
+  /// thermal-throttle windows).  Queried once per compute block; idle
+  /// power still tracks the *requested* gear (a throttled CPU's clock is
+  /// capped while busy, the parked draw is unchanged).  Null disables.
+  void set_gear_throttle(const faults::FaultInjector* injector) {
+    throttle_ = injector;
+  }
+
  private:
   [[nodiscard]] sim::Process& proc() { return comm_.world().process(comm_.rank()); }
 
@@ -65,6 +77,7 @@ class RankContext {
   Seconds switch_latency_;
   Seconds compute_time_{};
   std::uint64_t gear_switches_ = 0;
+  const faults::FaultInjector* throttle_ = nullptr;
 };
 
 /// An MPI program the experiment runner can execute.  Implementations are

@@ -1,0 +1,78 @@
+// FaultInjector: realizes a FaultPlan against one simulated run.
+//
+// The injector is the bridge between the declarative plan and the
+// mechanisms that act it out:
+//   * link-degradation windows are installed into net::Network (which
+//     realizes loss as timeout + exponential-backoff retransmission);
+//   * straggler windows answer effective_gear() queries from the
+//     compute path (cluster::RankContext);
+//   * meter dropouts are handed to each node's sampling Multimeter;
+//   * crashes are armed as engine events that throw NodeFailure out of
+//     Engine::run (abort mode) — or, when the plan carries a checkpoint
+//     policy, are composed analytically by restart_model.hpp instead.
+//
+// Every realized fault is appended to a trace::FaultLog so the run's
+// timeline and CSV exports show what happened when.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "faults/fault_plan.hpp"
+#include "net/network.hpp"
+#include "power/multimeter.hpp"
+#include "sim/engine.hpp"
+#include "trace/fault_events.hpp"
+#include "util/assert.hpp"
+
+namespace gearsim::faults {
+
+/// Thrown out of Engine::run when a crash event fires with no
+/// checkpoint/restart policy to absorb it.
+class NodeFailure : public SimulationError {
+ public:
+  NodeFailure(std::size_t node, Seconds at);
+
+  std::size_t node = 0;
+  Seconds at{};
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan against the run's geometry and installs the link
+  /// fault windows (and retransmit observer) into `network`.  `log`, when
+  /// non-null, receives every realized fault event; it must outlive the
+  /// injector.
+  FaultInjector(const FaultPlan& plan, net::Network& network,
+                std::size_t nodes, std::size_t num_gears,
+                trace::FaultLog* log = nullptr);
+
+  /// Arm the plan's crash events on the engine.  Each event fires only
+  /// while `still_running()` is true (so a crash scheduled past normal
+  /// completion never fires) and only the earliest pending crash throws —
+  /// a NodeFailure that aborts Engine::run.
+  void arm_crashes(sim::Engine& engine, std::function<bool()> still_running);
+
+  /// The gear `node` actually runs at `now` given it requested
+  /// `requested`: straggler windows cap it at their min_gear_index
+  /// (higher index = slower), clamped to the gear table.
+  [[nodiscard]] std::size_t effective_gear(std::size_t node, Seconds now,
+                                           std::size_t requested) const;
+  /// True when any straggler window exists (lets the compute path skip
+  /// the per-block query entirely on unthrottled runs).
+  [[nodiscard]] bool throttles() const { return !plan_.stragglers().empty(); }
+
+  /// Dropout windows for `node`'s sampling multimeter.
+  [[nodiscard]] std::vector<power::DropoutWindow> dropouts_for(
+      std::size_t node) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::size_t num_gears_;
+  trace::FaultLog* log_;
+  bool crash_thrown_ = false;
+};
+
+}  // namespace gearsim::faults

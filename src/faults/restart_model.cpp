@@ -1,0 +1,315 @@
+#include "faults/restart_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gearsim::faults {
+namespace {
+
+/// Work positions of the intermediate checkpoints: k * interval for
+/// k = 1.. with k * interval strictly inside (0, solid_wall).  No
+/// checkpoint is written at the very end — the job just completes.
+std::vector<Seconds> checkpoint_positions(Seconds solid_wall,
+                                          const CheckpointConfig& cfg) {
+  std::vector<Seconds> positions;
+  if (cfg.interval.value() <= 0.0) return positions;
+  std::size_t k_max =
+      static_cast<std::size_t>(std::floor(solid_wall / cfg.interval));
+  while (k_max > 0 && static_cast<double>(k_max) * cfg.interval.value() >=
+                          solid_wall.value()) {
+    --k_max;
+  }
+  positions.reserve(k_max);
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    positions.push_back(seconds(static_cast<double>(k) * cfg.interval.value()));
+  }
+  return positions;
+}
+
+}  // namespace
+
+EnergyProfile EnergyProfile::from_meter(const power::EnergyMeter& meter) {
+  const std::size_t n = meter.num_nodes();
+  // Merge every node's step breakpoints into one ascending time axis.
+  std::vector<Seconds> times;
+  times.push_back(seconds(0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& pt : meter.profile(i)) times.push_back(pt.time);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  EnergyProfile out;
+  out.time_ = times;
+  out.cumulative_.assign(times.size(), Joules{});
+  std::vector<std::size_t> cursor(n, 0);
+  Joules acc{};
+  for (std::size_t t = 0; t + 1 < times.size(); ++t) {
+    // Cluster power over [times[t], times[t+1]): sum of each node's step
+    // value in effect at times[t].
+    Watts cluster{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& prof = meter.profile(i);
+      while (cursor[i] + 1 < prof.size() &&
+             prof[cursor[i] + 1].time <= times[t]) {
+        ++cursor[i];
+      }
+      if (!prof.empty() && prof[cursor[i]].time <= times[t]) {
+        cluster += prof[cursor[i]].power;
+      }
+    }
+    acc += cluster * (times[t + 1] - times[t]);
+    out.cumulative_[t + 1] = acc;
+  }
+  return out;
+}
+
+EnergyProfile EnergyProfile::flat(Watts power, Seconds wall) {
+  GEARSIM_REQUIRE(wall.value() > 0.0, "profile span must be positive");
+  GEARSIM_REQUIRE(power.value() >= 0.0, "negative power");
+  EnergyProfile out;
+  out.time_ = {seconds(0.0), wall};
+  out.cumulative_ = {Joules{}, power * wall};
+  return out;
+}
+
+Joules EnergyProfile::between(Seconds t0, Seconds t1) const {
+  const auto eval = [this](Seconds t) -> Joules {
+    if (t <= time_.front()) return cumulative_.front();
+    if (t >= time_.back()) return cumulative_.back();
+    const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = (time_[hi] - time_[lo]).value();
+    const double frac = span > 0.0 ? (t - time_[lo]) / seconds(span) : 0.0;
+    return cumulative_[lo] +
+           joules((cumulative_[hi] - cumulative_[lo]).value() * frac);
+  };
+  if (t1 <= t0) return Joules{};
+  return eval(t1) - eval(t0);
+}
+
+RestartStats checkpointed_baseline(Seconds solid_wall,
+                                   const EnergyProfile& profile,
+                                   std::size_t nodes,
+                                   const CheckpointConfig& cfg) {
+  GEARSIM_REQUIRE(solid_wall.value() > 0.0, "solid wall must be positive");
+  GEARSIM_REQUIRE(nodes >= 1, "need at least one node");
+  const auto ckpts = checkpoint_positions(solid_wall, cfg);
+  const double n_writes = static_cast<double>(ckpts.size());
+  RestartStats stats;
+  stats.checkpoint_time = seconds(n_writes * cfg.write_time.value());
+  stats.checkpoint_energy =
+      joules(n_writes * cfg.write_time.value() *
+             static_cast<double>(nodes) * cfg.write_power.value());
+  stats.wall = solid_wall + stats.checkpoint_time;
+  stats.energy =
+      profile.between(seconds(0.0), solid_wall) + stats.checkpoint_energy;
+  return stats;
+}
+
+RestartStats compose_restarts(Seconds solid_wall, const EnergyProfile& profile,
+                              std::size_t nodes, const CheckpointConfig& cfg,
+                              const std::vector<CrashEvent>& crashes,
+                              trace::FaultLog* log) {
+  GEARSIM_REQUIRE(solid_wall.value() > 0.0, "solid wall must be positive");
+  GEARSIM_REQUIRE(nodes >= 1, "need at least one node");
+  GEARSIM_REQUIRE(std::is_sorted(crashes.begin(), crashes.end(),
+                                 [](const CrashEvent& a, const CrashEvent& b) {
+                                   return a.at < b.at;
+                                 }),
+                  "crash events must be in time order");
+  const auto ckpts = checkpoint_positions(solid_wall, cfg);
+  const double node_count = static_cast<double>(nodes);
+  const Joules write_joules =
+      joules(cfg.write_time.value() * node_count * cfg.write_power.value());
+  const Joules restart_joules = joules(cfg.restart_time.value() * node_count *
+                                       cfg.restart_power.value());
+
+  const RestartStats baseline =
+      checkpointed_baseline(solid_wall, profile, nodes, cfg);
+
+  RestartStats stats;
+  Seconds attempt_start{};   // Wall time the current attempt began executing.
+  Seconds durable{};         // Work position of the last durable checkpoint.
+  Joules energy{};
+  std::size_t durable_writes = 0;  // Checkpoints that survived (never rewritten).
+
+  const auto log_event = [&](trace::FaultEventKind kind, std::size_t node,
+                             Seconds at, std::string detail) {
+    if (log != nullptr) {
+      log->push_back(trace::FaultEvent{kind, node, at, std::move(detail)});
+    }
+  };
+  // Wall time at which the current attempt completes the job: remaining
+  // work plus one write per not-yet-durable checkpoint.
+  const auto finish_time = [&]() {
+    double writes_left = 0.0;
+    for (const Seconds c : ckpts) {
+      if (c > durable) writes_left += 1.0;
+    }
+    return attempt_start + (solid_wall - durable) +
+           seconds(writes_left * cfg.write_time.value());
+  };
+
+  for (const CrashEvent& crash : crashes) {
+    if (crash.at < attempt_start) continue;  // Absorbed by a restart window.
+    if (crash.at >= finish_time()) break;    // Job already done.
+
+    // Locate the crash inside the attempt: walk work + writes from the
+    // durable position until the elapsed wall time is used up.
+    const Seconds elapsed = crash.at - attempt_start;
+    Seconds reached = durable;       // Work position at the crash.
+    Seconds write_partial{};         // Time into an interrupted write.
+    std::size_t writes_done = 0;     // Writes completed in this attempt.
+    Seconds new_durable = durable;
+    for (const Seconds c : ckpts) {
+      if (c <= durable) continue;
+      const Seconds at_ckpt =
+          (c - durable) + seconds(static_cast<double>(writes_done) *
+                                  cfg.write_time.value());
+      if (elapsed <= at_ckpt) break;  // Crash before reaching this write.
+      const Seconds after_write = at_ckpt + cfg.write_time;
+      if (elapsed < after_write) {    // Crash mid-write: nothing durable.
+        reached = c;
+        write_partial = elapsed - at_ckpt;
+        break;
+      }
+      ++writes_done;
+      new_durable = c;
+      log_event(trace::FaultEventKind::kCheckpoint, 0,
+                attempt_start + after_write, "checkpoint durable");
+    }
+    if (write_partial.value() == 0.0 && reached == durable) {
+      reached = durable + (elapsed - seconds(static_cast<double>(writes_done) *
+                                             cfg.write_time.value()));
+    }
+    // Everything this attempt burned: compute energy over the solid span it
+    // covered, completed writes, and the interrupted partial write.
+    energy += profile.between(durable, reached);
+    energy += joules(static_cast<double>(writes_done) * write_joules.value());
+    energy += joules(write_partial.value() * node_count *
+                     cfg.write_power.value());
+    durable = new_durable;
+    durable_writes += writes_done;
+
+    log_event(trace::FaultEventKind::kNodeCrash, crash.node, crash.at,
+              "node crash");
+    ++stats.retries;
+    if (stats.retries > cfg.max_restarts) {
+      stats.completed = false;
+      stats.failed_at = crash.at;
+      stats.failed_node = crash.node;
+      stats.wall = crash.at;
+      stats.energy = energy;
+      // Rework relative to the durable progress that survived.
+      const Seconds durable_sched =
+          durable + seconds(static_cast<double>(durable_writes) *
+                            cfg.write_time.value());
+      stats.rework_time = stats.wall - durable_sched;
+      stats.rework_energy =
+          stats.energy - (profile.between(seconds(0.0), durable) +
+                          joules(static_cast<double>(durable_writes) *
+                                 write_joules.value()));
+      stats.checkpoint_time = seconds(static_cast<double>(durable_writes) *
+                                      cfg.write_time.value());
+      stats.checkpoint_energy =
+          joules(static_cast<double>(durable_writes) * write_joules.value());
+      stats.expected_failures = static_cast<double>(stats.retries);
+      return stats;
+    }
+    energy += restart_joules;
+    attempt_start = crash.at + cfg.restart_time;
+    log_event(trace::FaultEventKind::kRestart, crash.node, attempt_start,
+              "restart from checkpoint");
+  }
+
+  // Final (crash-free) attempt runs to completion.
+  const Seconds done = finish_time();
+  energy += profile.between(durable, solid_wall);
+  double writes_left = 0.0;
+  for (const Seconds c : ckpts) {
+    if (c > durable) {
+      writes_left += 1.0;
+      log_event(trace::FaultEventKind::kCheckpoint, 0,
+                attempt_start + (c - durable) +
+                    seconds(writes_left * cfg.write_time.value()),
+                "checkpoint durable");
+    }
+  }
+  energy += joules(writes_left * write_joules.value());
+
+  stats.completed = true;
+  stats.wall = done;
+  stats.energy = energy;
+  stats.rework_time = stats.wall - baseline.wall;
+  stats.rework_energy = stats.energy - baseline.energy;
+  stats.checkpoint_time = baseline.checkpoint_time;
+  stats.checkpoint_energy = baseline.checkpoint_energy;
+  stats.expected_failures = static_cast<double>(stats.retries);
+  return stats;
+}
+
+RestartStats expected_restarts(Seconds solid_wall, const EnergyProfile& profile,
+                               std::size_t nodes, const CheckpointConfig& cfg,
+                               double failure_rate_hz) {
+  GEARSIM_REQUIRE(solid_wall.value() > 0.0, "solid wall must be positive");
+  GEARSIM_REQUIRE(nodes >= 1, "need at least one node");
+  GEARSIM_REQUIRE(std::isfinite(failure_rate_hz) && failure_rate_hz >= 0.0,
+                  "failure rate must be non-negative and finite");
+  const RestartStats baseline =
+      checkpointed_baseline(solid_wall, profile, nodes, cfg);
+  if (failure_rate_hz == 0.0) return baseline;
+
+  const auto ckpts = checkpoint_positions(solid_wall, cfg);
+  const double node_count = static_cast<double>(nodes);
+  const double lambda = failure_rate_hz;
+  const double restart_cost = cfg.restart_time.value();
+
+  RestartStats stats;
+  double wall = 0.0;
+  double energy = 0.0;
+  double failures = 0.0;
+  Seconds prev{};
+  // One segment per checkpoint interval (work chunk + its write), plus the
+  // final chunk with no write.  A failure inside a segment restarts it.
+  for (std::size_t i = 0; i <= ckpts.size(); ++i) {
+    const Seconds upto = i < ckpts.size() ? ckpts[i] : solid_wall;
+    const double write = i < ckpts.size() ? cfg.write_time.value() : 0.0;
+    const double delta = (upto - prev).value() + write;
+    if (delta <= 0.0) {
+      prev = upto;
+      continue;
+    }
+    const Joules useful =
+        profile.between(prev, upto) +
+        joules(write * node_count * cfg.write_power.value());
+    // Classic first-order model: expected failures while covering delta of
+    // exposed time is e^{lambda delta} - 1; each costs a restart plus the
+    // partial progress it destroyed.
+    const double n_fail = std::expm1(lambda * delta);
+    const double seg_wall = (1.0 / lambda + restart_cost) * n_fail;
+    const double wasted_busy = n_fail / lambda - delta;
+    const double seg_power = useful.value() / delta;
+    wall += seg_wall;
+    energy += useful.value() + wasted_busy * seg_power +
+              n_fail * restart_cost * node_count * cfg.restart_power.value();
+    failures += n_fail;
+    prev = upto;
+  }
+
+  stats.completed = true;
+  stats.wall = seconds(wall);
+  stats.energy = joules(energy);
+  stats.expected_failures = failures;
+  stats.retries = static_cast<int>(std::llround(failures));
+  stats.rework_time = stats.wall - baseline.wall;
+  stats.rework_energy = stats.energy - baseline.energy;
+  stats.checkpoint_time = baseline.checkpoint_time;
+  stats.checkpoint_energy = baseline.checkpoint_energy;
+  return stats;
+}
+
+}  // namespace gearsim::faults

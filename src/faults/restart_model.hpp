@@ -1,0 +1,105 @@
+// Checkpoint/restart-aware time and energy accounting.
+//
+// A crash throws away everything since the last durable checkpoint; the
+// job then pays a restart delay and re-executes the lost span.  Because
+// the simulation engine produces an exact fault-free execution (the
+// "solid run": wall time W and a piecewise-linear cumulative energy
+// profile E(t)), the effect of crashes composes on top of it
+// deterministically:
+//
+//   * checkpoints are written every `interval` of solid work, each
+//     stalling the job `write_time` at `write_power` per node;
+//   * a crash at wall time t discards progress back to the last durable
+//     checkpoint, costs `restart_time` at `restart_power` per node, and
+//     the discarded span re-executes at its original speed and power;
+//   * crashes beyond `max_restarts` fail the run.
+//
+// Two entry points: compose_restarts replays an explicit crash schedule
+// (the FaultPlan's sampled events) and is exact for that schedule;
+// expected_restarts integrates over a Poisson failure process in closed
+// form (per checkpoint segment of useful length d, with cluster failure
+// rate L and restart cost R, the classic E[T] = (1/L + R)(e^{Ld} - 1)),
+// which is what the fault_tradeoff bench sweeps — smooth in the rate, so
+// the energy-optimal gear's drift is visible without sampling noise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "power/energy_meter.hpp"
+#include "trace/fault_events.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::faults {
+
+/// Cumulative cluster energy as a function of run time, built from the
+/// exact piecewise-constant per-node power profiles of a finished run.
+/// Piecewise linear, so between() is exact.
+class EnergyProfile {
+ public:
+  /// Requires EnergyMeter::enable_profile_recording() before the run.
+  static EnergyProfile from_meter(const power::EnergyMeter& meter);
+  /// Constant cluster draw `power` over [0, wall] — the closed-form
+  /// profile benches use when only (wall, total energy) is known.
+  static EnergyProfile flat(Watts power, Seconds wall);
+
+  /// Exact cluster energy consumed in [t0, t1] of solid-run time; the
+  /// arguments are clamped to the profile span.
+  [[nodiscard]] Joules between(Seconds t0, Seconds t1) const;
+  [[nodiscard]] Seconds end() const { return time_.back(); }
+  [[nodiscard]] Joules total() const { return cumulative_.back(); }
+
+ private:
+  std::vector<Seconds> time_;        ///< Ascending breakpoints; front is 0.
+  std::vector<Joules> cumulative_;   ///< Cumulative energy at each breakpoint.
+};
+
+/// The outcome of running a (possibly crashing) job to completion or
+/// exhaustion under a checkpoint/restart policy.
+struct RestartStats {
+  bool completed = true;
+  /// Crashes absorbed by restarting (= restarts performed).  For the
+  /// expected-value model this is the rounded expectation; see
+  /// `expected_failures` for the exact value.
+  int retries = 0;
+  double expected_failures = 0.0;
+  Seconds wall{};    ///< Total wall time, including checkpoints and rework.
+  Joules energy{};   ///< Total energy, including checkpoints and rework.
+  /// Wall/energy beyond the crash-free checkpointed run (for a failed
+  /// run: beyond the durable progress that survived).
+  Seconds rework_time{};
+  Joules rework_energy{};
+  /// Crash-free schedule cost of the checkpoints themselves.
+  Seconds checkpoint_time{};
+  Joules checkpoint_energy{};
+  /// Set when !completed: the crash that exhausted the restart budget.
+  Seconds failed_at{};
+  std::size_t failed_node = 0;
+};
+
+/// Wall/energy of the checkpointed run with no failures (the baseline
+/// rework is measured against).
+RestartStats checkpointed_baseline(Seconds solid_wall,
+                                   const EnergyProfile& profile,
+                                   std::size_t nodes,
+                                   const CheckpointConfig& cfg);
+
+/// Deterministic composition: replay explicit crash wall-times over the
+/// solid run.  Crashes landing inside a restart window are absorbed by
+/// it; crashes after completion never happen.  When `log` is non-null,
+/// checkpoint/restart/crash events are appended to it in time order.
+RestartStats compose_restarts(Seconds solid_wall, const EnergyProfile& profile,
+                              std::size_t nodes, const CheckpointConfig& cfg,
+                              const std::vector<CrashEvent>& crashes,
+                              trace::FaultLog* log = nullptr);
+
+/// Closed-form expectation under a Poisson failure process with
+/// cluster-wide rate `failure_rate_hz` (per-node rate x live nodes).
+/// Always reports completed = true; `max_restarts` does not bound an
+/// expectation.
+RestartStats expected_restarts(Seconds solid_wall, const EnergyProfile& profile,
+                               std::size_t nodes, const CheckpointConfig& cfg,
+                               double failure_rate_hz);
+
+}  // namespace gearsim::faults

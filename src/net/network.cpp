@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gearsim::net {
 
@@ -29,16 +30,47 @@ Network::Network(NetworkParams params, std::size_t num_nodes)
       rx_free_(num_nodes),
       jitter_rng_(params.jitter_seed) {
   GEARSIM_REQUIRE(num_nodes >= 1, "network needs at least one node");
-  GEARSIM_REQUIRE(params_.link_bandwidth > 0.0, "link bandwidth must be positive");
-  GEARSIM_REQUIRE(params_.backplane_bandwidth >= params_.link_bandwidth,
+  GEARSIM_REQUIRE(std::isfinite(params_.link_bandwidth) &&
+                      params_.link_bandwidth > 0.0,
+                  "link bandwidth must be positive and finite");
+  GEARSIM_REQUIRE(std::isfinite(params_.backplane_bandwidth) &&
+                      params_.backplane_bandwidth >= params_.link_bandwidth,
                   "backplane cannot be slower than one link");
-  GEARSIM_REQUIRE(params_.latency.value() >= 0.0, "negative latency");
-  GEARSIM_REQUIRE(params_.latency_jitter >= 0.0, "negative jitter");
+  GEARSIM_REQUIRE(std::isfinite(params_.latency.value()) &&
+                      params_.latency.value() >= 0.0,
+                  "negative or non-finite latency");
+  GEARSIM_REQUIRE(std::isfinite(params_.latency_jitter) &&
+                      params_.latency_jitter >= 0.0,
+                  "negative or non-finite jitter");
 }
 
 Seconds Network::uncontended_time(Bytes bytes) const {
   return params_.latency +
          seconds(static_cast<double>(bytes) / params_.link_bandwidth);
+}
+
+void Network::set_link_faults(std::vector<LinkFaultWindow> windows,
+                              std::uint64_t seed) {
+  for (const LinkFaultWindow& w : windows) {
+    GEARSIM_REQUIRE(w.src == LinkFaultWindow::kAnyNode || w.src < num_nodes(),
+                    "fault window source out of range");
+    GEARSIM_REQUIRE(w.dst == LinkFaultWindow::kAnyNode || w.dst < num_nodes(),
+                    "fault window destination out of range");
+    GEARSIM_REQUIRE(w.from.value() >= 0.0 && w.until > w.from,
+                    "fault window must span positive time");
+    GEARSIM_REQUIRE(w.loss_probability >= 0.0 && w.loss_probability <= 1.0,
+                    "loss probability outside [0, 1]");
+    GEARSIM_REQUIRE(w.loss_probability == 0.0 ||
+                        w.retransmit_timeout.value() > 0.0,
+                    "lossy window needs a positive retransmit timeout");
+    GEARSIM_REQUIRE(w.backoff >= 1.0, "backoff factor below 1");
+    GEARSIM_REQUIRE(w.max_retries >= 0, "negative retry cap");
+    GEARSIM_REQUIRE(std::isfinite(w.latency_factor) && w.latency_factor >= 1.0,
+                    "latency spike factor must be >= 1");
+  }
+  link_faults_ = std::move(windows);
+  fault_rng_.reseed(seed);
+  retransmissions_ = 0;
 }
 
 Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
@@ -61,6 +93,32 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
   Seconds lat = params_.latency;
   if (params_.latency_jitter > 0.0) {
     lat *= std::max(0.1, 1.0 + jitter_rng_.normal(0.0, params_.latency_jitter));
+  }
+
+  if (!link_faults_.empty()) {
+    // Degraded-link realization: each loss costs one timeout, doubling
+    // (by `backoff`) per further loss; spikes multiply the wire latency.
+    // Draws happen only for matching windows, so runs without active
+    // windows stay bit-identical to the fault-free model.
+    double spike = 1.0;
+    int losses = 0;
+    Seconds penalty{};
+    for (const LinkFaultWindow& w : link_faults_) {
+      if (!w.applies(src, dst, now)) continue;
+      spike = std::max(spike, w.latency_factor);
+      Seconds timeout = w.retransmit_timeout;
+      while (losses < w.max_retries &&
+             fault_rng_.uniform() < w.loss_probability) {
+        penalty += timeout;
+        timeout *= w.backoff;
+        ++losses;
+      }
+    }
+    if (losses > 0) {
+      retransmissions_ += static_cast<std::uint64_t>(losses);
+      if (on_retransmit_) on_retransmit_(src, dst, now, losses, penalty);
+    }
+    lat = lat * spike + penalty;
   }
 
   // Receiver NIC: the message occupies the RX link for its wire time,

@@ -13,10 +13,18 @@
 // is O(1).  The paper's cluster is 100 Mb/s Ethernet; presets below also
 // model the Sun validation cluster and the paper's discarded shared-network
 // Xeon cluster.
+//
+// Fault injection: set_link_faults installs windows during which messages
+// on matching links are lost with some probability and retransmitted after
+// a timeout with exponential backoff, and/or see a transient latency
+// spike.  With no windows installed the transfer path is byte-identical to
+// the fault-free model (the fault RNG is never consumed).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -47,6 +55,36 @@ NetworkParams sun_cluster_network();
 /// heavy jitter; the paper discarded its numbers as unreliable.
 NetworkParams shared_xeon_network();
 
+/// One window of degraded service on a link (or set of links).
+struct LinkFaultWindow {
+  /// Wildcard endpoint: the window matches any source / destination.
+  static constexpr std::size_t kAnyNode =
+      std::numeric_limits<std::size_t>::max();
+
+  std::size_t src = kAnyNode;
+  std::size_t dst = kAnyNode;
+  Seconds from{};
+  Seconds until = seconds(std::numeric_limits<double>::infinity());
+  /// Per-attempt loss probability for messages injected inside the window.
+  double loss_probability = 0.0;
+  /// Sender timeout before the first retransmission.
+  Seconds retransmit_timeout = milliseconds(1.0);
+  /// Each further retransmission waits backoff x the previous timeout.
+  double backoff = 2.0;
+  /// Retransmissions are capped; the final attempt always goes through
+  /// (the transport eventually wins — a dead node is a crash fault, not a
+  /// link fault).
+  int max_retries = 8;
+  /// Transient latency spike: multiplies the wire latency of every
+  /// message (including the surviving attempt) in the window.
+  double latency_factor = 1.0;
+
+  [[nodiscard]] bool applies(std::size_t s, std::size_t d, Seconds now) const {
+    return (src == kAnyNode || src == s) && (dst == kAnyNode || dst == d) &&
+           now >= from && now < until;
+  }
+};
+
 class Network {
  public:
   Network(NetworkParams params, std::size_t num_nodes);
@@ -66,6 +104,27 @@ class Network {
   [[nodiscard]] std::uint64_t messages_carried() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
 
+  /// Install fault windows; losses are drawn from an RNG seeded with
+  /// `seed`, independent of the latency-jitter stream.  Validates every
+  /// window (endpoint bounds, probability in [0,1], timeout/backoff/
+  /// latency-factor sanity).  An empty vector restores the exact
+  /// fault-free behavior.
+  void set_link_faults(std::vector<LinkFaultWindow> windows,
+                       std::uint64_t seed);
+  [[nodiscard]] const std::vector<LinkFaultWindow>& link_faults() const {
+    return link_faults_;
+  }
+  /// Total retransmissions performed across all faulty windows.
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+  /// Observer for retransmission bursts: (src, dst, inject time, number of
+  /// lost attempts, total backoff delay added).  Used by the fault layer
+  /// to put link drops on the run's fault timeline.
+  using RetransmitHook = std::function<void(std::size_t, std::size_t, Seconds,
+                                            int, Seconds)>;
+  void set_retransmit_hook(RetransmitHook hook) { on_retransmit_ = std::move(hook); }
+
  private:
   NetworkParams params_;
   std::vector<Seconds> tx_free_;
@@ -74,6 +133,10 @@ class Network {
   Rng jitter_rng_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::vector<LinkFaultWindow> link_faults_;
+  Rng fault_rng_;
+  std::uint64_t retransmissions_ = 0;
+  RetransmitHook on_retransmit_;
 };
 
 }  // namespace gearsim::net

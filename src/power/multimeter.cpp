@@ -16,6 +16,22 @@ Multimeter::Multimeter(sim::Engine& engine, MultimeterConfig config,
   GEARSIM_REQUIRE(static_cast<bool>(probe_), "multimeter needs a probe");
 }
 
+void Multimeter::set_dropouts(std::vector<DropoutWindow> windows) {
+  GEARSIM_REQUIRE(!running_, "cannot change dropouts while sampling");
+  for (const DropoutWindow& w : windows) {
+    GEARSIM_REQUIRE(w.from.value() >= 0.0 && w.until > w.from,
+                    "dropout window must span positive time");
+  }
+  dropouts_ = std::move(windows);
+}
+
+bool Multimeter::in_dropout(Seconds t) const {
+  return std::any_of(dropouts_.begin(), dropouts_.end(),
+                     [t](const DropoutWindow& w) {
+                       return t >= w.from && t < w.until;
+                     });
+}
+
 void Multimeter::take_sample() {
   Watts p = probe_();
   if (config_.noise_stddev_watts > 0.0) {
@@ -34,7 +50,14 @@ void Multimeter::schedule_next() {
   const std::uint64_t gen = generation_;
   engine_.schedule_after(seconds(1.0 / config_.sample_rate_hz), [this, gen] {
     if (!running_ || gen != generation_) return;
-    take_sample();
+    // A sample inside a dropout window is lost; the trapezoid integral
+    // will bridge the gap from the neighboring samples (linear
+    // interpolation) and coverage() reports the hole.
+    if (in_dropout(engine_.now())) {
+      ++dropped_;
+    } else {
+      take_sample();
+    }
     schedule_next();
   });
 }
@@ -42,6 +65,8 @@ void Multimeter::schedule_next() {
 void Multimeter::start() {
   GEARSIM_REQUIRE(!running_, "multimeter already running");
   running_ = true;
+  started_at_ = engine_.now();
+  ever_ran_ = true;
   take_sample();
   schedule_next();
 }
@@ -52,7 +77,21 @@ void Multimeter::stop() {
   // in effect up to now).
   take_sample();
   running_ = false;
+  stopped_at_ = engine_.now();
   ++generation_;
+}
+
+double Multimeter::coverage() const {
+  if (dropouts_.empty() || !ever_ran_) return 1.0;
+  const Seconds span = stopped_at_ - started_at_;
+  if (span.value() <= 0.0) return 1.0;
+  Seconds lost{};
+  for (const DropoutWindow& w : dropouts_) {
+    const Seconds lo = std::max(w.from, started_at_);
+    const Seconds hi = std::min(w.until, stopped_at_);
+    if (hi > lo) lost += hi - lo;
+  }
+  return std::clamp(1.0 - lost / span, 0.0, 1.0);
 }
 
 }  // namespace gearsim::power

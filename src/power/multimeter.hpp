@@ -7,6 +7,13 @@
 // a fixed rate (optionally with Gaussian sensor noise), and integrates the
 // samples with the trapezoid rule.  Tests validate it against the exact
 // EnergyMeter; benches can use either.
+//
+// Dropout windows model a flaky rig: scheduled samples inside a window are
+// lost.  The trapezoid integral then bridges the gap linearly between the
+// last sample before and the first sample after — an explicit
+// interpolation rather than a silent under-count — and coverage() reports
+// the fraction of the metering span that was actually observed, so
+// consumers can qualify the reading.
 #pragma once
 
 #include <cstddef>
@@ -25,11 +32,21 @@ struct MultimeterConfig {
   std::uint64_t noise_seed = 1;
 };
 
+/// One interval during which the meter loses its samples.
+struct DropoutWindow {
+  Seconds from{};
+  Seconds until{};
+};
+
 class Multimeter {
  public:
   /// `probe` returns the instantaneous power of the metered node.
   Multimeter(sim::Engine& engine, MultimeterConfig config,
              std::function<Watts()> probe);
+
+  /// Install dropout windows (validated: non-negative, until > from).
+  /// Must be called before start().
+  void set_dropouts(std::vector<DropoutWindow> windows);
 
   /// Begin sampling at the current simulated time.
   void start();
@@ -43,10 +60,16 @@ class Multimeter {
   [[nodiscard]] const std::vector<std::pair<Seconds, Watts>>& samples() const {
     return samples_;
   }
+  /// Samples lost to dropout windows so far.
+  [[nodiscard]] std::size_t dropped_samples() const { return dropped_; }
+  /// Fraction of the metering span observed (1.0 with no dropouts).
+  /// Meaningful after stop(); dropout windows are clipped to the span.
+  [[nodiscard]] double coverage() const;
 
  private:
   void take_sample();
   void schedule_next();
+  [[nodiscard]] bool in_dropout(Seconds t) const;
 
   sim::Engine& engine_;
   MultimeterConfig config_;
@@ -56,6 +79,11 @@ class Multimeter {
   std::uint64_t generation_ = 0;  ///< Invalidates scheduled ticks on stop().
   Joules energy_{};
   std::vector<std::pair<Seconds, Watts>> samples_;
+  std::vector<DropoutWindow> dropouts_;
+  std::size_t dropped_ = 0;
+  Seconds started_at_{};
+  Seconds stopped_at_{};
+  bool ever_ran_ = false;
 };
 
 }  // namespace gearsim::power

@@ -1,6 +1,7 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <list>
 
@@ -35,6 +36,14 @@ struct Running {
   Seconds end{};
   int nodes = 0;
   Watts power{};
+  const Job* job = nullptr;
+  Seconds start{};
+};
+
+/// One change in machine capacity (outage: negative, repair: positive).
+struct CapacityEvent {
+  Seconds at{};
+  int delta = 0;
 };
 
 double objective_score(WorkloadProfile::Objective objective,
@@ -50,9 +59,33 @@ double objective_score(WorkloadProfile::Objective objective,
 }  // namespace
 
 ScheduleResult Scheduler::schedule(const std::vector<Job>& queue) const {
+  return schedule(queue, {});
+}
+
+ScheduleResult Scheduler::schedule(
+    const std::vector<Job>& queue,
+    const std::vector<NodeOutage>& outages) const {
   for (const auto& job : queue) {
     GEARSIM_REQUIRE(job.profile != nullptr, "job without a profile");
   }
+  std::vector<CapacityEvent> cap_events;
+  for (const auto& outage : outages) {
+    GEARSIM_REQUIRE(outage.at.value() >= 0.0, "outage before time zero");
+    GEARSIM_REQUIRE(outage.nodes_lost >= 1 &&
+                        outage.nodes_lost <= machine_.nodes,
+                    "outage size outside the machine");
+    GEARSIM_REQUIRE(outage.repair_after.value() > 0.0,
+                    "repair must take positive time");
+    cap_events.push_back(CapacityEvent{outage.at, -outage.nodes_lost});
+    if (std::isfinite(outage.repair_after.value())) {
+      cap_events.push_back(
+          CapacityEvent{outage.at + outage.repair_after, outage.nodes_lost});
+    }
+  }
+  std::stable_sort(cap_events.begin(), cap_events.end(),
+                   [](const CapacityEvent& a, const CapacityEvent& b) {
+                     return a.at < b.at;
+                   });
 
   // Pick the objective-best configuration that fits the free nodes and
   // the power headroom; nodes left parked keep drawing idle power, so the
@@ -102,18 +135,52 @@ ScheduleResult Scheduler::schedule(const std::vector<Job>& queue) const {
     return sum;
   };
 
+  int capacity = machine_.nodes;
+  std::size_t next_cap = 0;
+
   while (!pending.empty() || !running.empty()) {
+    // Apply capacity changes due at `now`.
+    while (next_cap < cap_events.size() && cap_events[next_cap].at <= now) {
+      capacity += cap_events[next_cap].delta;
+      ++next_cap;
+    }
+    GEARSIM_ENSURE(capacity >= 0, "more nodes down than the machine has");
+
+    // An outage may have taken nodes out from under running jobs: kill
+    // youngest-started first (least sunk work), charge what they burned
+    // to wasted_energy, and put them back at the head of the queue.
+    while (busy_nodes() > capacity) {
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < running.size(); ++i) {
+        if (running[i].start >= running[victim].start) victim = i;
+      }
+      const Running& r = running[victim];
+      result.wasted_energy += r.power * (now - r.start);
+      ++result.preemptions;
+      for (auto it = result.placements.rbegin(); it != result.placements.rend();
+           ++it) {
+        if (it->job_id == r.job->id && it->start == r.start) {
+          result.job_energy -= it->config.energy;
+          result.placements.erase(std::next(it).base());
+          break;
+        }
+      }
+      pending.push_front(r.job);
+      running.erase(running.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+    }
+
     // Place what fits at `now`.
     bool placed_any = true;
     while (placed_any) {
       placed_any = false;
       for (auto it = pending.begin(); it != pending.end(); ++it) {
         const Job& job = **it;
-        const int free_nodes = machine_.nodes - busy_nodes();
+        const int free_nodes = capacity - busy_nodes();
         const auto config = choose(*job.profile, free_nodes, running_power());
         if (config) {
-          running.push_back(
-              Running{now + config->time, config->nodes, config->mean_power()});
+          running.push_back(Running{now + config->time, config->nodes,
+                                    config->mean_power(), &job, now});
           result.placements.push_back(
               Placement{job.id, *config, now, now + config->time});
           result.job_energy += config->energy;
@@ -126,26 +193,42 @@ ScheduleResult Scheduler::schedule(const std::vector<Job>& queue) const {
     }
 
     if (running.empty()) {
-      // Nothing running and nothing placeable: with every job pre-checked
-      // against the empty machine this cannot happen.
-      GEARSIM_ENSURE(pending.empty(), "scheduler wedged with pending jobs");
-      break;
+      if (pending.empty()) break;
+      // Nothing running and nothing placeable.  If capacity will change
+      // again (a repair, or even a further outage before one), wait for
+      // it with the surviving nodes parked; otherwise the queue can never
+      // drain — with every job pre-checked against the empty machine this
+      // only happens under an unrepaired outage.
+      GEARSIM_ENSURE(next_cap < cap_events.size(),
+                     "scheduler wedged with pending jobs");
+      const Seconds t_next = cap_events[next_cap].at;
+      const Watts draw = static_cast<double>(capacity) *
+                         machine_.idle_node_power;
+      result.peak_power = std::max(result.peak_power, draw);
+      result.idle_energy += draw * (t_next - now);
+      now = t_next;
+      continue;
     }
 
     // Track the draw of the interval we are about to cross (placements
-    // are in; completions have not happened yet).
-    const int parked = machine_.nodes - busy_nodes();
+    // are in; completions have not happened yet).  Down nodes draw
+    // nothing; only the surviving-but-unused ones are parked.
+    const int parked = capacity - busy_nodes();
     const Watts draw =
         running_power() +
         static_cast<double>(parked) * machine_.idle_node_power;
     result.peak_power = std::max(result.peak_power, draw);
 
-    // Advance to the next completion, integrating parked-node energy over
-    // the interval with the parked count that held *during* it.
+    // Advance to the next completion or capacity change, integrating
+    // parked-node energy over the interval with the parked count that
+    // held *during* it.
     const auto next = std::min_element(
         running.begin(), running.end(),
         [](const Running& a, const Running& b) { return a.end < b.end; });
-    const Seconds t_next = next->end;
+    Seconds t_next = next->end;
+    if (next_cap < cap_events.size() && cap_events[next_cap].at < t_next) {
+      t_next = cap_events[next_cap].at;
+    }
     result.idle_energy += static_cast<double>(parked) *
                           machine_.idle_node_power * (t_next - now);
     now = t_next;

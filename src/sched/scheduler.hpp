@@ -17,6 +17,7 @@
 // start, matching the paper's uniform-gear runs.
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,15 @@ struct Machine {
 
 enum class QueueDiscipline { kFifo, kGreedy };
 
+/// A hardware outage: `nodes_lost` nodes leave service at `at` and return
+/// `repair_after` later (default: never).  Jobs whose nodes are lost are
+/// killed — their work so far is wasted — and re-queued at the front.
+struct NodeOutage {
+  Seconds at{};
+  int nodes_lost = 1;
+  Seconds repair_after = seconds(std::numeric_limits<double>::infinity());
+};
+
 struct Placement {
   std::string job_id;
   ConfigPoint config;
@@ -47,11 +57,13 @@ struct Placement {
 };
 
 struct ScheduleResult {
-  std::vector<Placement> placements;  ///< In start order.
+  std::vector<Placement> placements;  ///< In start order; killed runs removed.
   Seconds makespan{};
   Joules job_energy{};    ///< Energy of the jobs themselves.
   Joules idle_energy{};   ///< Energy of parked nodes while the queue drains.
   Watts peak_power{};     ///< Max instantaneous draw (jobs + parked nodes).
+  int preemptions = 0;    ///< Jobs killed by node outages (then re-queued).
+  Joules wasted_energy{}; ///< Energy burned by killed runs before the kill.
 
   [[nodiscard]] Joules total_energy() const { return job_energy + idle_energy; }
   [[nodiscard]] const Placement& placement(const std::string& job_id) const;
@@ -68,6 +80,15 @@ class Scheduler {
   /// if some job cannot run on this machine at any configuration even
   /// when it is empty.
   [[nodiscard]] ScheduleResult schedule(const std::vector<Job>& queue) const;
+
+  /// Same, with node outages: capacity drops at each outage and jobs
+  /// holding lost nodes are killed (youngest-started first — they have
+  /// the least sunk work) and re-queued at the front.  Throws if the
+  /// queue can never drain (outage with no repair leaves a job unfit).
+  /// With no outages this is exactly the overload above.
+  [[nodiscard]] ScheduleResult schedule(
+      const std::vector<Job>& queue,
+      const std::vector<NodeOutage>& outages) const;
 
   [[nodiscard]] const Machine& machine() const { return machine_; }
 

@@ -84,7 +84,9 @@ void Process::terminate() {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::~Engine() {
+Engine::~Engine() { terminate_processes(); }
+
+void Engine::terminate_processes() {
   for (auto& p : processes_) p->terminate();
 }
 

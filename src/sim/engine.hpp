@@ -111,6 +111,13 @@ class Engine {
   /// times remain queued.
   void run_until(Seconds t);
 
+  /// Cooperatively unwind every live process now (idempotent; the
+  /// destructor calls it too).  When aborting a run, call this while the
+  /// objects the process bodies reference are still alive — stack
+  /// unwinding in the process threads runs destructors that may touch
+  /// them.
+  void terminate_processes();
+
   /// Number of processes spawned over the engine's lifetime.
   [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
   /// Number of events executed so far (for microbenchmarks/tests).

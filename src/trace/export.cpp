@@ -7,7 +7,23 @@
 
 namespace gearsim::trace {
 
-void export_csv(const Tracer& tracer, std::ostream& out) {
+const char* to_string(FaultEventKind k) {
+  switch (k) {
+    case FaultEventKind::kNodeCrash: return "node_crash";
+    case FaultEventKind::kStragglerBegin: return "straggler_begin";
+    case FaultEventKind::kStragglerEnd: return "straggler_end";
+    case FaultEventKind::kLinkDrop: return "link_drop";
+    case FaultEventKind::kMeterDropBegin: return "meter_drop_begin";
+    case FaultEventKind::kMeterDropEnd: return "meter_drop_end";
+    case FaultEventKind::kCheckpoint: return "checkpoint";
+    case FaultEventKind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_mpi_rows(const Tracer& tracer, std::ostream& out) {
   out << "rank,call,enter_s,exit_s,duration_s,bytes,peer\n";
   out.precision(9);
   for (std::size_t rank = 0; rank < tracer.num_ranks(); ++rank) {
@@ -20,10 +36,36 @@ void export_csv(const Tracer& tracer, std::ostream& out) {
   }
 }
 
+}  // namespace
+
+void export_csv(const Tracer& tracer, std::ostream& out) {
+  write_mpi_rows(tracer, out);
+}
+
+void export_csv(const Tracer& tracer, std::ostream& out,
+                const FaultLog& faults) {
+  write_mpi_rows(tracer, out);
+  for (const FaultEvent& ev : faults) {
+    out << ev.node << ",fault:" << to_string(ev.kind) << ','
+        << ev.at.value() << ',' << ev.at.value() << ",0,0,-1";
+    if (!ev.detail.empty()) out << ',' << ev.detail;
+    out << '\n';
+  }
+}
+
 void export_csv_file(const Tracer& tracer, const std::string& path) {
+  export_csv_file(tracer, path, FaultLog{});
+}
+
+void export_csv_file(const Tracer& tracer, const std::string& path,
+                     const FaultLog& faults) {
   std::ofstream out(path);
   GEARSIM_REQUIRE(out.good(), "cannot open " + path + " for writing");
-  export_csv(tracer, out);
+  if (faults.empty()) {
+    export_csv(tracer, out);
+  } else {
+    export_csv(tracer, out, faults);
+  }
   GEARSIM_ENSURE(out.good(), "failed writing " + path);
 }
 

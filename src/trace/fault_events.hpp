@@ -1,0 +1,43 @@
+// Fault events on a run's timeline.
+//
+// The fault-injection layer (src/faults/) records everything it does to a
+// run — crashes, straggler windows, dropped links, meter dropouts,
+// checkpoints, restarts — as FaultEvents, so the same export paths that
+// carry the MPI trace (CSV rows, timeline SVG markers) also show *why* a
+// run's shape changed.  The type lives in trace/, below faults/ in the
+// dependency order, so the exporters can consume it without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gearsim::trace {
+
+enum class FaultEventKind {
+  kNodeCrash,        ///< A node died; the run aborts or restarts.
+  kStragglerBegin,   ///< A node's effective gear is silently capped.
+  kStragglerEnd,
+  kLinkDrop,         ///< Message lost; retransmitted with backoff.
+  kMeterDropBegin,   ///< A sampling multimeter stops seeing samples.
+  kMeterDropEnd,
+  kCheckpoint,       ///< A coordinated checkpoint became durable.
+  kRestart,          ///< The job re-launched from the last checkpoint.
+};
+
+[[nodiscard]] const char* to_string(FaultEventKind k);
+
+struct FaultEvent {
+  FaultEventKind kind{};
+  /// The node the event concerns (sender for link events).
+  std::size_t node = 0;
+  Seconds at{};
+  /// Free-form context ("gear capped to 6", "dst=3 retries=2", ...).
+  std::string detail;
+};
+
+using FaultLog = std::vector<FaultEvent>;
+
+}  // namespace gearsim::trace

@@ -34,6 +34,12 @@ const char* call_color(mpi::CallType t) {
 std::string render_timeline(const Tracer& tracer, Seconds wall,
                             const std::string& title,
                             const TimelineOptions& options) {
+  return render_timeline(tracer, wall, title, FaultLog{}, options);
+}
+
+std::string render_timeline(const Tracer& tracer, Seconds wall,
+                            const std::string& title, const FaultLog& faults,
+                            const TimelineOptions& options) {
   GEARSIM_REQUIRE(wall.value() > 0.0, "empty run");
   const std::size_t ranks = tracer.num_ranks();
   const double label_w = 64.0;
@@ -78,6 +84,29 @@ std::string render_timeline(const Tracer& tracer, Seconds wall,
     }
   }
 
+  // Fault markers: a red tick on the struck node's row; crashes span the
+  // whole plot height.
+  for (const FaultEvent& ev : faults) {
+    if (ev.at > wall || ev.node >= ranks) continue;
+    const double x = x_of(ev.at);
+    const bool crash = ev.kind == FaultEventKind::kNodeCrash ||
+                       ev.kind == FaultEventKind::kRestart;
+    const double y0 = crash ? top
+                            : top + static_cast<double>(ev.node) *
+                                        options.row_height_px;
+    const double y1 = crash ? top + static_cast<double>(ranks) *
+                                        options.row_height_px
+                            : y0 + options.row_height_px - 6.0;
+    os << "<line x1=\"" << x << "\" y1=\"" << y0 << "\" x2=\"" << x
+       << "\" y2=\"" << y1
+       << "\" stroke=\"#c1121f\" stroke-width=\"1.5\""
+          " stroke-dasharray=\"3,2\"><title>"
+       << to_string(ev.kind) << " node " << ev.node << " @ "
+       << fmt_fixed(ev.at.value(), 4) << " s";
+    if (!ev.detail.empty()) os << " (" << ev.detail << ")";
+    os << "</title></line>\n";
+  }
+
   // Legend + time axis.
   const double ly = top + static_cast<double>(ranks) * options.row_height_px +
                     14.0;
@@ -111,9 +140,15 @@ std::string render_timeline(const Tracer& tracer, Seconds wall,
 void write_timeline(const Tracer& tracer, Seconds wall,
                     const std::string& title, const std::string& path,
                     const TimelineOptions& options) {
+  write_timeline(tracer, wall, title, path, FaultLog{}, options);
+}
+
+void write_timeline(const Tracer& tracer, Seconds wall,
+                    const std::string& title, const std::string& path,
+                    const FaultLog& faults, const TimelineOptions& options) {
   std::ofstream out(path);
   GEARSIM_REQUIRE(out.good(), "cannot open " + path + " for writing");
-  out << render_timeline(tracer, wall, title, options);
+  out << render_timeline(tracer, wall, title, faults, options);
   GEARSIM_ENSURE(out.good(), "failed writing " + path);
 }
 

@@ -5,10 +5,13 @@
 // row per rank over the run's duration — compute in the gaps, one colored
 // block per MPI call (color by call type) — which makes load imbalance,
 // pipelining, and collective synchronization visible at a glance.
+// Injected fault events, when provided, appear as red markers on the row
+// of the node they hit (crashes span all rows).
 #pragma once
 
 #include <string>
 
+#include "trace/fault_events.hpp"
 #include "trace/tracer.hpp"
 
 namespace gearsim::trace {
@@ -26,9 +29,17 @@ std::string render_timeline(const Tracer& tracer, Seconds wall,
                             const std::string& title,
                             const TimelineOptions& options = {});
 
+/// Same, plus fault-event markers (events after `wall` are dropped).
+std::string render_timeline(const Tracer& tracer, Seconds wall,
+                            const std::string& title, const FaultLog& faults,
+                            const TimelineOptions& options = {});
+
 /// Render and write to `path`.
 void write_timeline(const Tracer& tracer, Seconds wall,
                     const std::string& title, const std::string& path,
                     const TimelineOptions& options = {});
+void write_timeline(const Tracer& tracer, Seconds wall,
+                    const std::string& title, const std::string& path,
+                    const FaultLog& faults, const TimelineOptions& options = {});
 
 }  // namespace gearsim::trace

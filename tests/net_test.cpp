@@ -126,6 +126,106 @@ TEST(Network, RejectsBadParams) {
   EXPECT_THROW(Network(p, 2), ContractError);
 }
 
+TEST(LinkFaults, RejectsBadWindows) {
+  Network net(quiet(), 4);
+  LinkFaultWindow w;
+  w.loss_probability = 1.5;
+  EXPECT_THROW(net.set_link_faults({w}, 1), ContractError);
+  w = LinkFaultWindow{};
+  w.backoff = 0.5;
+  EXPECT_THROW(net.set_link_faults({w}, 1), ContractError);
+  w = LinkFaultWindow{};
+  w.src = 9;  // Out of range for 4 nodes.
+  EXPECT_THROW(net.set_link_faults({w}, 1), ContractError);
+  w = LinkFaultWindow{};
+  w.latency_factor = 0.0;
+  EXPECT_THROW(net.set_link_faults({w}, 1), ContractError);
+}
+
+TEST(LinkFaults, LossesAreDeterministicPerSeed) {
+  LinkFaultWindow w;
+  w.loss_probability = 0.5;
+  w.retransmit_timeout = milliseconds(1.0);
+  Network a(quiet(), 4);
+  Network b(quiet(), 4);
+  a.set_link_faults({w}, 7);
+  b.set_link_faults({w}, 7);
+  for (int i = 0; i < 50; ++i) {
+    const Seconds now = seconds(0.01 * i);
+    EXPECT_EQ(a.transfer(0, 1, 10'000, now).value(),
+              b.transfer(0, 1, 10'000, now).value());
+  }
+  EXPECT_EQ(a.retransmissions(), b.retransmissions());
+  EXPECT_GT(a.retransmissions(), 0u);
+}
+
+TEST(LinkFaults, NonMatchingWindowLeavesTransfersUntouched) {
+  // A window on a different link (and one entirely in the past) must not
+  // change a single arrival time relative to the fault-free network.
+  LinkFaultWindow other_link;
+  other_link.src = 2;
+  other_link.dst = 3;
+  other_link.loss_probability = 1.0;
+  LinkFaultWindow expired;
+  expired.from = seconds(0.0);
+  expired.until = seconds(0.5);
+  expired.loss_probability = 1.0;
+  Network clean(quiet(), 4);
+  Network faulty(quiet(), 4);
+  faulty.set_link_faults({other_link, expired}, 3);
+  for (int i = 0; i < 20; ++i) {
+    const Seconds now = seconds(1.0 + 0.01 * i);
+    EXPECT_EQ(clean.transfer(0, 1, 10'000, now).value(),
+              faulty.transfer(0, 1, 10'000, now).value());
+  }
+  EXPECT_EQ(faulty.retransmissions(), 0u);
+}
+
+TEST(LinkFaults, CertainLossRetransmitsWithBackoff) {
+  // p=1 loses every attempt until the retry cap: the message still goes
+  // through (the final attempt always wins) after the full backoff sum.
+  LinkFaultWindow w;
+  w.loss_probability = 1.0;
+  w.retransmit_timeout = milliseconds(1.0);
+  w.backoff = 2.0;
+  w.max_retries = 3;
+  Network clean(quiet(), 2);
+  Network faulty(quiet(), 2);
+  faulty.set_link_faults({w}, 1);
+  const Seconds base = clean.transfer(0, 1, 10'000, seconds(0.0));
+  const Seconds lossy = faulty.transfer(0, 1, 10'000, seconds(0.0));
+  // Backoff 1 + 2 + 4 ms on top of the clean arrival.
+  EXPECT_NEAR(lossy.value() - base.value(), 7e-3, 1e-9);
+  EXPECT_EQ(faulty.retransmissions(), 3u);
+}
+
+TEST(LinkFaults, LatencySpikeDelaysArrival) {
+  LinkFaultWindow w;
+  w.latency_factor = 10.0;  // No loss, just a slow window.
+  Network clean(quiet(), 2);
+  Network faulty(quiet(), 2);
+  faulty.set_link_faults({w}, 1);
+  const Seconds base = clean.transfer(0, 1, 0, seconds(0.0));
+  const Seconds spiked = faulty.transfer(0, 1, 0, seconds(0.0));
+  // Zero-byte message: pure latency, multiplied by the spike factor.
+  EXPECT_NEAR(spiked.value(), 10.0 * base.value(), 1e-12);
+  EXPECT_EQ(faulty.retransmissions(), 0u);
+}
+
+TEST(LinkFaults, ClearingWindowsRestoresFaultFreeBehavior) {
+  Network clean(quiet(), 2);
+  Network faulty(quiet(), 2);
+  LinkFaultWindow w;
+  w.loss_probability = 1.0;
+  w.retransmit_timeout = milliseconds(1.0);
+  faulty.set_link_faults({w}, 1);
+  (void)faulty.transfer(0, 1, 10'000, seconds(0.0));
+  faulty.set_link_faults({}, 1);
+  const Seconds now = seconds(10.0);
+  EXPECT_EQ(clean.transfer(0, 1, 10'000, now).value(),
+            faulty.transfer(0, 1, 10'000, now).value());
+}
+
 TEST(Presets, PaperEthernetIsRoughly100Mbps) {
   const NetworkParams p = ethernet_100mbps();
   EXPECT_GT(p.link_bandwidth, 10e6);

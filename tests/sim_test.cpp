@@ -219,6 +219,64 @@ TEST(Engine, TeardownWithLiveProcessesDoesNotHang) {
   SUCCEED();
 }
 
+TEST(Engine, MidRunThrowPropagatesExactlyOnceWithCleanTeardown) {
+  // One process throws mid-run while others are still live (one blocked,
+  // one delayed far in the future).  Exactly one exception must escape
+  // Engine::run, and destroying the engine afterwards must unwind the
+  // survivors without hanging or crashing.
+  auto e = std::make_unique<Engine>();
+  int bodies_completed = 0;
+  e->spawn("blocked", [&](Process& p) {
+    p.block();
+    ++bodies_completed;  // Never reached: nobody wakes it.
+  });
+  e->spawn("slow", [&](Process& p) {
+    p.delay(seconds(100.0));
+    ++bodies_completed;
+  });
+  e->spawn("boom", [](Process& p) {
+    p.delay(seconds(1.0));
+    throw std::runtime_error("kaboom");
+  });
+  int exceptions = 0;
+  try {
+    e->run();
+  } catch (const std::runtime_error& err) {
+    ++exceptions;
+    EXPECT_STREQ(err.what(), "kaboom");
+  }
+  EXPECT_EQ(exceptions, 1);
+  EXPECT_EQ(bodies_completed, 0);
+  e.reset();  // Survivors unwound via ProcessTerminated; must not hang.
+  SUCCEED();
+}
+
+TEST(Engine, TerminateProcessesUnwindsEarlyAndIsIdempotent) {
+  // terminate_processes() lets a caller unwind live process threads while
+  // the objects their stacks reference are still alive (the engine
+  // destructor would otherwise do it last).  Stack unwinding must run the
+  // process-frame destructors; calling it twice is harmless.
+  Engine e;
+  bool guard_destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  e.spawn("parked", [&](Process& p) {
+    Sentinel s{&guard_destroyed};
+    p.block();
+  });
+  try {
+    e.run();
+  } catch (const SimulationError&) {
+    // Deadlock: the process is parked forever.
+  }
+  EXPECT_FALSE(guard_destroyed);
+  e.terminate_processes();
+  EXPECT_TRUE(guard_destroyed);
+  e.terminate_processes();  // Idempotent.
+}
+
 TEST(Process, StateTransitions) {
   Engine e;
   Process& p = e.spawn("p", [](Process& self) { self.delay(seconds(1.0)); });

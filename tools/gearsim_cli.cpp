@@ -5,11 +5,14 @@
 //   gearsim sweep --workload CG --nodes 4 [--csv] [--cluster athlon]
 //   gearsim space --workload LU [--csv]
 //   gearsim model --workload SP --target 64
+//   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
 //
 // `run` executes one experiment and prints its full measurement record;
 // `sweep` prints one energy-time curve (optionally CSV for replotting);
 // `space` sweeps every valid (nodes x gear) configuration; `model` runs
-// the paper's five-step methodology and predicts a larger cluster.
+// the paper's five-step methodology and predicts a larger cluster;
+// `faults` re-runs an experiment under an unreliable cluster (crashes,
+// flaky links) with checkpoint/restart accounting — see docs/FAULTS.md.
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -114,6 +117,29 @@ void print_run(const cluster::RunResult& r) {
   table.add_row({"messages", std::to_string(r.messages)});
   table.add_row({"bytes moved [MB]",
                  fmt_fixed(static_cast<double>(r.net_bytes) / 1048576.0, 1)});
+  // Resilience rows only when the run actually carried a fault plan, so
+  // plain `run` output is untouched.
+  if (r.outcome != cluster::RunOutcome::kCompleted || r.retries > 0 ||
+      r.retransmissions > 0 || !r.fault_events.empty()) {
+    table.add_row({"outcome", to_string(r.outcome)});
+    table.add_row({"restarts", std::to_string(r.retries)});
+    table.add_row({"rework time [s]", fmt_fixed(r.rework_time.value(), 3)});
+    table.add_row({"rework energy [kJ]",
+                   fmt_fixed(r.rework_energy.value() / 1e3, 3)});
+    table.add_row({"checkpoint overhead [s / kJ]",
+                   fmt_fixed(r.checkpoint_time.value(), 3) + " / " +
+                       fmt_fixed(r.checkpoint_energy.value() / 1e3, 3)});
+    table.add_row({"retransmissions", std::to_string(r.retransmissions)});
+    if (r.sampled_energy.has_value()) {
+      table.add_row({"meter coverage", fmt_fixed(r.sampled_coverage, 4)});
+    }
+    if (r.fatal_crash.has_value()) {
+      table.add_row({"fatal crash",
+                     "node " + std::to_string(r.fatal_crash->node) + " at " +
+                         fmt_fixed(r.fatal_crash->at.value(), 3) + " s"});
+    }
+    table.add_row({"fault events", std::to_string(r.fault_events.size())});
+  }
   std::cout << table.to_string();
 }
 
@@ -193,6 +219,56 @@ int cmd_model(const Args& args) {
   return 0;
 }
 
+int cmd_faults(const Args& args) {
+  // One experiment on an unreliable cluster.  --rate is per-node crashes
+  // per hour; with a checkpoint policy (default) the run restarts from
+  // the last checkpoint, with --no-restart the first crash is fatal.
+  cluster::ExperimentRunner runner(
+      cluster_by_name(args.get("cluster", "athlon")));
+  const auto workload = workloads::make_workload(args.get("workload", "CG"));
+  const int nodes = args.get_int("nodes", 4);
+  const int gear = args.get_int("gear", 1);
+  const double rate_per_hour = std::stod(args.get("rate", "0"));
+  const double loss = std::stod(args.get("loss", "0"));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+
+  // Size the crash horizon from the fault-free wall time (restarts can
+  // stretch the run well past it).
+  const cluster::RunResult solid =
+      runner.run(*workload, nodes, static_cast<std::size_t>(gear - 1));
+  const double horizon =
+      std::stod(args.get("horizon",
+                         std::to_string(50.0 * solid.wall.value())));
+
+  faults::FaultPlan plan(seed);
+  if (rate_per_hour > 0.0) {
+    plan.random_crashes(rate_per_hour / 3600.0,
+                        static_cast<std::size_t>(nodes), seconds(horizon));
+  }
+  if (loss > 0.0) {
+    net::LinkFaultWindow window;
+    window.loss_probability = loss;
+    plan.degrade_link(window);
+  }
+  if (!args.has("no-restart")) {
+    faults::CheckpointConfig ckpt;
+    ckpt.interval = seconds(std::stod(args.get("interval", "30")));
+    plan.with_checkpointing(ckpt);
+  }
+
+  cluster::RunOptions options;
+  options.gear_index = static_cast<std::size_t>(gear - 1);
+  options.faults = &plan;
+  const cluster::RunResult r = runner.run(*workload, nodes, options);
+  std::cout << "fault-free wall " << fmt_fixed(solid.wall.value(), 3)
+            << " s, energy " << fmt_fixed(solid.energy.value() / 1e3, 3)
+            << " kJ; " << plan.crashes().size()
+            << " crash(es) scheduled\n";
+  print_run(r);
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   // One run with full instrumentation artifacts: the per-call CSV and the
   // per-rank activity timeline SVG.
@@ -256,6 +332,9 @@ int usage() {
       "  model  --workload W [--target M] [--csv]\n"
       "  trace  --workload W --nodes N [--gear G] [--out STEM]\n"
       "  advise --upm X [--max-delay F] [--cluster C]\n"
+      "  faults --workload W --nodes N [--gear G] [--rate R(/node/h)]\n"
+      "         [--loss P] [--interval S] [--seed K] [--horizon S]\n"
+      "         [--no-restart] [--cluster C]\n"
       "clusters: athlon (default), sun, xeon; gears are 1 (fastest) .. 6\n";
   return 2;
 }
@@ -273,6 +352,7 @@ int main(int argc, char** argv) {
     if (args->command == "model") return cmd_model(*args);
     if (args->command == "advise") return cmd_advise(*args);
     if (args->command == "trace") return cmd_trace(*args);
+    if (args->command == "faults") return cmd_faults(*args);
   } catch (const std::exception& e) {
     std::cerr << "gearsim: " << e.what() << '\n';
     return 1;
