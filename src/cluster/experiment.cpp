@@ -13,6 +13,7 @@
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace gearsim::cluster {
 
@@ -67,14 +68,14 @@ ExperimentRunner::ExperimentRunner(ClusterConfig config)
 }
 
 RunResult ExperimentRunner::run(const Workload& workload, int nodes,
-                                std::size_t gear_index) {
+                                std::size_t gear_index) const {
   RunOptions options;
   options.gear_index = gear_index;
   return run(workload, nodes, options);
 }
 
 RunResult ExperimentRunner::run(const Workload& workload, int nodes,
-                                const RunOptions& options) {
+                                const RunOptions& options) const {
   const GearPolicy* policy = options.policy;
   const std::size_t gear_index =
       policy != nullptr ? policy->compute_gear(0) : options.gear_index;
@@ -211,8 +212,36 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
 
   RunResult result;
   result.nodes = nodes;
-  result.gear_index = gear_index;
-  result.gear_label = config_.gears.gear(gear_index).label;
+  if (policy != nullptr) {
+    // Honest per-rank summary instead of mislabeling the whole run with
+    // rank 0's gear: query each rank's compute gear *after* the run, so
+    // adaptive policies report their final gears, and record the modal
+    // gear (ties toward the faster gear) plus the min/max range.
+    result.policy_run = true;
+    std::vector<std::size_t> counts(config_.gears.size(), 0);
+    std::size_t lo = config_.gears.size();
+    std::size_t hi = 0;
+    for (int r = 0; r < nodes; ++r) {
+      const std::size_t g = policy->compute_gear(r);
+      GEARSIM_REQUIRE(g < config_.gears.size(),
+                      "policy gear out of range after run");
+      ++counts[g];
+      lo = std::min(lo, g);
+      hi = std::max(hi, g);
+    }
+    std::size_t modal = 0;
+    for (std::size_t g = 1; g < counts.size(); ++g) {
+      if (counts[g] > counts[modal]) modal = g;
+    }
+    result.gear_index = modal;
+    result.gear_min_index = lo;
+    result.gear_max_index = hi;
+  } else {
+    result.gear_index = gear_index;
+    result.gear_min_index = gear_index;
+    result.gear_max_index = gear_index;
+  }
+  result.gear_label = config_.gears.gear(result.gear_index).label;
   result.wall = wall;
   result.energy = meter.total_energy();
   result.active_energy = meter.total_active_energy();
@@ -303,30 +332,38 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
 }
 
 std::vector<RunResult> ExperimentRunner::gear_sweep(const Workload& workload,
-                                                    int nodes) {
-  std::vector<RunResult> results;
-  results.reserve(config_.gears.size());
-  for (std::size_t g = 0; g < config_.gears.size(); ++g) {
-    results.push_back(run(workload, nodes, g));
-  }
+                                                    int nodes,
+                                                    int jobs) const {
+  // Each gear point is a pure function of (config_, workload, nodes, g):
+  // run() builds its own engine, meter and RNG streams from those alone,
+  // so the points fan out over the pool with bit-identical results for
+  // any job count.
+  std::vector<RunResult> results(config_.gears.size());
+  parallel_for_ordered(jobs, config_.gears.size(), [&](std::size_t g) {
+    results[g] = run(workload, nodes, g);
+  });
   return results;
 }
 
 ExperimentRunner::RepeatedResult ExperimentRunner::run_repeated(
     const Workload& workload, int nodes, std::size_t gear_index,
-    int repetitions) {
+    int repetitions, int jobs) const {
   GEARSIM_REQUIRE(repetitions >= 1, "need at least one repetition");
   RepeatedResult result;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    ClusterConfig config = config_;
-    config.seed = config_.seed + static_cast<std::uint64_t>(rep);
-    config.network.jitter_seed =
-        config_.network.jitter_seed + static_cast<std::uint64_t>(rep);
-    ExperimentRunner sub(config);
-    RunResult run = sub.run(workload, nodes, gear_index);
+  result.runs.resize(static_cast<std::size_t>(repetitions));
+  parallel_for_ordered(
+      jobs, static_cast<std::size_t>(repetitions), [&](std::size_t rep) {
+        ClusterConfig config = config_;
+        config.seed = config_.seed + rep;
+        config.network.jitter_seed = config_.network.jitter_seed + rep;
+        const ExperimentRunner sub(config);
+        result.runs[rep] = sub.run(workload, nodes, gear_index);
+      });
+  // Welford accumulation is order-sensitive in the last bits; fold the
+  // ordered results serially so the statistics match the serial loop.
+  for (const RunResult& run : result.runs) {
     result.time_s.add(run.wall.value());
     result.energy_j.add(run.energy.value());
-    result.runs.push_back(std::move(run));
   }
   return result;
 }

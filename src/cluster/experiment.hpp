@@ -29,8 +29,22 @@ const char* to_string(RunOutcome outcome);
 /// One (workload, nodes, gear) measurement.
 struct RunResult {
   int nodes = 0;
-  std::size_t gear_index = 0;   ///< Rank 0's compute gear for policy runs.
-  int gear_label = 0;           ///< 1-based paper label.
+  /// The run's gear.  Uniform-gear runs: the requested gear.  Policy runs
+  /// (see `policy_run`): the *modal* per-rank compute gear at the end of
+  /// the run — a policy that assigns per-rank or time-varying gears has no
+  /// single gear, so the modal value plus the [gear_min_index,
+  /// gear_max_index] range below is the honest summary (ties break toward
+  /// the faster gear).
+  std::size_t gear_index = 0;
+  int gear_label = 0;           ///< 1-based paper label of gear_index.
+  /// True when a GearPolicy drove the run; gear_index/gear_label are then
+  /// a summary, not a configuration.
+  bool policy_run = false;
+  /// Fastest / slowest per-rank compute gear observed at the end of the
+  /// run (== gear_index for uniform runs).  For adaptive policies this
+  /// reflects each rank's final gear.
+  std::size_t gear_min_index = 0;
+  std::size_t gear_max_index = 0;
   Seconds wall{};               ///< Execution time.
   Joules energy{};              ///< Cumulative energy of all nodes.
   Joules active_energy{};
@@ -100,14 +114,26 @@ class ExperimentRunner {
   [[nodiscard]] std::size_t num_gears() const { return config_.gears.size(); }
 
   /// Run `workload` on `nodes` nodes, all at gear `gear_index` (0-based).
-  RunResult run(const Workload& workload, int nodes, std::size_t gear_index);
+  /// Thread-safe: a run touches only its own engine/meter/world, so
+  /// independent runs may execute concurrently on one runner.
+  RunResult run(const Workload& workload, int nodes,
+                std::size_t gear_index) const;
 
   /// Run with full options (per-rank gears / dynamic DVFS policies).
-  RunResult run(const Workload& workload, int nodes, const RunOptions& options);
+  /// Concurrent calls must not share a stateful GearPolicy instance.
+  RunResult run(const Workload& workload, int nodes,
+                const RunOptions& options) const;
 
   /// Run at every gear of the cluster; results ordered fastest-first.
   /// This is one curve of the paper's energy-time plots.
-  std::vector<RunResult> gear_sweep(const Workload& workload, int nodes);
+  ///
+  /// `jobs` fans the independent gear points out over a worker pool
+  /// (0 = GEARSIM_SWEEP_JOBS or serial, <0 = hardware concurrency, see
+  /// util/parallel.hpp).  Every point's RNG streams derive from the
+  /// (config, gear) tuple alone, so results are bit-identical to the
+  /// serial loop for any job count.
+  std::vector<RunResult> gear_sweep(const Workload& workload, int nodes,
+                                    int jobs = 0) const;
 
   /// Repeated measurement under different load-imbalance seeds — the
   /// simulation analogue of the paper's practice of averaging multiple
@@ -130,15 +156,24 @@ class ExperimentRunner {
       return m > 0.0 ? time_s.stddev() / m : 0.0;
     }
   };
+  /// Repetition r seeds its run with (config.seed + r, jitter_seed + r),
+  /// a pure function of the repetition index — never a shared RNG — so
+  /// `jobs` parallelism (same convention as gear_sweep) cannot reorder
+  /// randomness and the statistics accumulate in repetition order
+  /// regardless of which worker finished first.
   RepeatedResult run_repeated(const Workload& workload, int nodes,
-                              std::size_t gear_index, int repetitions);
+                              std::size_t gear_index, int repetitions,
+                              int jobs = 0) const;
 
  private:
   ClusterConfig config_;
 };
 
 /// Speedup of `slow_nodes`-vs-`fast_nodes` runs at the fastest gear:
-/// T(a) / T(b).
+/// T(a) / T(b).  Degenerate denominators are rejected, not absorbed:
+/// b.wall <= 0 (an empty or failed run) throws ContractError, matching
+/// rel_diff; only summary *statistics* (e.g. RepeatedResult::time_cv)
+/// degrade to 0.0, because for them an empty sample is a valid state.
 double speedup(const RunResult& a, const RunResult& b);
 
 }  // namespace gearsim::cluster

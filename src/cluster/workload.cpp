@@ -1,9 +1,23 @@
 #include "cluster/workload.hpp"
 
+#include <charconv>
+#include <limits>
+
 #include "faults/injector.hpp"
 #include "util/assert.hpp"
 
 namespace gearsim::cluster {
+
+std::string sig_value(double v) {
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(
+      buf, buf + sizeof(buf), v, std::chars_format::general,
+      std::numeric_limits<double>::max_digits10);
+  GEARSIM_ENSURE(ec == std::errc(), "sig_value formatting failed");
+  return std::string(buf, ptr);
+}
+
+std::string sig_value(std::uint64_t v) { return std::to_string(v); }
 
 RankContext::RankContext(mpi::Comm comm, const cpu::CpuModel& cpu_model,
                          const cpu::PowerModel& power_model,

@@ -9,6 +9,7 @@
 // paper measures.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "cpu/compute.hpp"
@@ -92,6 +93,18 @@ class Workload {
   virtual void run(RankContext& ctx) const = 0;
   /// Valid process counts (e.g. BT/SP require square counts).
   [[nodiscard]] virtual bool supports(int nprocs) const { return nprocs >= 1; }
+  /// Stable identity of the workload *including every parameter that can
+  /// change the simulation* — the workload half of exec::ResultCache keys
+  /// (two workloads with equal signatures must produce bit-identical
+  /// runs).  Defaults to name(); parameterized implementations must
+  /// override it and fold all their knobs in (see sig_value below).
+  [[nodiscard]] virtual std::string signature() const { return name(); }
 };
+
+/// Format a numeric workload parameter for signature(): doubles render
+/// with round-trip (max_digits10) precision so two different values can
+/// never collapse to one signature.
+[[nodiscard]] std::string sig_value(double v);
+[[nodiscard]] std::string sig_value(std::uint64_t v);
 
 }  // namespace gearsim::cluster

@@ -1,0 +1,129 @@
+#include "exec/result_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "exec/result_io.hpp"
+#include "util/assert.hpp"
+
+namespace gearsim::exec {
+
+namespace {
+
+// A disk entry is a two-field JSON object.  The key text is emitted with
+// the same escaping as result_io strings; since canonical keys never
+// contain quotes/backslashes/control bytes, a plain find() locates the
+// "result" object reliably.
+std::string render_disk_entry(const std::string& key_text,
+                              const cluster::RunResult& result) {
+  return "{\"format\":" + std::to_string(kKeyFormatVersion) +
+         ",\"key\":\"" + key_text + "\",\"result\":" + to_json(result) +
+         "}\n";
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Options options) : options_(std::move(options)) {
+  GEARSIM_REQUIRE(options_.capacity > 0, "cache capacity must be positive");
+}
+
+std::string ResultCache::disk_path(const CacheKey& key) const {
+  return options_.disk_dir + "/" + key.hex() + ".json";
+}
+
+std::optional<cluster::RunResult> ResultCache::disk_lookup(
+    const CacheKey& key) {
+  if (options_.disk_dir.empty()) return std::nullopt;
+  std::ifstream in(disk_path(key));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Verify the stored key text matches the probe exactly — a hash
+  // collision (or a stale format) must read as a miss.
+  const std::string want = "\"key\":\"" + key.text + "\",\"result\":";
+  const std::size_t at = text.find(want);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + want.size();
+  // The result object runs to the entry's closing brace.
+  std::size_t end = text.find_last_of('}');
+  if (end == std::string::npos || end <= start) return std::nullopt;
+  try {
+    return result_from_json(
+        std::string_view(text).substr(start, end - start));
+  } catch (const ContractError&) {
+    return std::nullopt;  // Corrupt entry: treat as miss, will be rewritten.
+  }
+}
+
+std::optional<cluster::RunResult> ResultCache::lookup(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key.text);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // Promote to front.
+    ++stats_.hits;
+    return it->second->result;
+  }
+  if (auto from_disk = disk_lookup(key)) {
+    ++stats_.disk_hits;
+    // Promote into memory (without re-writing the disk file).
+    lru_.push_front(Entry{key.text, *from_disk});
+    index_[key.text] = lru_.begin();
+    if (lru_.size() > options_.capacity) {
+      index_.erase(lru_.back().key_text);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    return from_disk;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         const cluster::RunResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key.text);
+  if (it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key.text, result});
+    index_[key.text] = lru_.begin();
+    ++stats_.insertions;
+    if (lru_.size() > options_.capacity) {
+      index_.erase(lru_.back().key_text);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  if (!options_.disk_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.disk_dir, ec);
+    // Write to a temp name then rename, so a concurrent reader never
+    // sees a half-written entry.
+    const std::string final_path = disk_path(key);
+    const std::string tmp_path = final_path + ".tmp";
+    {
+      std::ofstream out(tmp_path, std::ios::trunc);
+      if (!out) return;  // Disk store is best-effort.
+      out << render_disk_entry(key.text, result);
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace gearsim::exec

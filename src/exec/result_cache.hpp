@@ -1,0 +1,89 @@
+// Content-addressed cache of simulated RunResults.
+//
+// Keyed by CacheKey (exec/cache_key.hpp): the canonical text is the
+// identity, the FNV-1a hash only buckets and names files.  Two tiers:
+//
+//  * in-memory LRU (default 4096 entries) — hot within one process;
+//  * optional on-disk JSON store, one file per point named
+//    `<dir>/<hash-hex>.json`, each holding {"key": <text>, "result":
+//    {...}} — warm across processes (bench reruns, CLI invocations,
+//    model refits).
+//
+// On every lookup the stored key text is compared against the probe's:
+// a 64-bit hash collision therefore degrades to a miss, never a wrong
+// result.  Thread-safe; lookup/insert take one mutex (simulation time
+// dwarfs it by orders of magnitude).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/experiment.hpp"
+#include "exec/cache_key.hpp"
+
+namespace gearsim::exec {
+
+/// Hit/miss accounting, readable any time via ResultCache::stats().
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< In-memory LRU hits.
+  std::uint64_t disk_hits = 0;   ///< Misses satisfied from the disk store.
+  std::uint64_t misses = 0;      ///< Neither tier had it (simulate!).
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;   ///< LRU capacity evictions (disk keeps them).
+
+  [[nodiscard]] std::uint64_t lookups() const {
+    return hits + disk_hits + misses;
+  }
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Max in-memory entries before LRU eviction.
+    std::size_t capacity = 4096;
+    /// When non-empty, the on-disk store directory (created on first
+    /// insert; e.g. "out/cache").  Empty = memory-only.
+    std::string disk_dir;
+  };
+
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look `key` up: memory first, then disk (a disk hit is promoted into
+  /// memory).  Unreadable or mismatched disk entries count as misses.
+  [[nodiscard]] std::optional<cluster::RunResult> lookup(const CacheKey& key);
+
+  /// Insert (or refresh) `result` under `key` in memory, and — when a
+  /// disk_dir is configured — persist it as JSON.
+  void insert(const CacheKey& key, const cluster::RunResult& result);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key_text;
+    cluster::RunResult result;
+  };
+  using LruList = std::list<Entry>;
+
+  [[nodiscard]] std::string disk_path(const CacheKey& key) const;
+  [[nodiscard]] std::optional<cluster::RunResult> disk_lookup(
+      const CacheKey& key);  // caller holds mutex_
+
+  Options options_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace gearsim::exec

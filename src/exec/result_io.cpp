@@ -1,0 +1,455 @@
+#include "exec/result_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace gearsim::exec {
+
+namespace {
+
+// ---- emission ---------------------------------------------------------------
+
+std::string jnum(double v) {
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(
+      buf, buf + sizeof(buf), v, std::chars_format::general,
+      std::numeric_limits<double>::max_digits10);
+  GEARSIM_ENSURE(ec == std::errc(), "double rendering failed");
+  return std::string(buf, ptr);
+}
+
+std::string jstr(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// ---- minimal JSON tree + parser --------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  // Numbers keep their raw token so integer fields convert exactly.
+  std::variant<std::nullptr_t, bool, std::string /*number token*/,
+               std::shared_ptr<std::string> /*string*/,
+               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v);
+  }
+  [[nodiscard]] bool as_bool() const {
+    GEARSIM_REQUIRE(std::holds_alternative<bool>(v), "expected JSON bool");
+    return std::get<bool>(v);
+  }
+  [[nodiscard]] double as_double() const {
+    GEARSIM_REQUIRE(std::holds_alternative<std::string>(v),
+                    "expected JSON number");
+    const std::string& tok = std::get<std::string>(v);
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
+                    "bad JSON number: " + tok);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    GEARSIM_REQUIRE(std::holds_alternative<std::string>(v),
+                    "expected JSON number");
+    const std::string& tok = std::get<std::string>(v);
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
+                    "bad JSON integer: " + tok);
+    return out;
+  }
+  [[nodiscard]] int as_int() const {
+    return static_cast<int>(as_double());
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    GEARSIM_REQUIRE(
+        std::holds_alternative<std::shared_ptr<std::string>>(v),
+        "expected JSON string");
+    return *std::get<std::shared_ptr<std::string>>(v);
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    GEARSIM_REQUIRE(std::holds_alternative<std::shared_ptr<JsonObject>>(v),
+                    "expected JSON object");
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    GEARSIM_REQUIRE(std::holds_alternative<std::shared_ptr<JsonArray>>(v),
+                    "expected JSON array");
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    GEARSIM_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    GEARSIM_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    GEARSIM_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                    std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return number();
+    }
+  }
+
+  void literal(std::string_view word) {
+    GEARSIM_REQUIRE(text_.substr(pos_, word.size()) == word,
+                    "bad JSON literal");
+    pos_ += word.size();
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      (*obj)[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    for (;;) {
+      arr->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  JsonValue string_value() {
+    return JsonValue{std::make_shared<std::string>(raw_string())};
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      GEARSIM_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      GEARSIM_REQUIRE(pos_ < text_.size(), "dangling escape in JSON string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          GEARSIM_REQUIRE(pos_ + 4 <= text_.size(), "short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else GEARSIM_REQUIRE(false, "bad \\u escape");
+          }
+          // The emitter only produces \u00xx control escapes; reject the
+          // rest rather than mis-decode them.
+          GEARSIM_REQUIRE(code < 0x80, "unsupported \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: GEARSIM_REQUIRE(false, "bad escape in JSON string");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    GEARSIM_REQUIRE(pos_ > start, "expected JSON number");
+    return JsonValue{std::string(text_.substr(start, pos_ - start))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& field(const JsonObject& obj, std::string_view name) {
+  const auto it = obj.find(name);
+  GEARSIM_REQUIRE(it != obj.end(),
+                  "missing JSON field: " + std::string(name));
+  return it->second;
+}
+
+}  // namespace
+
+std::string to_json(const cluster::RunResult& r) {
+  std::string s = "{";
+  s += "\"nodes\":" + std::to_string(r.nodes);
+  s += ",\"gear_index\":" + std::to_string(r.gear_index);
+  s += ",\"gear_label\":" + std::to_string(r.gear_label);
+  s += ",\"policy_run\":" + std::string(r.policy_run ? "true" : "false");
+  s += ",\"gear_min_index\":" + std::to_string(r.gear_min_index);
+  s += ",\"gear_max_index\":" + std::to_string(r.gear_max_index);
+  s += ",\"wall\":" + jnum(r.wall.value());
+  s += ",\"energy\":" + jnum(r.energy.value());
+  s += ",\"active_energy\":" + jnum(r.active_energy.value());
+  s += ",\"idle_energy\":" + jnum(r.idle_energy.value());
+  s += ",\"mean_active_power\":" + jnum(r.mean_active_power.value());
+  s += ",\"mean_idle_power\":" + jnum(r.mean_idle_power.value());
+
+  const trace::ClusterBreakdown& b = r.breakdown;
+  s += ",\"breakdown\":{\"wall\":" + jnum(b.wall.value()) +
+       ",\"active_max\":" + jnum(b.active_max.value()) +
+       ",\"idle_derived\":" + jnum(b.idle_derived.value()) +
+       ",\"active_mean\":" + jnum(b.active_mean.value()) +
+       ",\"idle_mean\":" + jnum(b.idle_mean.value()) +
+       ",\"critical\":" + jnum(b.critical.value()) +
+       ",\"reducible\":" + jnum(b.reducible.value()) + ",\"ranks\":[";
+  for (std::size_t i = 0; i < b.ranks.size(); ++i) {
+    const trace::RankBreakdown& rb = b.ranks[i];
+    if (i) s += ',';
+    s += "{\"wall\":" + jnum(rb.wall.value()) +
+         ",\"active\":" + jnum(rb.active.value()) +
+         ",\"idle\":" + jnum(rb.idle.value()) +
+         ",\"critical\":" + jnum(rb.critical.value()) +
+         ",\"reducible\":" + jnum(rb.reducible.value()) +
+         ",\"mpi_calls\":" + std::to_string(rb.mpi_calls) + "}";
+  }
+  s += "]}";
+
+  s += ",\"node_energy\":[";
+  for (std::size_t i = 0; i < r.node_energy.size(); ++i) {
+    const power::NodeEnergy& ne = r.node_energy[i];
+    if (i) s += ',';
+    s += "{\"total\":" + jnum(ne.total.value()) +
+         ",\"active\":" + jnum(ne.active.value()) +
+         ",\"idle\":" + jnum(ne.idle.value()) +
+         ",\"active_time\":" + jnum(ne.active_time.value()) +
+         ",\"idle_time\":" + jnum(ne.idle_time.value()) + "}";
+  }
+  s += "]";
+
+  s += ",\"mpi_calls\":" + std::to_string(r.mpi_calls);
+  s += ",\"messages\":" + std::to_string(r.messages);
+  s += ",\"net_bytes\":" + std::to_string(r.net_bytes);
+  s += ",\"gear_switches\":" + std::to_string(r.gear_switches);
+  s += ",\"sampled_energy\":" +
+       (r.sampled_energy.has_value() ? jnum(r.sampled_energy->value())
+                                     : std::string("null"));
+  s += ",\"sampled_coverage\":" + jnum(r.sampled_coverage);
+  s += ",\"outcome\":" + std::to_string(static_cast<int>(r.outcome));
+  s += ",\"retries\":" + std::to_string(r.retries);
+  s += ",\"rework_time\":" + jnum(r.rework_time.value());
+  s += ",\"rework_energy\":" + jnum(r.rework_energy.value());
+  s += ",\"checkpoint_time\":" + jnum(r.checkpoint_time.value());
+  s += ",\"checkpoint_energy\":" + jnum(r.checkpoint_energy.value());
+  s += ",\"fatal_crash\":";
+  if (r.fatal_crash.has_value()) {
+    s += "{\"node\":" + std::to_string(r.fatal_crash->node) +
+         ",\"at\":" + jnum(r.fatal_crash->at.value()) + "}";
+  } else {
+    s += "null";
+  }
+  s += ",\"retransmissions\":" + std::to_string(r.retransmissions);
+  s += ",\"fault_events\":[";
+  for (std::size_t i = 0; i < r.fault_events.size(); ++i) {
+    const trace::FaultEvent& ev = r.fault_events[i];
+    if (i) s += ',';
+    s += "{\"kind\":" + std::to_string(static_cast<int>(ev.kind)) +
+         ",\"node\":" + std::to_string(ev.node) +
+         ",\"at\":" + jnum(ev.at.value()) +
+         ",\"detail\":" + jstr(ev.detail) + "}";
+  }
+  s += "]}";
+  return s;
+}
+
+cluster::RunResult result_from_json(std::string_view json) {
+  const JsonValue root = Parser(json).parse();
+  const JsonObject& o = root.as_object();
+
+  cluster::RunResult r;
+  r.nodes = field(o, "nodes").as_int();
+  r.gear_index = static_cast<std::size_t>(field(o, "gear_index").as_u64());
+  r.gear_label = field(o, "gear_label").as_int();
+  r.policy_run = field(o, "policy_run").as_bool();
+  r.gear_min_index =
+      static_cast<std::size_t>(field(o, "gear_min_index").as_u64());
+  r.gear_max_index =
+      static_cast<std::size_t>(field(o, "gear_max_index").as_u64());
+  r.wall = seconds(field(o, "wall").as_double());
+  r.energy = joules(field(o, "energy").as_double());
+  r.active_energy = joules(field(o, "active_energy").as_double());
+  r.idle_energy = joules(field(o, "idle_energy").as_double());
+  r.mean_active_power = watts(field(o, "mean_active_power").as_double());
+  r.mean_idle_power = watts(field(o, "mean_idle_power").as_double());
+
+  const JsonObject& b = field(o, "breakdown").as_object();
+  r.breakdown.wall = seconds(field(b, "wall").as_double());
+  r.breakdown.active_max = seconds(field(b, "active_max").as_double());
+  r.breakdown.idle_derived = seconds(field(b, "idle_derived").as_double());
+  r.breakdown.active_mean = seconds(field(b, "active_mean").as_double());
+  r.breakdown.idle_mean = seconds(field(b, "idle_mean").as_double());
+  r.breakdown.critical = seconds(field(b, "critical").as_double());
+  r.breakdown.reducible = seconds(field(b, "reducible").as_double());
+  for (const JsonValue& rv : field(b, "ranks").as_array()) {
+    const JsonObject& ro = rv.as_object();
+    trace::RankBreakdown rb;
+    rb.wall = seconds(field(ro, "wall").as_double());
+    rb.active = seconds(field(ro, "active").as_double());
+    rb.idle = seconds(field(ro, "idle").as_double());
+    rb.critical = seconds(field(ro, "critical").as_double());
+    rb.reducible = seconds(field(ro, "reducible").as_double());
+    rb.mpi_calls = static_cast<std::size_t>(field(ro, "mpi_calls").as_u64());
+    r.breakdown.ranks.push_back(rb);
+  }
+
+  for (const JsonValue& nv : field(o, "node_energy").as_array()) {
+    const JsonObject& no = nv.as_object();
+    power::NodeEnergy ne;
+    ne.total = joules(field(no, "total").as_double());
+    ne.active = joules(field(no, "active").as_double());
+    ne.idle = joules(field(no, "idle").as_double());
+    ne.active_time = seconds(field(no, "active_time").as_double());
+    ne.idle_time = seconds(field(no, "idle_time").as_double());
+    r.node_energy.push_back(ne);
+  }
+
+  r.mpi_calls = field(o, "mpi_calls").as_u64();
+  r.messages = field(o, "messages").as_u64();
+  r.net_bytes = static_cast<Bytes>(field(o, "net_bytes").as_u64());
+  r.gear_switches = field(o, "gear_switches").as_u64();
+  if (!field(o, "sampled_energy").is_null()) {
+    r.sampled_energy = joules(field(o, "sampled_energy").as_double());
+  }
+  r.sampled_coverage = field(o, "sampled_coverage").as_double();
+  const int outcome = field(o, "outcome").as_int();
+  GEARSIM_REQUIRE(outcome >= 0 && outcome <= 2, "bad outcome code");
+  r.outcome = static_cast<cluster::RunOutcome>(outcome);
+  r.retries = field(o, "retries").as_int();
+  r.rework_time = seconds(field(o, "rework_time").as_double());
+  r.rework_energy = joules(field(o, "rework_energy").as_double());
+  r.checkpoint_time = seconds(field(o, "checkpoint_time").as_double());
+  r.checkpoint_energy = joules(field(o, "checkpoint_energy").as_double());
+  if (!field(o, "fatal_crash").is_null()) {
+    const JsonObject& fc = field(o, "fatal_crash").as_object();
+    faults::CrashEvent ev;
+    ev.node = static_cast<std::size_t>(field(fc, "node").as_u64());
+    ev.at = seconds(field(fc, "at").as_double());
+    r.fatal_crash = ev;
+  }
+  r.retransmissions = field(o, "retransmissions").as_u64();
+  for (const JsonValue& ev : field(o, "fault_events").as_array()) {
+    const JsonObject& eo = ev.as_object();
+    trace::FaultEvent fe;
+    const int kind = field(eo, "kind").as_int();
+    GEARSIM_REQUIRE(kind >= 0 && kind <= 7, "bad fault-event kind");
+    fe.kind = static_cast<trace::FaultEventKind>(kind);
+    fe.node = static_cast<std::size_t>(field(eo, "node").as_u64());
+    fe.at = seconds(field(eo, "at").as_double());
+    fe.detail = field(eo, "detail").as_string();
+    r.fault_events.push_back(fe);
+  }
+  return r;
+}
+
+}  // namespace gearsim::exec

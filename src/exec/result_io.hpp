@@ -1,0 +1,26 @@
+// Exact JSON serialization of RunResult.
+//
+// The on-disk ResultCache stores each simulated point as JSON; warm-cache
+// reads must be *bit-identical* to the simulation that produced them, so
+// every double renders at round-trip precision (max_digits10) and the
+// parser converts it back with the inverse conversion.  to_json is also
+// the regression-test fingerprint: two RunResults are bit-identical iff
+// their JSON strings are equal (it covers every field, including the
+// trace breakdown, per-node energies and the fault log).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cluster/experiment.hpp"
+
+namespace gearsim::exec {
+
+/// Serialize every field of `result` as a single-line JSON object.
+[[nodiscard]] std::string to_json(const cluster::RunResult& result);
+
+/// Inverse of to_json.  Throws ContractError on malformed input or
+/// missing fields.
+[[nodiscard]] cluster::RunResult result_from_json(std::string_view json);
+
+}  // namespace gearsim::exec

@@ -1,0 +1,113 @@
+#include "exec/sweep_runner.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace gearsim::exec {
+
+SweepRunner::SweepRunner(cluster::ClusterConfig config, SweepOptions options)
+    : config_(std::move(config)), options_(options) {}
+
+std::vector<cluster::RunResult> SweepRunner::run(
+    const std::vector<SweepPoint>& points) const {
+  const cluster::ClusterConfig& base = config_.config();
+
+  // Validate everything up front: a bad point must fail before any
+  // simulation time (or cache traffic) is spent.
+  for (const SweepPoint& p : points) {
+    GEARSIM_REQUIRE(p.workload != nullptr, "sweep point without a workload");
+    GEARSIM_REQUIRE(p.nodes >= 1 && p.nodes <= base.max_nodes,
+                    "sweep point node count out of range");
+    GEARSIM_REQUIRE(p.gear_index < base.gears.size(),
+                    "sweep point gear out of range");
+    GEARSIM_REQUIRE(p.rep >= 0, "sweep point repetition must be >= 0");
+  }
+
+  std::vector<cluster::RunResult> results(points.size());
+  std::vector<CacheKey> keys(options_.cache != nullptr ? points.size() : 0);
+  std::vector<std::size_t> misses;
+  misses.reserve(points.size());
+
+  if (options_.cache != nullptr) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      keys[i] = sweep_point_key(base, p.workload->signature(), p.nodes,
+                                p.gear_index, p.rep, options_.faults);
+      if (auto hit = options_.cache->lookup(keys[i])) {
+        results[i] = *hit;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) misses.push_back(i);
+  }
+
+  parallel_for_ordered(options_.jobs, misses.size(), [&](std::size_t m) {
+    const std::size_t i = misses[m];
+    const SweepPoint& p = points[i];
+    cluster::RunOptions run_options;
+    run_options.gear_index = p.gear_index;
+    run_options.faults = options_.faults;
+    if (p.rep == 0) {
+      results[i] = config_.run(*p.workload, p.nodes, run_options);
+    } else {
+      // Repetition r is the same point under shifted seeds — identical
+      // to ExperimentRunner::run_repeated's convention.
+      cluster::ClusterConfig shifted = base;
+      shifted.seed = base.seed + static_cast<std::uint64_t>(p.rep);
+      shifted.network.jitter_seed =
+          base.network.jitter_seed + static_cast<std::uint64_t>(p.rep);
+      const cluster::ExperimentRunner sub(shifted);
+      results[i] = sub.run(*p.workload, p.nodes, run_options);
+    }
+    if (options_.cache != nullptr) {
+      options_.cache->insert(keys[i], results[i]);
+    }
+  });
+
+  return results;
+}
+
+std::vector<cluster::RunResult> SweepRunner::gear_sweep(
+    const cluster::Workload& workload, int nodes) const {
+  std::vector<SweepPoint> points;
+  points.reserve(config_.num_gears());
+  for (std::size_t g = 0; g < config_.num_gears(); ++g) {
+    points.push_back(SweepPoint{&workload, nodes, g, 0});
+  }
+  return run(points);
+}
+
+std::vector<cluster::RunResult> SweepRunner::grid(
+    const cluster::Workload& workload,
+    const std::vector<int>& node_counts) const {
+  std::vector<SweepPoint> points;
+  points.reserve(node_counts.size() * config_.num_gears());
+  for (int nodes : node_counts) {
+    for (std::size_t g = 0; g < config_.num_gears(); ++g) {
+      points.push_back(SweepPoint{&workload, nodes, g, 0});
+    }
+  }
+  return run(points);
+}
+
+std::vector<cluster::RunResult> SweepRunner::repeat(
+    const cluster::Workload& workload, int nodes, std::size_t gear_index,
+    int repetitions) const {
+  GEARSIM_REQUIRE(repetitions >= 1, "need at least one repetition");
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<std::size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) {
+    points.push_back(SweepPoint{&workload, nodes, gear_index, r});
+  }
+  return run(points);
+}
+
+CacheStats SweepRunner::cache_stats() const {
+  return options_.cache != nullptr ? options_.cache->stats() : CacheStats{};
+}
+
+}  // namespace gearsim::exec

@@ -17,10 +17,12 @@ GearData measure_gear_data(cluster::ExperimentRunner& runner,
   const cpu::PowerModel power_model(runner.config().power,
                                     runner.config().gears);
   GearData data;
-  Seconds t1{};
-  for (std::size_t g = 0; g < runner.num_gears(); ++g) {
-    const cluster::RunResult r = runner.run(workload, 1, g);
-    if (g == 0) t1 = r.wall;
+  // One 1-node run per gear — independent points, so the sweep fans out
+  // over GEARSIM_SWEEP_JOBS workers (bit-identical to the serial loop).
+  const std::vector<cluster::RunResult> runs = runner.gear_sweep(workload, 1);
+  const Seconds t1 = runs.front().wall;
+  for (std::size_t g = 0; g < runs.size(); ++g) {
+    const cluster::RunResult& r = runs[g];
     GearPoint point;
     point.gear_label = r.gear_label;
     point.slowdown = r.wall / t1;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 
 namespace gearsim::trace {
 
@@ -28,7 +29,7 @@ void write_mpi_rows(const Tracer& tracer, std::ostream& out) {
   out.precision(9);
   for (std::size_t rank = 0; rank < tracer.num_ranks(); ++rank) {
     for (const TraceRecord& rec : tracer.records(rank)) {
-      out << rank << ',' << mpi::to_string(rec.type) << ','
+      out << rank << ',' << csv_escape(mpi::to_string(rec.type)) << ','
           << rec.enter.value() << ',' << rec.exit.value() << ','
           << rec.duration().value() << ',' << rec.bytes << ',' << rec.peer
           << '\n';
@@ -48,7 +49,9 @@ void export_csv(const Tracer& tracer, std::ostream& out,
   for (const FaultEvent& ev : faults) {
     out << ev.node << ",fault:" << to_string(ev.kind) << ','
         << ev.at.value() << ',' << ev.at.value() << ",0,0,-1";
-    if (!ev.detail.empty()) out << ',' << ev.detail;
+    // Details are free-form text ("dst=3, retries=2") — RFC-4180-quote
+    // them so embedded commas/quotes/newlines survive a round trip.
+    if (!ev.detail.empty()) out << ',' << csv_escape(ev.detail);
     out << '\n';
   }
 }

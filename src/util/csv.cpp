@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include "util/assert.hpp"
+
+namespace gearsim {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+        } else {
+          quoted = false;
+          ++i;
+        }
+      } else {
+        current += c;
+        ++i;
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+      ++i;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+    } else {
+      current += c;
+      ++i;
+    }
+  }
+  GEARSIM_REQUIRE(!quoted, "unterminated quoted CSV field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace gearsim

@@ -1,0 +1,26 @@
+// RFC-4180 CSV field handling, shared by every exporter.
+//
+// Workload names, policy names, and fault-event details are free-form
+// strings; a comma or quote inside one must not shear a row.  Both the
+// TextTable CSV renderer and the trace exporter quote through here, and
+// parse_csv_line inverts the quoting for round-trip tests and ad-hoc
+// readers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gearsim {
+
+/// Quote a field per RFC 4180 when it contains a comma, double quote, CR
+/// or LF (embedded quotes are doubled); otherwise return it unchanged.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Split one CSV record into its fields, undoing RFC-4180 quoting.  The
+/// line must not contain an unterminated quoted field (throws
+/// ContractError); embedded newlines inside quoted fields are supported
+/// when present in `line`.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace gearsim

@@ -20,6 +20,10 @@ class RunningStats {
   void add(double x);
 
   [[nodiscard]] std::size_t count() const { return count_; }
+  /// Mean / min / max are preconditions-checked: querying an empty
+  /// accumulator throws ContractError rather than silently returning 0.0
+  /// (which would poison any consumer that aggregates before adding its
+  /// first sample).  Check count() first when emptiness is a valid state.
   [[nodiscard]] double mean() const;
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   [[nodiscard]] double variance() const;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/csv.hpp"
 
 namespace gearsim {
 
@@ -89,26 +90,16 @@ std::string TextTable::to_string() const {
 }
 
 std::string TextTable::to_csv() const {
-  auto escape = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"') out += '"';
-      out += c;
-    }
-    out += '"';
-    return out;
-  };
   std::ostringstream os;
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     if (c) os << ',';
-    os << escape(columns_[c]);
+    os << csv_escape(columns_[c]);
   }
   os << '\n';
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.cells.size(); ++c) {
       if (c) os << ',';
-      os << escape(row.cells[c]);
+      os << csv_escape(row.cells[c]);
     }
     os << '\n';
   }

@@ -5,6 +5,17 @@
 
 namespace gearsim::workloads {
 
+std::string Jacobi::signature() const {
+  using cluster::sig_value;
+  return "Jacobi(upm=" + sig_value(params_.upm) +
+         ",seq=" + sig_value(params_.seq_active.value()) +
+         ",serial=" + sig_value(params_.serial_fraction) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",halo=" + sig_value(std::uint64_t(params_.halo_bytes)) +
+         ",norm=" + sig_value(std::uint64_t(params_.norm_every)) +
+         ",weak=" + (params_.weak_scaling ? "1" : "0") + ")";
+}
+
 void Jacobi::run(cluster::RankContext& ctx) const {
   const int n = ctx.nprocs();
   const double share = params_.weak_scaling

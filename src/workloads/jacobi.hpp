@@ -35,6 +35,7 @@ class Jacobi final : public cluster::Workload {
   explicit Jacobi(Params params) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return "Jacobi"; }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] const Params& params() const { return params_; }
   void run(cluster::RankContext& ctx) const override;
 

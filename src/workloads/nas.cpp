@@ -24,6 +24,40 @@ bool is_square(int n) {
   return r * r == n;
 }
 
+std::string NasSkeleton::signature() const {
+  using cluster::sig_value;
+  return std::string(params_.name) + "(upm=" + sig_value(params_.upm) +
+         ",seq=" + sig_value(params_.seq_active.value()) +
+         ",serial=" + sig_value(params_.serial_fraction) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",overlap=" + sig_value(params_.overlap) + extra_signature() + ")";
+}
+
+std::string NasCg::extra_signature() const {
+  return ",pair=" + cluster::sig_value(std::uint64_t(pair_bytes));
+}
+
+std::string NasMg::extra_signature() const {
+  using cluster::sig_value;
+  return ",levels=" + sig_value(std::uint64_t(levels)) +
+         ",fine=" + sig_value(std::uint64_t(fine_halo_bytes)) +
+         ",coarse=" + sig_value(std::uint64_t(coarse_bytes));
+}
+
+std::string NasLu::extra_signature() const {
+  return ",sweep=" + cluster::sig_value(std::uint64_t(sweep_bytes));
+}
+
+std::string NasBt::extra_signature() const {
+  return ",face=" + cluster::sig_value(std::uint64_t(face_bytes));
+}
+
+std::string NasSp::extra_signature() const {
+  using cluster::sig_value;
+  return ",face=" + sig_value(std::uint64_t(face_bytes)) +
+         ",sync=" + sig_value(std::uint64_t(sync_bytes));
+}
+
 cpu::ComputeBlock NasSkeleton::iteration_block(
     const cluster::RankContext& ctx) const {
   const cpu::ComputeBlock total = block_for_time(

@@ -41,9 +41,16 @@ class NasSkeleton : public cluster::Workload {
   explicit NasSkeleton(NasParams params) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return params_.name; }
+  /// Calibration record plus the subclass's communication knobs, so two
+  /// differently-tuned instances never share a cache key.
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] const NasParams& params() const { return params_; }
 
  protected:
+  /// Subclass knobs (message sizes, level counts) folded into
+  /// signature(); default none.
+  [[nodiscard]] virtual std::string extra_signature() const { return ""; }
+
   /// The compute block one rank executes per iteration on `ctx.nprocs()`
   /// nodes.
   [[nodiscard]] cpu::ComputeBlock iteration_block(
@@ -73,6 +80,9 @@ class NasCg final : public NasSkeleton {
 
   /// Per-ordered-pair message size (calibration knob).
   Bytes pair_bytes = kilobytes(120);
+
+ protected:
+  [[nodiscard]] std::string extra_signature() const override;
 };
 
 /// MG — multigrid V-cycles.  Halo exchanges shrink with the level and
@@ -87,6 +97,9 @@ class NasMg final : public NasSkeleton {
   int levels = 8;
   Bytes fine_halo_bytes = kilobytes(384);  ///< Finest-level halo at n=1.
   Bytes coarse_bytes = kilobytes(192);     ///< Agglomerated coarse grid.
+
+ protected:
+  [[nodiscard]] std::string extra_signature() const override;
 };
 
 /// LU — SSOR with 2D pipelined wavefronts: many small north/south/east/
@@ -99,6 +112,9 @@ class NasLu final : public NasSkeleton {
 
   Bytes sweep_bytes = kilobytes(120);  ///< Wavefront traffic scale; a rank
                                        ///< moves 4x this per iteration.
+
+ protected:
+  [[nodiscard]] std::string extra_signature() const override;
 };
 
 /// BT — block-tridiagonal ADI on a square process grid (1, 4, 9, 16, 25
@@ -110,6 +126,9 @@ class NasBt final : public NasSkeleton {
   [[nodiscard]] bool supports(int nprocs) const override;
 
   Bytes face_bytes = kilobytes(240);  ///< Face size at n=1 scale.
+
+ protected:
+  [[nodiscard]] std::string extra_signature() const override;
 };
 
 /// SP — scalar-pentadiagonal ADI; same square-grid structure as BT with a
@@ -122,6 +141,9 @@ class NasSp final : public NasSkeleton {
 
   Bytes face_bytes = kilobytes(280);
   Bytes sync_bytes = kilobytes(355);  ///< Per-iteration reduction payload.
+
+ protected:
+  [[nodiscard]] std::string extra_signature() const override;
 };
 
 /// True when `n` is a perfect square (BT/SP process-grid requirement).

@@ -4,6 +4,30 @@
 
 namespace gearsim::workloads {
 
+std::string NasFt::signature() const {
+  using cluster::sig_value;
+  return "FT(upm=" + sig_value(params_.upm) +
+         ",seq=" + sig_value(params_.seq_active.value()) +
+         ",serial=" + sig_value(params_.serial_fraction) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",transpose=" + sig_value(std::uint64_t(params_.transpose_bytes)) +
+         ")";
+}
+
+std::string NasIs::signature() const {
+  using cluster::sig_value;
+  return name() + "(upm=" + sig_value(params_.upm) +
+         ",seqB=" + sig_value(params_.seq_active_b.value()) +
+         ",seqC=" + sig_value(params_.seq_active_c.value()) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",keysB=" + sig_value(std::uint64_t(params_.keys_bytes_b)) +
+         ",keysC=" + sig_value(std::uint64_t(params_.keys_bytes_c)) +
+         ",bucket=" + sig_value(std::uint64_t(params_.bucket_bytes)) +
+         ",ws=" + sig_value(std::uint64_t(params_.working_set_c)) +
+         ",mem=" + sig_value(std::uint64_t(params_.node_memory)) +
+         ",thrash=" + sig_value(params_.thrash_factor) + ")";
+}
+
 void NasFt::run(cluster::RankContext& ctx) const {
   const int n = ctx.nprocs();
   const cpu::ComputeBlock block =

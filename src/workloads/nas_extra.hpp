@@ -36,6 +36,7 @@ class NasFt final : public cluster::Workload {
   explicit NasFt(Params params) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return "FT"; }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] const Params& params() const { return params_; }
   void run(cluster::RankContext& ctx) const override;
 
@@ -77,6 +78,7 @@ class NasIs final : public cluster::Workload {
   [[nodiscard]] std::string name() const override {
     return params_.cls == Class::kB ? "IS.B" : "IS.C";
   }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] const Params& params() const { return params_; }
   void run(cluster::RankContext& ctx) const override;
 

@@ -7,6 +7,18 @@
 
 namespace gearsim::workloads {
 
+std::string Synthetic::signature() const {
+  using cluster::sig_value;
+  return "SYNTH(upm=" + sig_value(params_.upm) +
+         ",seq=" + sig_value(params_.seq_active.value()) +
+         ",serial=" + sig_value(params_.serial_fraction) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",halo=" + sig_value(std::uint64_t(params_.halo_bytes)) +
+         ",norm=" + sig_value(std::uint64_t(params_.norm_every)) +
+         ",chase=" + sig_value(params_.chase_fraction) +
+         ",ws=" + sig_value(std::uint64_t(params_.working_set)) + ")";
+}
+
 void Synthetic::run(cluster::RankContext& ctx) const {
   const int n = ctx.nprocs();
   const cpu::ComputeBlock block =

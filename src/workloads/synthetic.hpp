@@ -38,6 +38,7 @@ class Synthetic final : public cluster::Workload {
   explicit Synthetic(Params params) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return "SYNTH"; }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] const Params& params() const { return params_; }
   void run(cluster::RankContext& ctx) const override;
 

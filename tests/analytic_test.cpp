@@ -11,6 +11,7 @@
 
 #include "trace/export.hpp"
 #include "trace/timeline.hpp"
+#include "util/csv.hpp"
 #include "workloads/nas.hpp"
 #include "workloads/registry.hpp"
 
@@ -109,6 +110,37 @@ TEST(TraceExport, CsvContainsEveryRecord) {
             0u);
   EXPECT_NE(csv.find("0,Send,1,1.5,0.5,512,1"), std::string::npos);
   EXPECT_NE(csv.find("1,Recv,0.5,2,1.5,0,0"), std::string::npos);
+}
+
+TEST(TraceExport, FaultDetailFieldsSurviveACsvRoundTrip) {
+  // Bugfix regression: fault-event details are free-form text and may
+  // contain commas, quotes, or newlines; un-escaped they shear the row.
+  trace::Tracer tracer(1);
+  tracer.on_enter(0, mpi::CallType::kSend, seconds(1.0), 64, 0);
+  tracer.on_exit(0, mpi::CallType::kSend, seconds(1.5));
+  trace::FaultLog faults;
+  faults.push_back({trace::FaultEventKind::kLinkDrop, 2, seconds(3.0),
+                    "dst=3, retries=2"});
+  faults.push_back({trace::FaultEventKind::kNodeCrash, 1, seconds(4.0),
+                    "reason=\"kernel panic\", fatal"});
+  std::ostringstream os;
+  trace::export_csv(tracer, os, faults);
+  const std::string csv = os.str();
+
+  // Parse every line back: each row must have exactly 7 or 8 fields and
+  // the detail field must come back verbatim.
+  std::istringstream lines(csv);
+  std::string line;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(lines, line)) rows.push_back(parse_csv_line(line));
+  ASSERT_EQ(rows.size(), 4u);  // Header + 1 MPI record + 2 fault rows.
+  for (const auto& row : rows) {
+    ASSERT_GE(row.size(), 7u);
+    ASSERT_LE(row.size(), 8u);
+  }
+  EXPECT_EQ(rows[2][1], "fault:link_drop");
+  EXPECT_EQ(rows[2][7], "dst=3, retries=2");
+  EXPECT_EQ(rows[3][7], "reason=\"kernel panic\", fatal");
 }
 
 TEST(TraceExport, EndToEndFromASimulatedRun) {

@@ -2,6 +2,7 @@
 // accounting identities, determinism, and gear-sweep structure.
 #include <gtest/gtest.h>
 
+#include "cluster/dvfs.hpp"
 #include "cluster/experiment.hpp"
 #include "model/gear_data.hpp"
 #include "workloads/jacobi.hpp"
@@ -213,6 +214,73 @@ TEST(Runner, RepeatedRunsRequirePositiveCount) {
   EXPECT_THROW(
       (void)runner.run_repeated(*workloads::make_workload("EP"), 1, 0, 0),
       ContractError);
+}
+
+TEST(Runner, ParallelSweepsMatchSerialBitForBit) {
+  // gear_sweep / run_repeated with a worker pool must reproduce the
+  // serial results exactly — the executor only moves points, it never
+  // changes their seeds.
+  ExperimentRunner runner(athlon_cluster());
+  const workloads::Jacobi jacobi;
+  const auto serial = runner.gear_sweep(jacobi, 4, 1);
+  const auto wide = runner.gear_sweep(jacobi, 4, 8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t g = 0; g < serial.size(); ++g) {
+    EXPECT_EQ(serial[g].wall.value(), wide[g].wall.value());
+    EXPECT_EQ(serial[g].energy.value(), wide[g].energy.value());
+    EXPECT_EQ(serial[g].mpi_calls, wide[g].mpi_calls);
+  }
+  const auto rep_serial = runner.run_repeated(jacobi, 2, 0, 4, 1);
+  const auto rep_wide = runner.run_repeated(jacobi, 2, 0, 4, 8);
+  EXPECT_EQ(rep_serial.time_s.mean(), rep_wide.time_s.mean());
+  EXPECT_EQ(rep_serial.time_s.stddev(), rep_wide.time_s.stddev());
+  EXPECT_EQ(rep_serial.energy_j.mean(), rep_wide.energy_j.mean());
+}
+
+TEST(Runner, UniformRunReportsDegenerateGearRange) {
+  ExperimentRunner runner(athlon_cluster());
+  const RunResult r = runner.run(workloads::Jacobi(), 2, 3);
+  EXPECT_FALSE(r.policy_run);
+  EXPECT_EQ(r.gear_index, 3u);
+  EXPECT_EQ(r.gear_min_index, 3u);
+  EXPECT_EQ(r.gear_max_index, 3u);
+}
+
+TEST(Runner, PolicyRunReportsModalAndRangeNotRankZero) {
+  // Bugfix regression: gear_index used to echo policy->compute_gear(0),
+  // mislabeling mixed-gear runs with whatever rank 0 happened to use.
+  // With ranks at gears {5, 1, 1, 1} the honest summary is modal gear 1,
+  // range [1, 5] — and rank 0's gear 5 must NOT be reported as "the"
+  // gear.
+  ExperimentRunner runner(athlon_cluster());
+  const PerRankGear policy({5, 1, 1, 1});
+  RunOptions options;
+  options.policy = &policy;
+  const RunResult r = runner.run(workloads::Jacobi(), 4, options);
+  EXPECT_TRUE(r.policy_run);
+  EXPECT_EQ(r.gear_index, 1u);      // Modal, not rank 0's 5.
+  EXPECT_EQ(r.gear_min_index, 1u);  // Fastest rank.
+  EXPECT_EQ(r.gear_max_index, 5u);  // Slowest rank.
+  EXPECT_EQ(r.gear_label, 2);       // Label of the modal gear.
+}
+
+TEST(Runner, PolicyModalTieBreaksTowardFasterGear) {
+  ExperimentRunner runner(athlon_cluster());
+  const PerRankGear policy({4, 4, 2, 2});
+  RunOptions options;
+  options.policy = &policy;
+  const RunResult r = runner.run(workloads::Jacobi(), 4, options);
+  EXPECT_EQ(r.gear_index, 2u);  // 2 and 4 tie; the faster (lower) wins.
+  EXPECT_EQ(r.gear_min_index, 2u);
+  EXPECT_EQ(r.gear_max_index, 4u);
+}
+
+TEST(Runner, SpeedupRejectsDegenerateDenominator) {
+  ExperimentRunner runner(athlon_cluster());
+  const RunResult good = runner.run(workloads::Jacobi(), 1, 0);
+  RunResult empty;  // Default-constructed: wall == 0.
+  EXPECT_THROW((void)speedup(good, empty), ContractError);
+  EXPECT_NO_THROW((void)speedup(empty, good));  // 0/positive is just 0.
 }
 
 }  // namespace

@@ -1,9 +1,15 @@
-// Unit tests for src/util: units, statistics, RNG, tables.
+// Unit tests for src/util: units, statistics, RNG, tables, CSV quoting,
+// and the parallel-for worker pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
+#include <string>
 #include <vector>
 
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
@@ -255,6 +261,30 @@ TEST(Rng, ForkedStreamsAreIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ForkOfForkStreamsStayDistinct) {
+  // The sweep executor derives per-point streams as fork(fork(...)): a
+  // two-level derivation must not alias a one-level one or a sibling.
+  Rng base(42);
+  Rng aa = base.fork(0).fork(0);
+  Rng ab = base.fork(0).fork(1);
+  Rng ba = base.fork(1).fork(0);
+  Rng a = base.fork(0);
+  const std::uint64_t first[] = {aa(), ab(), ba(), a()};
+  std::set<std::uint64_t> distinct(std::begin(first), std::end(first));
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Rng, ForkStreamsDoNotCollideAcrossAWideRange) {
+  // First draw of 4096 sibling forks: all distinct (a collision would
+  // make two sweep points share randomness).
+  Rng base(7);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 4096; ++s) {
+    seen.insert(base.fork(s)());
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
 // --- tables ---------------------------------------------------------------------
 
 TEST(TextTable, RendersAlignedColumns) {
@@ -286,6 +316,74 @@ TEST(Formatting, FixedAndPercent) {
   EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_percent(0.095), "+9.5%");
   EXPECT_EQ(fmt_percent(-0.2), "-20.0%");
+}
+
+// --- CSV quoting -------------------------------------------------------------
+
+TEST(Csv, PlainFieldsPassThroughUnquoted) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(Csv, SpecialCharactersForceQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Csv, ParseInvertsEscape) {
+  const std::vector<std::string> fields = {"plain", "a,b", "say \"hi\"",
+                                           "multi\nline", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(parse_csv_line(line), fields);
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW((void)parse_csv_line("\"open"), ContractError);
+}
+
+// --- parallel_for_ordered ----------------------------------------------------
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_ordered(8, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SerialFallbackForOneJob) {
+  // jobs<=1 must run inline, in order, on the calling thread.
+  std::vector<std::size_t> order;
+  parallel_for_ordered(1, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, ZeroIterationsIsANoOp) {
+  parallel_for_ordered(4, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Parallel, LowestIndexExceptionWins) {
+  // When several indices throw, the caller sees the lowest one —
+  // deterministic regardless of which worker hit its error first.
+  try {
+    parallel_for_ordered(8, 64, [](std::size_t i) {
+      if (i % 2 == 1) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "1");
+  }
+}
+
+TEST(Parallel, ResolveJobsContract) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_GE(resolve_jobs(-1), 1);  // Hardware concurrency, at least 1.
+  EXPECT_GE(resolve_jobs(0), 1);   // Env default (serial unless overridden).
 }
 
 // --- misc helpers ------------------------------------------------------------------

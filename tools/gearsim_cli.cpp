@@ -2,8 +2,9 @@
 //
 //   gearsim list
 //   gearsim run   --workload CG --nodes 4 [--gear 2] [--cluster athlon]
-//   gearsim sweep --workload CG --nodes 4 [--csv] [--cluster athlon]
-//   gearsim space --workload LU [--csv]
+//   gearsim sweep --workload CG --nodes 4 [--jobs N] [--cache DIR]
+//                 [--repeat R] [--csv] [--cluster athlon]
+//   gearsim space --workload LU [--jobs N] [--cache DIR] [--csv]
 //   gearsim model --workload SP --target 64
 //   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
 //
@@ -13,16 +14,25 @@
 // the paper's five-step methodology and predicts a larger cluster;
 // `faults` re-runs an experiment under an unreliable cluster (crashes,
 // flaky links) with checkpoint/restart accounting — see docs/FAULTS.md.
+//
+// `sweep` and `space` go through exec::SweepRunner: --jobs fans the
+// independent points over worker threads (bit-identical to serial),
+// --cache DIR skips points already simulated by any earlier invocation
+// (content-addressed; see docs/EXECUTOR.md).
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "exec/result_cache.hpp"
+#include "exec/sweep_runner.hpp"
 #include "model/analytic.hpp"
 #include "model/pipeline.hpp"
 #include "model/tradeoff.hpp"
+#include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
@@ -95,7 +105,16 @@ int cmd_list() {
 void print_run(const cluster::RunResult& r) {
   TextTable table({"metric", "value"});
   table.add_row({"nodes", std::to_string(r.nodes)});
-  table.add_row({"gear", std::to_string(r.gear_label)});
+  // A policy-driven run has no single configured gear: gear_label is the
+  // modal per-rank gear, reported as such with the observed range.
+  if (r.policy_run) {
+    table.add_row({"gear (modal, policy run)", std::to_string(r.gear_label)});
+    table.add_row({"gear range (fast..slow)",
+                   std::to_string(r.gear_min_index + 1) + " .. " +
+                       std::to_string(r.gear_max_index + 1)});
+  } else {
+    table.add_row({"gear", std::to_string(r.gear_label)});
+  }
   table.add_row({"wall time [s]", fmt_fixed(r.wall.value(), 3)});
   table.add_row({"energy [kJ]", fmt_fixed(r.energy.value() / 1e3, 3)});
   table.add_row({"active energy [kJ]",
@@ -153,42 +172,102 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+/// Build the executor options shared by `sweep` and `space`: --jobs for
+/// the worker pool, --cache DIR for the content-addressed result store.
+/// The returned cache (may be null) must outlive the SweepRunner.
+std::unique_ptr<exec::ResultCache> make_sweep_options(
+    const Args& args, exec::SweepOptions* options) {
+  options->jobs = args.get_int("jobs", 0);
+  if (!args.has("cache")) return nullptr;
+  exec::ResultCache::Options cache_options;
+  cache_options.disk_dir = args.get("cache", "out/cache");
+  auto cache = std::make_unique<exec::ResultCache>(cache_options);
+  options->cache = cache.get();
+  return cache;
+}
+
+void print_cache_stats(const exec::ResultCache* cache) {
+  if (cache == nullptr) return;
+  const exec::CacheStats s = cache->stats();
+  std::cout << "cache: " << s.hits << " hit(s), " << s.disk_hits
+            << " disk hit(s), " << s.misses << " miss(es)\n";
+}
+
 int cmd_sweep(const Args& args) {
-  cluster::ExperimentRunner runner(
-      cluster_by_name(args.get("cluster", "athlon")));
+  const cluster::ClusterConfig config =
+      cluster_by_name(args.get("cluster", "athlon"));
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
-  const auto runs = runner.gear_sweep(*workload, nodes);
-  TextTable table({"gear", "MHz", "time_s", "energy_J", "mean_power_W"});
-  for (const auto& r : runs) {
-    table.add_row({std::to_string(r.gear_label),
-                   fmt_fixed(runner.config()
-                                 .gears.gear(r.gear_index)
-                                 .frequency.value() /
-                                 1e6,
-                             0),
-                   fmt_fixed(r.wall.value(), 3),
-                   fmt_fixed(r.energy.value(), 1),
-                   fmt_fixed((r.energy / r.wall).value(), 1)});
+  const int repeat = args.get_int("repeat", 1);
+  exec::SweepOptions options;
+  const auto cache = make_sweep_options(args, &options);
+  const exec::SweepRunner runner(config, options);
+
+  // gears x repetitions as one flat point list, so cache hits and the
+  // worker pool cover the repetitions too.
+  std::vector<exec::SweepPoint> points;
+  for (std::size_t g = 0; g < config.gears.size(); ++g) {
+    for (int rep = 0; rep < repeat; ++rep) {
+      points.push_back(exec::SweepPoint{workload.get(), nodes, g, rep});
+    }
+  }
+  const auto runs = runner.run(points);
+
+  TextTable table(repeat > 1
+                      ? std::vector<std::string>{"gear", "MHz", "time_s",
+                                                 "energy_J", "mean_power_W",
+                                                 "time_cv"}
+                      : std::vector<std::string>{"gear", "MHz", "time_s",
+                                                 "energy_J", "mean_power_W"});
+  for (std::size_t g = 0; g < config.gears.size(); ++g) {
+    RunningStats time_s;
+    RunningStats energy_j;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const auto& r = runs[g * static_cast<std::size_t>(repeat) +
+                           static_cast<std::size_t>(rep)];
+      time_s.add(r.wall.value());
+      energy_j.add(r.energy.value());
+    }
+    const auto& first = runs[g * static_cast<std::size_t>(repeat)];
+    std::vector<std::string> row{
+        std::to_string(first.gear_label),
+        fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
+        fmt_fixed(time_s.mean(), 3), fmt_fixed(energy_j.mean(), 1),
+        fmt_fixed(energy_j.mean() / time_s.mean(), 1)};
+    if (repeat > 1) {
+      const double cv =
+          time_s.mean() > 0.0 ? time_s.stddev() / time_s.mean() : 0.0;
+      row.push_back(fmt_fixed(cv, 5));
+    }
+    table.add_row(row);
   }
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
+  print_cache_stats(options.cache);
   return 0;
 }
 
 int cmd_space(const Args& args) {
-  cluster::ExperimentRunner runner(
-      cluster_by_name(args.get("cluster", "athlon")));
+  const cluster::ClusterConfig config =
+      cluster_by_name(args.get("cluster", "athlon"));
   const auto workload = workloads::make_workload(args.get("workload", "LU"));
+  exec::SweepOptions options;
+  const auto cache = make_sweep_options(args, &options);
+  const exec::SweepRunner runner(config, options);
+  const std::vector<int> node_counts =
+      workloads::paper_node_counts(*workload, config.max_nodes);
+  const auto runs = runner.grid(*workload, node_counts);
   TextTable table({"nodes", "gear", "time_s", "energy_J"});
-  for (int n : workloads::paper_node_counts(*workload,
-                                            runner.config().max_nodes)) {
-    for (const auto& r : runner.gear_sweep(*workload, n)) {
+  std::size_t i = 0;
+  for (int n : node_counts) {
+    for (std::size_t g = 0; g < config.gears.size(); ++g, ++i) {
+      const auto& r = runs[i];
       table.add_row({std::to_string(n), std::to_string(r.gear_label),
                      fmt_fixed(r.wall.value(), 3),
                      fmt_fixed(r.energy.value(), 1)});
     }
   }
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
+  print_cache_stats(options.cache);
   return 0;
 }
 
@@ -327,8 +406,9 @@ int usage() {
       "usage: gearsim <command> [options]\n"
       "  list                              available workloads\n"
       "  run    --workload W --nodes N [--gear G] [--cluster C]\n"
-      "  sweep  --workload W --nodes N [--csv] [--cluster C]\n"
-      "  space  --workload W [--csv] [--cluster C]\n"
+      "  sweep  --workload W --nodes N [--jobs J] [--cache DIR]\n"
+      "         [--repeat R] [--csv] [--cluster C]\n"
+      "  space  --workload W [--jobs J] [--cache DIR] [--csv] [--cluster C]\n"
       "  model  --workload W [--target M] [--csv]\n"
       "  trace  --workload W --nodes N [--gear G] [--out STEM]\n"
       "  advise --upm X [--max-delay F] [--cluster C]\n"
