@@ -44,18 +44,18 @@ int main() {
     std::vector<double> slowdowns;
     for (const auto& g : gear_data.gears) slowdowns.push_back(g.slowdown);
 
-    const cluster::UniformGear fastest(0);
-    const cluster::UniformGear economical(best_uniform);
-    const cluster::CommDownshift downshift(0, slowest);
-    const cluster::PerRankGear planned = cluster::plan_node_bottleneck(
+    cluster::UniformGear fastest(0);
+    cluster::UniformGear economical(best_uniform);
+    cluster::CommDownshift downshift(0, slowest);
+    cluster::PerRankGear planned = cluster::plan_node_bottleneck(
         runner.run(*workload, nodes, 0), slowdowns, /*safety=*/0.9);
-    const cluster::SlackAdaptive adaptive(cluster::SlackAdaptive::Params{},
-                                          nodes);
+    cluster::SlackAdaptive adaptive(cluster::SlackAdaptive::Params{},
+                                    nodes);
 
     const cluster::RunResult base = sweep.front();
-    const std::vector<const cluster::GearPolicy*> policies = {
+    const std::vector<cluster::GearPolicy*> policies = {
         &fastest, &economical, &downshift, &planned, &adaptive};
-    for (const auto* policy : policies) {
+    for (auto* policy : policies) {
       cluster::RunOptions options;
       options.policy = policy;
       const cluster::RunResult r = runner.run(*workload, nodes, options);

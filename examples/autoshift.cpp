@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
   const cluster::PerRankGear plan =
       cluster::plan_node_bottleneck(profile, ladder, /*safety=*/0.9);
 
-  const cluster::UniformGear baseline(0);
-  const cluster::CommDownshift downshift(0, slowest);
-  const cluster::SlackAdaptive adaptive(cluster::SlackAdaptive::Params{},
-                                        nodes);
+  cluster::UniformGear baseline(0);
+  cluster::CommDownshift downshift(0, slowest);
+  cluster::SlackAdaptive adaptive(cluster::SlackAdaptive::Params{}, nodes);
+  cluster::PerRankGear planned = plan;  // mutable copy: policies may carry state
 
   std::cout << "Automatic DVFS for " << name << " on " << nodes
             << " nodes (switch latency "
@@ -50,11 +50,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"policy", "time [s]", "energy [kJ]", "vs baseline time",
                    "vs baseline energy", "switches"});
-  for (const cluster::GearPolicy* policy :
-       {static_cast<const cluster::GearPolicy*>(&baseline),
-        static_cast<const cluster::GearPolicy*>(&downshift),
-        static_cast<const cluster::GearPolicy*>(&plan),
-        static_cast<const cluster::GearPolicy*>(&adaptive)}) {
+  for (cluster::GearPolicy* policy :
+       {static_cast<cluster::GearPolicy*>(&baseline),
+        static_cast<cluster::GearPolicy*>(&downshift),
+        static_cast<cluster::GearPolicy*>(&planned),
+        static_cast<cluster::GearPolicy*>(&adaptive)}) {
     cluster::RunOptions options;
     options.policy = policy;
     const cluster::RunResult r = runner.run(*workload, nodes, options);

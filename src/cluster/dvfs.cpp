@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/workload.hpp"
 #include "util/assert.hpp"
 
 namespace gearsim::cluster {
@@ -9,6 +10,15 @@ namespace gearsim::cluster {
 PerRankGear::PerRankGear(std::vector<std::size_t> gears)
     : gears_(std::move(gears)) {
   GEARSIM_REQUIRE(!gears_.empty(), "per-rank policy needs at least one gear");
+}
+
+std::string PerRankGear::signature() const {
+  std::string sig = "per-rank{gears=";
+  for (std::size_t i = 0; i < gears_.size(); ++i) {
+    if (i > 0) sig += ',';
+    sig += std::to_string(gears_[i]);
+  }
+  return sig + "}";
 }
 
 std::size_t PerRankGear::compute_gear(int rank) const {
@@ -28,17 +38,33 @@ std::string CommDownshift::name() const {
          std::to_string(comm_ + 1) + ")";
 }
 
+std::string CommDownshift::signature() const {
+  return "comm-downshift{compute=" + std::to_string(compute_) +
+         ",comm=" + std::to_string(comm_) + "}";
+}
+
 SlackAdaptive::SlackAdaptive(Params params, int nprocs) : params_(params) {
-  GEARSIM_REQUIRE(nprocs >= 1, "need at least one rank");
   GEARSIM_REQUIRE(params_.lo >= 0.0 && params_.lo < params_.hi &&
                       params_.hi <= 1.0,
                   "thresholds must satisfy 0 <= lo < hi <= 1");
   GEARSIM_REQUIRE(params_.window >= 1, "window must be positive");
   GEARSIM_REQUIRE(params_.initial_gear <= params_.slowest_gear,
                   "initial gear beyond the slowest allowed");
+  begin_run(nprocs);
+}
+
+std::string SlackAdaptive::signature() const {
+  return "slack-adaptive{initial=" + std::to_string(params_.initial_gear) +
+         ",hi=" + sig_value(params_.hi) + ",lo=" + sig_value(params_.lo) +
+         ",window=" + std::to_string(params_.window) +
+         ",slowest=" + std::to_string(params_.slowest_gear) + "}";
+}
+
+void SlackAdaptive::begin_run(int nprocs) {
+  GEARSIM_REQUIRE(nprocs >= 1, "need at least one rank");
   state_.assign(static_cast<std::size_t>(nprocs),
-                RankState{params_.initial_gear, Seconds{}, Seconds{},
-                          Seconds{}, 0, false});
+                RankState{params_.initial_gear, Seconds{}, Seconds{}, 0,
+                          false});
 }
 
 std::size_t SlackAdaptive::compute_gear(int rank) const {
@@ -51,19 +77,20 @@ std::size_t SlackAdaptive::comm_gear(int rank) const {
   return compute_gear(rank);
 }
 
-void SlackAdaptive::on_blocking_enter(int rank, Seconds now) const {
+void SlackAdaptive::on_blocking_enter(int rank, mpi::CallType, Bytes,
+                                      Seconds now) {
   RankState& s = state_[rank];
   if (!s.started) {
     s.started = true;
     s.window_start = now;
   }
-  s.enter = now;
 }
 
-void SlackAdaptive::on_blocking_exit(int rank, Seconds now) const {
+void SlackAdaptive::on_blocking_exit(int rank, mpi::CallType, Bytes,
+                                     Seconds now, Seconds waited) {
   RankState& s = state_[rank];
   if (!s.started) return;
-  s.blocked += now - s.enter;
+  s.blocked += waited;
   if (++s.intervals < params_.window) return;
   const Seconds elapsed = now - s.window_start;
   if (elapsed.value() > 0.0) {

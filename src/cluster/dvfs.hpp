@@ -14,24 +14,48 @@
 //    and restores the compute gear on exit, paying the DVFS transition
 //    latency both ways (the naive ancestor of Jitter/Adagio-style
 //    runtimes).
+//
+// The *adaptive online* controllers that close future work #3 for real —
+// timeout-filtered downshift and per-iteration slack reclamation — live
+// in src/policy/ (see docs/POLICIES.md); they plug into the same
+// GearPolicy surface defined here.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/experiment.hpp"
+#include "mpi/types.hpp"
 
 namespace gearsim::cluster {
 
-/// Gear selection for one run.  Implementations must be immutable during
-/// the run (they are consulted concurrently by every rank's process).
+/// Gear selection for one run, consulted by the runner's DVFS driver.
+///
+/// Two kinds of implementation share this surface:
+///  * *static* policies (UniformGear, PerRankGear, CommDownshift): no
+///    per-run state, every method const — one instance may be shared by
+///    concurrent runs;
+///  * *runtime controllers* (policy::RuntimeController subclasses):
+///    mutable per-rank state fed by the engine-time callbacks below.  A
+///    controller instance serves ONE run at a time; the runner calls
+///    begin_run() first, which must reset all per-run state (so reusing
+///    an instance across sequential runs is deterministic).  Concurrent
+///    runs need one instance each — exec::SweepRunner instantiates a
+///    fresh controller per point through PolicyFactory.
 class GearPolicy {
  public:
   virtual ~GearPolicy() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Canonical identity: name plus EVERY parameter that can change the
+  /// simulation, rendered at round-trip precision (use cluster::sig_value
+  /// for doubles).  This is the policy half of an exec cache key — two
+  /// policies with equal signatures must produce bit-identical runs.
+  /// Defaults to name(); parameterized policies must override it.
+  [[nodiscard]] virtual std::string signature() const { return name(); }
   /// Gear a rank computes at (0-based index, 0 = fastest).
   [[nodiscard]] virtual std::size_t compute_gear(int rank) const = 0;
   /// Gear a rank parks at while blocked in MPI; default: no shifting.
@@ -42,11 +66,36 @@ class GearPolicy {
   /// feedback) — tells the runner to install the MPI-observer driver.
   [[nodiscard]] virtual bool shifts_during_comm() const { return false; }
 
-  /// Feedback hooks: the runner's driver invokes these around every
-  /// blocking MPI call when shifts_during_comm() is true.  Default no-op;
-  /// adaptive controllers accumulate their observations here.
-  virtual void on_blocking_enter(int /*rank*/, Seconds /*now*/) const {}
-  virtual void on_blocking_exit(int /*rank*/, Seconds /*now*/) const {}
+  /// Called once at the start of every run, before any gear query.
+  /// Controllers reset all per-run state here; static policies may
+  /// validate the rank count.  Default no-op.
+  virtual void begin_run(int /*nprocs*/) {}
+
+  /// Engine-time feedback: the runner's driver invokes these around every
+  /// blocking MPI call when shifts_during_comm() is true.  `waited` on
+  /// exit is the measured wall time spent inside the call (transition
+  /// latency included, as a DVFS-aware MPI would observe).  Non-const:
+  /// adaptive controllers accumulate their observations here; static
+  /// policies keep the default no-ops and stay shareable.
+  virtual void on_blocking_enter(int /*rank*/, mpi::CallType /*type*/,
+                                 Bytes /*bytes*/, Seconds /*now*/) {}
+  virtual void on_blocking_exit(int /*rank*/, mpi::CallType /*type*/,
+                                Bytes /*bytes*/, Seconds /*now*/,
+                                Seconds /*waited*/) {}
+};
+
+/// Creates one fresh policy instance per run — how policies travel
+/// through exec::SweepRunner, whose worker pool may execute many runs of
+/// the same nominal policy concurrently.  signature() doubles as the
+/// cache-key component (see exec/cache_key.hpp): it must equal the
+/// signature of every instance the factory produces.
+class PolicyFactory {
+ public:
+  virtual ~PolicyFactory() = default;
+  [[nodiscard]] virtual std::string signature() const = 0;
+  /// Fresh instance sized for `nprocs` ranks.
+  [[nodiscard]] virtual std::unique_ptr<GearPolicy> instantiate(
+      int nprocs) const = 0;
 };
 
 /// The paper's measured configuration: every rank at one gear.
@@ -55,6 +104,9 @@ class UniformGear final : public GearPolicy {
   explicit UniformGear(std::size_t gear) : gear_(gear) {}
   [[nodiscard]] std::string name() const override {
     return "uniform(g" + std::to_string(gear_ + 1) + ")";
+  }
+  [[nodiscard]] std::string signature() const override {
+    return "uniform{gear=" + std::to_string(gear_) + "}";
   }
   [[nodiscard]] std::size_t compute_gear(int) const override { return gear_; }
 
@@ -67,6 +119,7 @@ class PerRankGear final : public GearPolicy {
  public:
   explicit PerRankGear(std::vector<std::size_t> gears);
   [[nodiscard]] std::string name() const override { return "per-rank"; }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] std::size_t compute_gear(int rank) const override;
   [[nodiscard]] const std::vector<std::size_t>& gears() const { return gears_; }
 
@@ -79,12 +132,60 @@ class CommDownshift final : public GearPolicy {
  public:
   CommDownshift(std::size_t compute_gear, std::size_t comm_gear);
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] std::size_t compute_gear(int) const override {
     return compute_;
   }
   [[nodiscard]] std::size_t comm_gear(int) const override { return comm_; }
   [[nodiscard]] bool shifts_during_comm() const override {
     return comm_ != compute_;
+  }
+
+ private:
+  std::size_t compute_;
+  std::size_t comm_;
+};
+
+// --- factories for the static policies ---------------------------------------
+
+class UniformGearFactory final : public PolicyFactory {
+ public:
+  explicit UniformGearFactory(std::size_t gear) : gear_(gear) {}
+  [[nodiscard]] std::string signature() const override {
+    return UniformGear(gear_).signature();
+  }
+  [[nodiscard]] std::unique_ptr<GearPolicy> instantiate(int) const override {
+    return std::make_unique<UniformGear>(gear_);
+  }
+
+ private:
+  std::size_t gear_;
+};
+
+class PerRankGearFactory final : public PolicyFactory {
+ public:
+  explicit PerRankGearFactory(std::vector<std::size_t> gears)
+      : gears_(std::move(gears)) {}
+  [[nodiscard]] std::string signature() const override {
+    return PerRankGear(gears_).signature();
+  }
+  [[nodiscard]] std::unique_ptr<GearPolicy> instantiate(int) const override {
+    return std::make_unique<PerRankGear>(gears_);
+  }
+
+ private:
+  std::vector<std::size_t> gears_;
+};
+
+class CommDownshiftFactory final : public PolicyFactory {
+ public:
+  CommDownshiftFactory(std::size_t compute_gear, std::size_t comm_gear)
+      : compute_(compute_gear), comm_(comm_gear) {}
+  [[nodiscard]] std::string signature() const override {
+    return CommDownshift(compute_, comm_).signature();
+  }
+  [[nodiscard]] std::unique_ptr<GearPolicy> instantiate(int) const override {
+    return std::make_unique<CommDownshift>(compute_, comm_);
   }
 
  private:
@@ -109,6 +210,11 @@ PerRankGear plan_node_bottleneck(const RunResult& profile,
 /// slack to burn) or back up when it falls below `lo` (it has become the
 /// bottleneck).  Decisions are per rank and per observation window, so
 /// different ranks converge to different gears on imbalanced runs.
+///
+/// Kept as the naive baseline the src/policy controllers improve on: its
+/// absolute blocked-share feedback cannot distinguish "I have slack"
+/// from "everyone is waiting together" (the SP/BT pathology documented
+/// in bench/ablation_gear_policies).
 class SlackAdaptive final : public GearPolicy {
  public:
   struct Params {
@@ -125,14 +231,18 @@ class SlackAdaptive final : public GearPolicy {
   explicit SlackAdaptive(Params params, int nprocs);
 
   [[nodiscard]] std::string name() const override { return "slack-adaptive"; }
+  [[nodiscard]] std::string signature() const override;
   [[nodiscard]] std::size_t compute_gear(int rank) const override;
   [[nodiscard]] std::size_t comm_gear(int rank) const override;
   /// The driver must be installed so the controller sees blocking calls;
   /// comm_gear == compute_gear except it *re-evaluates* on each exit.
   [[nodiscard]] bool shifts_during_comm() const override { return true; }
 
-  void on_blocking_enter(int rank, Seconds now) const override;
-  void on_blocking_exit(int rank, Seconds now) const override;
+  void begin_run(int nprocs) override;
+  void on_blocking_enter(int rank, mpi::CallType type, Bytes bytes,
+                         Seconds now) override;
+  void on_blocking_exit(int rank, mpi::CallType type, Bytes bytes,
+                        Seconds now, Seconds waited) override;
 
   /// Final per-rank gears after the run (for reporting/tests).
   [[nodiscard]] std::vector<std::size_t> final_gears() const;
@@ -142,15 +252,28 @@ class SlackAdaptive final : public GearPolicy {
     std::size_t gear;
     Seconds window_start{};
     Seconds blocked{};
-    Seconds enter{};
     int intervals = 0;
     bool started = false;
   };
 
   Params params_;
-  // The GearPolicy interface is const (policies are normally immutable);
-  // the controller's feedback state is this object's whole point.
-  mutable std::vector<RankState> state_;
+  std::vector<RankState> state_;
+};
+
+class SlackAdaptiveFactory final : public PolicyFactory {
+ public:
+  explicit SlackAdaptiveFactory(SlackAdaptive::Params params)
+      : params_(params) {}
+  [[nodiscard]] std::string signature() const override {
+    return SlackAdaptive(params_, 1).signature();
+  }
+  [[nodiscard]] std::unique_ptr<GearPolicy> instantiate(
+      int nprocs) const override {
+    return std::make_unique<SlackAdaptive>(params_, nprocs);
+  }
+
+ private:
+  SlackAdaptive::Params params_;
 };
 
 }  // namespace gearsim::cluster

@@ -26,14 +26,19 @@ namespace {
 /// the downshift transition (as they would with a real DVFS-aware MPI).
 class DvfsDriver final : public mpi::CallObserver {
  public:
-  DvfsDriver(const GearPolicy& policy, std::vector<RankContext*>& contexts)
-      : policy_(policy), contexts_(contexts) {}
+  DvfsDriver(GearPolicy& policy, std::vector<RankContext*>& contexts)
+      : policy_(policy),
+        contexts_(contexts),
+        pending_(contexts.size()) {}
 
-  void on_enter(mpi::Rank rank, mpi::CallType type, Seconds now, Bytes,
+  void on_enter(mpi::Rank rank, mpi::CallType type, Seconds now, Bytes bytes,
                 mpi::Rank) override {
     if (!mpi::is_blocking_point(type)) return;
     if (RankContext* ctx = contexts_[rank]) {
-      policy_.on_blocking_enter(rank, now);
+      // Feed the policy *before* querying the comm gear, so adaptive
+      // controllers can decide per call whether (and how far) to park.
+      pending_[static_cast<std::size_t>(rank)] = {now, bytes};
+      policy_.on_blocking_enter(rank, type, bytes, now);
       ctx->set_gear(policy_.comm_gear(rank));
     }
   }
@@ -41,14 +46,23 @@ class DvfsDriver final : public mpi::CallObserver {
   void on_exit(mpi::Rank rank, mpi::CallType type, Seconds now) override {
     if (!mpi::is_blocking_point(type)) return;
     if (RankContext* ctx = contexts_[rank]) {
-      policy_.on_blocking_exit(rank, now);
+      // Measured wait: everything between enter and exit, including the
+      // downshift transition — exactly what a DVFS-aware MPI would see.
+      const Pending& p = pending_[static_cast<std::size_t>(rank)];
+      policy_.on_blocking_exit(rank, type, p.bytes, now, now - p.enter);
       ctx->set_gear(policy_.compute_gear(rank));
     }
   }
 
  private:
-  const GearPolicy& policy_;
+  struct Pending {
+    Seconds enter{};
+    Bytes bytes = 0;
+  };
+
+  GearPolicy& policy_;
   std::vector<RankContext*>& contexts_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace
@@ -76,11 +90,14 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
 
 RunResult ExperimentRunner::run(const Workload& workload, int nodes,
                                 const RunOptions& options) const {
-  const GearPolicy* policy = options.policy;
-  const std::size_t gear_index =
-      policy != nullptr ? policy->compute_gear(0) : options.gear_index;
+  GearPolicy* policy = options.policy;
   GEARSIM_REQUIRE(nodes >= 1 && nodes <= config_.max_nodes,
                   "node count outside the cluster");
+  // Reset any per-run controller state before the first gear query; for
+  // static policies this is a no-op (or a rank-count check).
+  if (policy != nullptr) policy->begin_run(nodes);
+  const std::size_t gear_index =
+      policy != nullptr ? policy->compute_gear(0) : options.gear_index;
   GEARSIM_REQUIRE(gear_index < config_.gears.size(), "gear out of range");
   GEARSIM_REQUIRE(workload.supports(nodes),
                   "workload does not support this node count");
@@ -115,6 +132,7 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   Rng run_rng(config_.seed);
   std::vector<Seconds> finish(static_cast<std::size_t>(nodes));
   std::vector<std::uint64_t> switches(static_cast<std::size_t>(nodes), 0);
+  std::vector<std::vector<Seconds>> residency(static_cast<std::size_t>(nodes));
   std::vector<RankContext*> contexts(static_cast<std::size_t>(nodes), nullptr);
   std::unique_ptr<DvfsDriver> driver;
   if (policy != nullptr && policy->shifts_during_comm()) {
@@ -178,6 +196,8 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
           contexts[node] = nullptr;
           finish[node] = p.now();
           switches[node] = ctx.gear_switches();
+          ctx.finalize_residency();
+          residency[node] = ctx.gear_residency();
           on_rank_finished();
         });
     world.bind_rank(r, proc);
@@ -252,6 +272,7 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   result.net_bytes = network.bytes_carried();
   result.retransmissions = network.retransmissions();
   for (std::uint64_t s : switches) result.gear_switches += s;
+  result.gear_residency = std::move(residency);
   if (config_.sample_power) {
     Joules sampled{};
     double coverage = 0.0;

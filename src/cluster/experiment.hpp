@@ -57,6 +57,14 @@ struct RunResult {
   std::uint64_t messages = 0;
   Bytes net_bytes = 0;
   std::uint64_t gear_switches = 0;  ///< DVFS transitions across all ranks.
+  /// Seconds each rank spent at each *requested* gear (outer index rank,
+  /// inner index gear; inner size == the cluster's gear count).  Covers
+  /// [0, rank finish] — the tail a rank idles while slower ranks catch up
+  /// is not attributed.  Straggler throttles cap the executed gear
+  /// without showing up here (residency tracks policy intent; see
+  /// docs/FAULTS.md).  Ranks cut short by a fatal crash leave empty
+  /// entries.
+  std::vector<std::vector<Seconds>> gear_residency;
   /// Cluster energy as integrated by the sampling multimeters (only when
   /// ClusterConfig::sample_power is set); compare with `energy`, which is
   /// the exact piecewise integral.  Under meter-dropout faults the
@@ -92,8 +100,13 @@ struct RunOptions {
   /// Uniform gear when no policy is given.
   std::size_t gear_index = 0;
   /// Optional DVFS policy (per-rank gears, comm downshift, or adaptive
-  /// control); overrides gear_index.  Must outlive the call.
-  const GearPolicy* policy = nullptr;
+  /// control); overrides gear_index.  Must outlive the call.  Non-const
+  /// because adaptive controllers mutate per-rank state through the
+  /// engine-time callbacks; the runner calls begin_run() first, which
+  /// resets that state.  A stateful policy instance must not be shared
+  /// by concurrent runs (exec::SweepRunner instantiates one per point
+  /// via PolicyFactory).
+  GearPolicy* policy = nullptr;
   /// When non-empty, the run's full MPI trace is exported here as CSV
   /// (one row per call; see trace::export_csv).
   std::string trace_csv_path;

@@ -34,20 +34,34 @@ RankContext::RankContext(mpi::Comm comm, const cpu::CpuModel& cpu_model,
       switch_latency_(gear_switch_latency) {
   GEARSIM_REQUIRE(speed_penalty_ > 0.0, "speed penalty must be positive");
   GEARSIM_REQUIRE(switch_latency_.value() >= 0.0, "negative switch latency");
+  GEARSIM_REQUIRE(gear_index_ < cpu_model_.gears().size(),
+                  "initial gear out of range");
+  residency_.assign(cpu_model_.gears().size(), Seconds{});
+  residency_mark_ = proc().now();
 }
 
 void RankContext::set_gear(std::size_t gear_index) {
   GEARSIM_REQUIRE(gear_index < cpu_model_.gears().size(),
                   "gear index out of range");
   if (gear_index == gear_index_) return;
-  gear_index_ = gear_index;
-  ++gear_switches_;
   const auto node = static_cast<std::size_t>(rank());
   sim::Process& p = proc();
+  // Close the residency interval of the gear being left; the transition
+  // latency below accrues to the gear being entered.
+  residency_[gear_index_] += p.now() - residency_mark_;
+  residency_mark_ = p.now();
+  gear_index_ = gear_index;
+  ++gear_switches_;
   // The transition itself runs at (new-gear) idle draw.
   meter_.set_power(node, p.now(), power_model_.idle_power(gear_index_),
                    power::NodeState::kIdle);
   if (switch_latency_.value() > 0.0) p.delay(switch_latency_);
+}
+
+void RankContext::finalize_residency() {
+  const Seconds now = proc().now();
+  residency_[gear_index_] += now - residency_mark_;
+  residency_mark_ = now;
 }
 
 void RankContext::compute(const cpu::ComputeBlock& block) {

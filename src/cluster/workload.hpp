@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cpu/compute.hpp"
 #include "cpu/cpu_model.hpp"
@@ -57,6 +58,19 @@ class RankContext {
   /// Number of DVFS transitions performed via set_gear.
   [[nodiscard]] std::uint64_t gear_switches() const { return gear_switches_; }
 
+  /// Close the open residency interval at the current simulated time.
+  /// Call once when the rank's work is done, before reading
+  /// gear_residency(); set_gear keeps working afterwards.
+  void finalize_residency();
+  /// Seconds spent at each *requested* gear since this context was
+  /// created (index = gear).  Gear-switch transition latency accrues to
+  /// the gear being entered.  A straggler throttle caps the gear compute
+  /// blocks actually execute at without showing up here — residency
+  /// tracks what the policy asked for (see docs/FAULTS.md).
+  [[nodiscard]] const std::vector<Seconds>& gear_residency() const {
+    return residency_;
+  }
+
   /// Let a fault injector cap this rank's effective gear (straggler /
   /// thermal-throttle windows).  Queried once per compute block; idle
   /// power still tracks the *requested* gear (a throttled CPU's clock is
@@ -78,6 +92,8 @@ class RankContext {
   Seconds switch_latency_;
   Seconds compute_time_{};
   std::uint64_t gear_switches_ = 0;
+  std::vector<Seconds> residency_;
+  Seconds residency_mark_{};
   const faults::FaultInjector* throttle_ = nullptr;
 };
 

@@ -133,12 +133,16 @@ std::string canonical_fault_plan(const faults::FaultPlan* plan) {
 CacheKey sweep_point_key(const cluster::ClusterConfig& config,
                          std::string_view workload_signature, int nodes,
                          std::size_t gear_index, int rep,
-                         const faults::FaultPlan* plan) {
+                         const faults::FaultPlan* plan,
+                         std::string_view policy_signature) {
   CacheKey key;
   key.text = "gearsim-v" + std::to_string(kKeyFormatVersion) + "|" +
              canonical_config(config) + "|workload=" +
              std::string(workload_signature) + "|nodes=" +
              std::to_string(nodes) + "|gear=" + std::to_string(gear_index) +
+             "|policy=" +
+             (policy_signature.empty() ? "none"
+                                       : std::string(policy_signature)) +
              "|rep=" + std::to_string(rep) + "|" +
              canonical_fault_plan(plan);
   key.hash = fnv1a(key.text);

@@ -24,7 +24,9 @@
 namespace gearsim::exec {
 
 /// Bump when the canonical text layout changes (retires old disk caches).
-inline constexpr int kKeyFormatVersion = 1;
+/// v2: policy identity joined the key (|policy=none / |policy=<sig>) and
+/// results grew per-rank gear residency.
+inline constexpr int kKeyFormatVersion = 2;
 
 /// FNV-1a 64-bit hash of a byte string.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
@@ -48,11 +50,17 @@ struct CacheKey {
 
 /// The key of one sweep point.  `workload_signature` is
 /// Workload::signature(); `rep` is the repetition index (seeds shift by
-/// +rep, matching ExperimentRunner::run_repeated).
+/// +rep, matching ExperimentRunner::run_repeated); `policy_signature` is
+/// GearPolicy::signature() for policy-driven points and empty for
+/// uniform-gear points (keyed as "policy=none" — `gear_index` alone then
+/// identifies the run).  A policy point can therefore never collide with
+/// a uniform point, and two different policies at the same nominal gear
+/// key differently.
 [[nodiscard]] CacheKey sweep_point_key(const cluster::ClusterConfig& config,
                                        std::string_view workload_signature,
                                        int nodes, std::size_t gear_index,
                                        int rep,
-                                       const faults::FaultPlan* plan);
+                                       const faults::FaultPlan* plan,
+                                       std::string_view policy_signature = {});
 
 }  // namespace gearsim::exec

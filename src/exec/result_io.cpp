@@ -332,6 +332,17 @@ std::string to_json(const cluster::RunResult& r) {
   s += ",\"messages\":" + std::to_string(r.messages);
   s += ",\"net_bytes\":" + std::to_string(r.net_bytes);
   s += ",\"gear_switches\":" + std::to_string(r.gear_switches);
+  s += ",\"gear_residency\":[";
+  for (std::size_t i = 0; i < r.gear_residency.size(); ++i) {
+    if (i) s += ',';
+    s += '[';
+    for (std::size_t g = 0; g < r.gear_residency[i].size(); ++g) {
+      if (g) s += ',';
+      s += jnum(r.gear_residency[i][g].value());
+    }
+    s += ']';
+  }
+  s += "]";
   s += ",\"sampled_energy\":" +
        (r.sampled_energy.has_value() ? jnum(r.sampled_energy->value())
                                      : std::string("null"));
@@ -418,6 +429,13 @@ cluster::RunResult result_from_json(std::string_view json) {
   r.messages = field(o, "messages").as_u64();
   r.net_bytes = static_cast<Bytes>(field(o, "net_bytes").as_u64());
   r.gear_switches = field(o, "gear_switches").as_u64();
+  for (const JsonValue& rankv : field(o, "gear_residency").as_array()) {
+    std::vector<Seconds> per_gear;
+    for (const JsonValue& gv : rankv.as_array()) {
+      per_gear.push_back(seconds(gv.as_double()));
+    }
+    r.gear_residency.push_back(std::move(per_gear));
+  }
   if (!field(o, "sampled_energy").is_null()) {
     r.sampled_energy = joules(field(o, "sampled_energy").as_double());
   }

@@ -1,5 +1,6 @@
 #include "exec/sweep_runner.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -33,8 +34,10 @@ std::vector<cluster::RunResult> SweepRunner::run(
   if (options_.cache != nullptr) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       const SweepPoint& p = points[i];
-      keys[i] = sweep_point_key(base, p.workload->signature(), p.nodes,
-                                p.gear_index, p.rep, options_.faults);
+      keys[i] = sweep_point_key(
+          base, p.workload->signature(), p.nodes, p.gear_index, p.rep,
+          options_.faults,
+          p.policy != nullptr ? p.policy->signature() : std::string());
       if (auto hit = options_.cache->lookup(keys[i])) {
         results[i] = *hit;
       } else {
@@ -51,6 +54,13 @@ std::vector<cluster::RunResult> SweepRunner::run(
     cluster::RunOptions run_options;
     run_options.gear_index = p.gear_index;
     run_options.faults = options_.faults;
+    // A fresh policy instance per point: adaptive controllers carry
+    // per-run state, and concurrent workers must never share one.
+    std::unique_ptr<cluster::GearPolicy> policy;
+    if (p.policy != nullptr) {
+      policy = p.policy->instantiate(p.nodes);
+      run_options.policy = policy.get();
+    }
     if (p.rep == 0) {
       results[i] = config_.run(*p.workload, p.nodes, run_options);
     } else {

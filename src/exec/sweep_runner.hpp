@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "cluster/dvfs.hpp"
 #include "cluster/experiment.hpp"
 #include "exec/result_cache.hpp"
 
@@ -31,6 +32,13 @@ struct SweepPoint {
   /// Repetition index: the point runs with (config.seed + rep,
   /// jitter_seed + rep), matching ExperimentRunner::run_repeated.
   int rep = 0;
+  /// Optional DVFS policy; overrides gear_index when set (must outlive
+  /// the sweep).  A *factory* rather than a policy instance because
+  /// adaptive controllers carry per-run state: the runner instantiates a
+  /// fresh policy for every point, so concurrent points never share one.
+  /// The factory's signature() joins the cache key — see
+  /// exec/cache_key.hpp.
+  const cluster::PolicyFactory* policy = nullptr;
 };
 
 struct SweepOptions {

@@ -58,6 +58,12 @@ enum class CallType {
 /// (Eager sends complete locally and are not blocking points.)
 [[nodiscard]] bool is_blocking_point(CallType t);
 
+/// True for calls every rank of the communicator participates in
+/// (Barrier .. Comm_split).  Collectives are the reliable iteration
+/// markers of the NAS codes: the same (type, bytes) collective recurring
+/// on a rank delimits one outer iteration (see trace/iteration.hpp).
+[[nodiscard]] bool is_collective(CallType t);
+
 /// PMPI-style observer: notified at entry/exit of every *traced* MPI call
 /// (top-level calls only; a collective's internal messages are invisible,
 /// exactly like PMPI wrappers see one MPI_Bcast, not its tree sends).

@@ -30,6 +30,32 @@ const char* to_string(CallType t) {
   return "?";
 }
 
+bool is_collective(CallType t) {
+  switch (t) {
+    case CallType::kBarrier:
+    case CallType::kBcast:
+    case CallType::kReduce:
+    case CallType::kAllreduce:
+    case CallType::kAlltoall:
+    case CallType::kAllgather:
+    case CallType::kGather:
+    case CallType::kScatter:
+    case CallType::kReduceScatter:
+    case CallType::kScan:
+    case CallType::kCommSplit:
+      return true;
+    case CallType::kSend:
+    case CallType::kRecv:
+    case CallType::kIsend:
+    case CallType::kIrecv:
+    case CallType::kWait:
+    case CallType::kWaitall:
+    case CallType::kSendrecv:
+      return false;
+  }
+  return false;
+}
+
 bool is_blocking_point(CallType t) {
   switch (t) {
     case CallType::kRecv:

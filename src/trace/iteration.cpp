@@ -1,0 +1,34 @@
+#include "trace/iteration.hpp"
+
+namespace gearsim::trace {
+
+bool IterationClock::on_call(mpi::CallType type, Bytes bytes) {
+  if (!mpi::is_collective(type)) return false;
+  if (!anchored_) {
+    anchor_type_ = type;
+    anchor_bytes_ = bytes;
+    anchored_ = true;
+    return false;
+  }
+  if (type != anchor_type_ || bytes != anchor_bytes_) return false;
+  ++iterations_;
+  return true;
+}
+
+void IterationClock::reset() {
+  anchored_ = false;
+  iterations_ = 0;
+  anchor_bytes_ = 0;
+}
+
+std::vector<Seconds> iteration_boundaries(
+    std::span<const TraceRecord> records) {
+  IterationClock clock;
+  std::vector<Seconds> boundaries;
+  for (const TraceRecord& rec : records) {
+    if (clock.on_call(rec.type, rec.bytes)) boundaries.push_back(rec.enter);
+  }
+  return boundaries;
+}
+
+}  // namespace gearsim::trace

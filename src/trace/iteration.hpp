@@ -1,0 +1,59 @@
+// Iteration detection from the MPI call stream.
+//
+// The NAS codes the paper measures are outer-loop iterative: every
+// iteration executes the same sequence of MPI calls, so a *collective*
+// with a fixed (type, bytes) signature recurs exactly once per
+// iteration (CG's first allreduce, Jacobi's allreduce residual check,
+// SP/BT's sync points).  Watching for the recurrence of the first such
+// collective a rank performs therefore clocks the program's outer loop
+// without any cooperation from the application — the same trick the
+// Jitter/Adagio runtimes use, and what policy::SlackReclaimer feeds on.
+//
+// Two forms:
+//  * IterationClock — online, one per rank, driven call-by-call from a
+//    policy's blocking-call hooks;
+//  * iteration_boundaries — offline, over a finished trace, for
+//    analysis and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpi/types.hpp"
+#include "trace/tracer.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::trace {
+
+/// Online iteration detector for one rank.  Feed it every blocking call
+/// the rank enters; it anchors on the first *collective* signature seen
+/// and reports an iteration boundary each time that signature recurs.
+class IterationClock {
+ public:
+  /// Observe a blocking call the rank is entering.  Returns true when
+  /// the call closes an iteration (i.e. the anchor collective recurs).
+  /// The first anchor sighting starts iteration 0 and returns false.
+  bool on_call(mpi::CallType type, Bytes bytes);
+
+  /// Iterations completed so far.
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  /// True once an anchor collective has been chosen.
+  [[nodiscard]] bool anchored() const { return anchored_; }
+
+  void reset();
+
+ private:
+  mpi::CallType anchor_type_{};
+  Bytes anchor_bytes_ = 0;
+  bool anchored_ = false;
+  std::size_t iterations_ = 0;
+};
+
+/// Offline form: enter-times at which the rank's anchor collective
+/// recurs in a finished per-rank trace (boundary k closes iteration k).
+/// Empty when the trace holds fewer than two anchor sightings.
+[[nodiscard]] std::vector<Seconds> iteration_boundaries(
+    std::span<const TraceRecord> records);
+
+}  // namespace gearsim::trace

@@ -253,7 +253,7 @@ TEST(Runner, PolicyRunReportsModalAndRangeNotRankZero) {
   // range [1, 5] — and rank 0's gear 5 must NOT be reported as "the"
   // gear.
   ExperimentRunner runner(athlon_cluster());
-  const PerRankGear policy({5, 1, 1, 1});
+  PerRankGear policy({5, 1, 1, 1});
   RunOptions options;
   options.policy = &policy;
   const RunResult r = runner.run(workloads::Jacobi(), 4, options);
@@ -266,7 +266,7 @@ TEST(Runner, PolicyRunReportsModalAndRangeNotRankZero) {
 
 TEST(Runner, PolicyModalTieBreaksTowardFasterGear) {
   ExperimentRunner runner(athlon_cluster());
-  const PerRankGear policy({4, 4, 2, 2});
+  PerRankGear policy({4, 4, 2, 2});
   RunOptions options;
   options.policy = &policy;
   const RunResult r = runner.run(workloads::Jacobi(), 4, options);

@@ -51,7 +51,7 @@ TEST(Policies, CommDownshiftShiftsOnlyWhenGearsDiffer) {
 TEST(SetGear, PolicyRunChargesSwitchLatency) {
   auto runner = make_runner();
   const auto cg = workloads::make_workload("CG");
-  const CommDownshift policy(0, 5);
+  CommDownshift policy(0, 5);
   RunOptions options;
   options.policy = &policy;
   const RunResult shifted = runner.run(*cg, 4, options);
@@ -68,7 +68,7 @@ TEST(SetGear, DowshiftDuringCommSavesEnergyOnCommBoundCode) {
   // energy versus uniform gear 1.
   auto runner = make_runner();
   const auto cg = workloads::make_workload("CG");
-  const CommDownshift policy(0, 5);
+  CommDownshift policy(0, 5);
   RunOptions options;
   options.policy = &policy;
   const RunResult shifted = runner.run(*cg, 8, options);
@@ -81,7 +81,7 @@ TEST(SetGear, DowshiftDuringCommSavesEnergyOnCommBoundCode) {
 TEST(SetGear, DownshiftBarelyAffectsComputeBoundCode) {
   auto runner = make_runner();
   const auto ep = workloads::make_workload("EP");
-  const CommDownshift policy(0, 5);
+  CommDownshift policy(0, 5);
   RunOptions options;
   options.policy = &policy;
   const RunResult shifted = runner.run(*ep, 8, options);
@@ -95,7 +95,7 @@ TEST(SetGear, DownshiftBarelyAffectsComputeBoundCode) {
 TEST(SetGear, PerRankGearsProduceMixedPower) {
   auto runner = make_runner(0.0);
   const workloads::Jacobi jacobi;
-  const PerRankGear policy({0, 5, 0, 5});
+  PerRankGear policy({0, 5, 0, 5});
   RunOptions options;
   options.policy = &policy;
   const RunResult r = runner.run(jacobi, 4, options);
@@ -113,7 +113,7 @@ TEST(SetGear, SwitchLatencyZeroIsFree) {
   ExperimentRunner free_runner(config);
   ExperimentRunner paid_runner(athlon_cluster());
   const auto cg = workloads::make_workload("CG");
-  const CommDownshift policy(0, 5);
+  CommDownshift policy(0, 5);
   RunOptions options;
   options.policy = &policy;
   const Seconds free_wall = free_runner.run(*cg, 4, options).wall;
@@ -181,7 +181,7 @@ TEST(BottleneckPlanner, EndToEndSavesEnergyOnImbalancedRun) {
   const model::GearData gear_data = model::measure_gear_data(runner, *lu);
   std::vector<double> ladder;
   for (const auto& g : gear_data.gears) ladder.push_back(g.slowdown);
-  const PerRankGear plan = plan_node_bottleneck(profile, ladder, 0.9);
+  PerRankGear plan = plan_node_bottleneck(profile, ladder, 0.9);
   RunOptions options;
   options.policy = &plan;
   const RunResult planned = runner.run(*lu, 8, options);
@@ -208,15 +208,16 @@ TEST(SlackAdaptive, ValidatesParams) {
 TEST(SlackAdaptive, StepsDownUnderSustainedSlack) {
   SlackAdaptive::Params p;
   p.window = 4;
-  const SlackAdaptive ctl(p, 1);
+  SlackAdaptive ctl(p, 1);
   // 50% blocked share across each window: should step down once per
   // window until the slowest gear.
   double t = 0.0;
   for (int w = 0; w < 8; ++w) {
     for (int i = 0; i < 4; ++i) {
-      ctl.on_blocking_enter(0, seconds(t));
+      ctl.on_blocking_enter(0, mpi::CallType::kAllreduce, 0, seconds(t));
       t += 0.5;
-      ctl.on_blocking_exit(0, seconds(t));
+      ctl.on_blocking_exit(0, mpi::CallType::kAllreduce, 0, seconds(t),
+                           seconds(0.5));
       t += 0.5;
     }
   }
@@ -227,14 +228,15 @@ TEST(SlackAdaptive, StepsBackUpWhenSlackDisappears) {
   SlackAdaptive::Params p;
   p.window = 2;
   p.initial_gear = 3;
-  const SlackAdaptive ctl(p, 1);
+  SlackAdaptive ctl(p, 1);
   // Negligible blocking: controller should climb back to gear 1.
   double t = 0.0;
   for (int w = 0; w < 6; ++w) {
     for (int i = 0; i < 2; ++i) {
-      ctl.on_blocking_enter(0, seconds(t));
+      ctl.on_blocking_enter(0, mpi::CallType::kAllreduce, 0, seconds(t));
       t += 0.001;
-      ctl.on_blocking_exit(0, seconds(t));
+      ctl.on_blocking_exit(0, mpi::CallType::kAllreduce, 0, seconds(t),
+                           seconds(0.001));
       t += 1.0;
     }
   }
@@ -245,15 +247,16 @@ TEST(SlackAdaptive, HoldsSteadyInTheDeadband) {
   SlackAdaptive::Params p;
   p.window = 2;
   p.initial_gear = 2;
-  const SlackAdaptive ctl(p, 1);
+  SlackAdaptive ctl(p, 1);
   // ~18% blocked share (the window closes at the last exit, so the
   // trailing compute stretch is excluded) sits between lo=5% and hi=25%.
   double t = 0.0;
   for (int w = 0; w < 6; ++w) {
     for (int i = 0; i < 2; ++i) {
-      ctl.on_blocking_enter(0, seconds(t));
+      ctl.on_blocking_enter(0, mpi::CallType::kAllreduce, 0, seconds(t));
       t += 0.10;
-      ctl.on_blocking_exit(0, seconds(t));
+      ctl.on_blocking_exit(0, mpi::CallType::kAllreduce, 0, seconds(t),
+                           seconds(0.10));
       t += 0.90;
     }
   }
@@ -269,7 +272,7 @@ TEST(SlackAdaptive, EndToEndConvergesPerRank) {
   const auto lu = workloads::make_workload("LU");
   const RunResult base = runner.run(*lu, 8, 0);
 
-  const SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
+  SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
   RunOptions options;
   options.policy = &adaptive;
   const RunResult tuned = runner.run(*lu, 8, options);
@@ -284,7 +287,7 @@ TEST(SlackAdaptive, EndToEndConvergesPerRank) {
 TEST(SlackAdaptive, LeavesComputeBoundRunsAlone) {
   ExperimentRunner runner(athlon_cluster());
   const auto ep = workloads::make_workload("EP");
-  const SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
+  SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
   RunOptions options;
   options.policy = &adaptive;
   const RunResult tuned = runner.run(*ep, 8, options);
@@ -298,7 +301,7 @@ TEST(SlackAdaptive, LeavesComputeBoundRunsAlone) {
 TEST(SlackAdaptive, SavesEnergyOnCommBoundCg) {
   ExperimentRunner runner(athlon_cluster());
   const auto cg = workloads::make_workload("CG");
-  const SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
+  SlackAdaptive adaptive(SlackAdaptive::Params{}, 8);
   RunOptions options;
   options.policy = &adaptive;
   const RunResult tuned = runner.run(*cg, 8, options);
@@ -314,7 +317,7 @@ TEST(SlackAdaptive, PositiveFeedbackPathologyOnSymmetricSync) {
   // limitation the Adagio-style designs fix.
   ExperimentRunner runner(athlon_cluster());
   const auto sp = workloads::make_workload("SP");
-  const SlackAdaptive adaptive(SlackAdaptive::Params{}, 9);
+  SlackAdaptive adaptive(SlackAdaptive::Params{}, 9);
   RunOptions options;
   options.policy = &adaptive;
   const RunResult tuned = runner.run(*sp, 9, options);

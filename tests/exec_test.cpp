@@ -126,7 +126,7 @@ TEST(ResultIoTest, RoundTripsFaultsAndPolicyFields) {
   ckpt.interval = seconds(3.0);
   plan.with_checkpointing(ckpt);
 
-  const cluster::CommDownshift policy(0, 5);
+  cluster::CommDownshift policy(0, 5);
   cluster::RunOptions options;
   options.policy = &policy;
   options.faults = &plan;

@@ -130,7 +130,7 @@ TEST(Knobs, GearSwitchLatencyScalesPolicyOverhead) {
   pricey_config.gear_switch_latency = microseconds(1000.0);
   cluster::ExperimentRunner cheap(cheap_config);
   cluster::ExperimentRunner pricey(pricey_config);
-  const cluster::CommDownshift policy(0, 5);
+  cluster::CommDownshift policy(0, 5);
   cluster::RunOptions options;
   options.policy = &policy;
   const auto lu = make_workload("LU");

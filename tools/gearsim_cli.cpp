@@ -7,13 +7,17 @@
 //   gearsim space --workload LU [--jobs N] [--cache DIR] [--csv]
 //   gearsim model --workload SP --target 64
 //   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
+//   gearsim policy --workload CG --nodes 8 [--jobs N] [--cache DIR]
+//                  [--svg FILE] [--cluster athlon]
 //
 // `run` executes one experiment and prints its full measurement record;
 // `sweep` prints one energy-time curve (optionally CSV for replotting);
 // `space` sweeps every valid (nodes x gear) configuration; `model` runs
 // the paper's five-step methodology and predicts a larger cluster;
 // `faults` re-runs an experiment under an unreliable cluster (crashes,
-// flaky links) with checkpoint/restart accounting — see docs/FAULTS.md.
+// flaky links) with checkpoint/restart accounting — see docs/FAULTS.md;
+// `policy` races the adaptive DVFS roster against the static gear sweep
+// on one (workload, nodes) cell — see docs/POLICIES.md.
 //
 // `sweep` and `space` go through exec::SweepRunner: --jobs fans the
 // independent points over worker threads (bit-identical to serial),
@@ -32,6 +36,7 @@
 #include "model/analytic.hpp"
 #include "model/pipeline.hpp"
 #include "model/tradeoff.hpp"
+#include "policy/evaluator.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
@@ -132,6 +137,25 @@ void print_run(const cluster::RunResult& r) {
   table.add_row({"T^C / T^R [s]",
                  fmt_fixed(r.breakdown.critical.value(), 3) + " / " +
                      fmt_fixed(r.breakdown.reducible.value(), 3)});
+  // Gear residency: rank-seconds at each gear, summed over ranks.  Only
+  // interesting when the run ever left its configured gear.
+  if (r.gear_switches > 0 && !r.gear_residency.empty()) {
+    std::vector<double> totals;
+    for (const auto& rank : r.gear_residency) {
+      if (rank.size() > totals.size()) totals.resize(rank.size(), 0.0);
+      for (std::size_t g = 0; g < rank.size(); ++g) {
+        totals[g] += rank[g].value();
+      }
+    }
+    std::string residency;
+    for (std::size_t g = 0; g < totals.size(); ++g) {
+      if (totals[g] <= 0.0) continue;
+      if (!residency.empty()) residency += "  ";
+      residency += "g" + std::to_string(g + 1) + "=" +
+                   fmt_fixed(totals[g], 2);
+    }
+    table.add_row({"gear residency [rank-s]", residency});
+  }
   table.add_row({"MPI calls", std::to_string(r.mpi_calls)});
   table.add_row({"messages", std::to_string(r.messages)});
   table.add_row({"bytes moved [MB]",
@@ -348,6 +372,35 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+int cmd_policy(const Args& args) {
+  // The full adaptive-DVFS roster vs the static gear sweep on one cell.
+  // Goes through exec::SweepRunner, so --jobs and --cache apply and two
+  // invocations are bit-identical (see docs/POLICIES.md).
+  const cluster::ClusterConfig config =
+      cluster_by_name(args.get("cluster", "athlon"));
+  const auto workload = workloads::make_workload(args.get("workload", "CG"));
+  const int nodes = args.get_int("nodes", 8);
+
+  exec::SweepOptions sweep_options;
+  const auto cache = make_sweep_options(args, &sweep_options);
+  policy::PolicyEvaluator::Options options;
+  options.jobs = sweep_options.jobs;
+  options.cache = sweep_options.cache;
+  const policy::PolicyEvaluator evaluator(config, options);
+
+  const policy::Evaluation eval = evaluator.evaluate(*workload, nodes);
+  std::cout << policy_table(eval);
+  print_cache_stats(options.cache);
+  if (args.has("svg")) {
+    const std::string path = args.get("svg", "policy.svg");
+    policy_figure(eval.workload + ": static gears vs adaptive policies",
+                  eval)
+        .write(path);
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   // One run with full instrumentation artifacts: the per-call CSV and the
   // per-rank activity timeline SVG.
@@ -415,6 +468,8 @@ int usage() {
       "  faults --workload W --nodes N [--gear G] [--rate R(/node/h)]\n"
       "         [--loss P] [--interval S] [--seed K] [--horizon S]\n"
       "         [--no-restart] [--cluster C]\n"
+      "  policy --workload W --nodes N [--jobs J] [--cache DIR]\n"
+      "         [--svg FILE] [--cluster C]\n"
       "clusters: athlon (default), sun, xeon; gears are 1 (fastest) .. 6\n";
   return 2;
 }
@@ -433,6 +488,7 @@ int main(int argc, char** argv) {
     if (args->command == "advise") return cmd_advise(*args);
     if (args->command == "trace") return cmd_trace(*args);
     if (args->command == "faults") return cmd_faults(*args);
+    if (args->command == "policy") return cmd_policy(*args);
   } catch (const std::exception& e) {
     std::cerr << "gearsim: " << e.what() << '\n';
     return 1;
