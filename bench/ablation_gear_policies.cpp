@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "cluster/dvfs.hpp"
+#include "harness.hpp"
 #include "model/gear_data.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
@@ -19,7 +20,9 @@
 
 using namespace gearsim;
 
-int main() {
+namespace {
+
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const std::size_t slowest = runner.num_gears() - 1;
 
@@ -55,7 +58,10 @@ int main() {
     const cluster::RunResult base = sweep.front();
     const std::vector<cluster::GearPolicy*> policies = {
         &fastest, &economical, &downshift, &planned, &adaptive};
-    for (auto* policy : policies) {
+    const char* keys[] = {"fastest", "economical", "downshift", "planned",
+                          "adaptive"};
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      cluster::GearPolicy* policy = policies[i];
       cluster::RunOptions options;
       options.policy = policy;
       const cluster::RunResult r = runner.run(*workload, nodes, options);
@@ -66,6 +72,10 @@ int main() {
            fmt_percent(r.wall / base.wall - 1.0),
            fmt_percent(r.energy / base.energy - 1.0),
            std::to_string(r.gear_switches)});
+      ctx.metric(entry.name + std::string(".") + keys[i] + ".energy_delta",
+                 r.energy / base.energy - 1.0);
+      ctx.metric(entry.name + std::string(".") + keys[i] + ".time_delta",
+                 r.wall / base.wall - 1.0);
     }
     table.add_rule();
   }
@@ -87,4 +97,10 @@ int main() {
                "transition overhead but limited by how little imbalance"
                " these benchmarks have.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "ablation_gear_policies", run);
 }

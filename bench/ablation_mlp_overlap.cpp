@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/nas.hpp"
@@ -41,9 +42,7 @@ class LuVariant final : public workloads::NasSkeleton {
   }
 };
 
-}  // namespace
-
-int main() {
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
 
   std::cout << "=== Ablation: LU's MLP overlap (0.78 vs 0) ===\n\n";
@@ -82,5 +81,13 @@ int main() {
          " (the other five benchmarks never\nuse it): "
       << (shipped_case3 && stripped_case1 ? "confirmed" : "NOT confirmed")
       << ".\n";
+  ctx.metric("shipped_case3", shipped_case3 ? 1.0 : 0.0);
+  ctx.metric("stripped_case1", stripped_case1 ? 1.0 : 0.0);
   return (shipped_case3 && stripped_case1) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "ablation_mlp_overlap", run);
 }

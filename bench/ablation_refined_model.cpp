@@ -9,13 +9,16 @@
 #include <iostream>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
 using namespace gearsim;
 
-int main() {
+namespace {
+
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner athlon(cluster::athlon_cluster());
   cluster::ExperimentRunner sun(cluster::sun_cluster());
   cluster::ClusterConfig big_config = cluster::athlon_cluster();
@@ -81,5 +84,13 @@ int main() {
             << "overall mean |time error|: naive "
             << fmt_percent(naive_total.mean(), 1) << ", refined "
             << fmt_percent(refined_total.mean(), 1) << '\n';
+  ctx.metric("naive.time_error.mean", naive_total.mean());
+  ctx.metric("refined.time_error.mean", refined_total.mean());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "ablation_refined_model", run);
 }

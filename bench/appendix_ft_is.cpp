@@ -15,13 +15,16 @@
 #include <iostream>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/nas_extra.hpp"
 
 using namespace gearsim;
 
-int main() {
+namespace {
+
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
 
   std::cout << "=== Appendix: the excluded benchmarks (FT, IS) ===\n\n";
@@ -47,6 +50,7 @@ int main() {
               << (best_speedup < 1.4 ? "  -> exclusion justified\n\n"
                                      : "  -> UNEXPECTED speedup\n\n");
     if (best_speedup >= 1.4) pathologies_hold = false;
+    ctx.metric("is_b.best_speedup", best_speedup);
   }
 
   // --- IS class C: thrashing below 4 nodes -----------------------------------
@@ -76,6 +80,7 @@ int main() {
               << "x (superlinear cliff from paging: comparative energy"
                  " results below 4 nodes are meaningless)\n\n";
     if (cliff < 6.0) pathologies_hold = false;
+    ctx.metric("is_c.thrash_slowdown", cliff);
   }
 
   // --- FT: runnable here ------------------------------------------------------
@@ -98,5 +103,12 @@ int main() {
               << t.to_string();
   }
 
+  ctx.metric("pathologies_hold", pathologies_hold ? 1.0 : 0.0);
   return pathologies_hold ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "appendix_ft_is", run);
 }

@@ -19,6 +19,7 @@
 
 #include "cluster/experiment.hpp"
 #include "faults/restart_model.hpp"
+#include "harness.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
@@ -36,8 +37,8 @@ struct GearPoint {
 // failure per node every 100 seconds.
 const double kRates[] = {0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2};
 
-bool bench_workload(const std::string& name, int nodes,
-                    const faults::CheckpointConfig& ckpt) {
+bool bench_workload(bench::BenchContext& ctx, const std::string& name,
+                    int nodes, const faults::CheckpointConfig& ckpt) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const auto workload = workloads::make_workload(name);
 
@@ -78,6 +79,8 @@ bool bench_workload(const std::string& name, int nodes,
     row.push_back(std::to_string(best_label));
     row.push_back(fmt_fixed(best_restarts, 2));
     table.add_row(row);
+    ctx.metric(name + ".rate" + fmt_fixed(rate, 4) + ".best_gear",
+               static_cast<double>(best_label));
     if (best_label > prev_best) monotone = false;
     prev_best = best_label;
   }
@@ -90,9 +93,7 @@ bool bench_workload(const std::string& name, int nodes,
   return monotone;
 }
 
-}  // namespace
-
-int main() {
+int run(bench::BenchContext& ctx) {
   std::cout << "=== Fault tradeoff: failure rate vs energy-optimal gear ===\n\n";
   faults::CheckpointConfig ckpt;
   ckpt.interval = seconds(5.0);
@@ -103,11 +104,19 @@ int main() {
   ckpt.max_restarts = 1 << 20;
 
   bool ok = true;
-  ok &= bench_workload("CG", 4, ckpt);  // Memory-bound: wide gear latitude.
-  ok &= bench_workload("EP", 4, ckpt);  // CPU-bound: little latitude.
+  // CG is memory-bound (wide gear latitude); EP is CPU-bound (little).
+  ok &= bench_workload(ctx, "CG", 4, ckpt);
+  ok &= bench_workload(ctx, "EP", 4, ckpt);
 
   std::cout << (ok ? "PASS" : "FAIL")
             << ": energy-optimal gear shifts toward faster gears as the "
                "failure rate rises.\n";
+  ctx.metric("monotone", ok ? 1.0 : 0.0);
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fault_tradeoff", run);
 }

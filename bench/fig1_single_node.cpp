@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "report/figures.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
@@ -20,10 +21,10 @@
 
 using namespace gearsim;
 
-int main(int argc, char** argv) {
-  // Optional: --svg DIR writes each benchmark's figure as an SVG.
-  const std::string svg_dir =
-      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+namespace {
+
+int run(bench::BenchContext& ctx) {
+  const std::string& svg_dir = ctx.svg_dir();
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const auto& gears = runner.config().gears;
 
@@ -101,6 +102,12 @@ int main(int argc, char** argv) {
         model::relative_to_fastest(model::curve_from_runs(runner.gear_sweep(*cg, 1)));
     const auto ep_rel =
         model::relative_to_fastest(model::curve_from_runs(runner.gear_sweep(*ep, 1)));
+    ctx.metric("cg.gear2.energy_delta", cg_rel[1].energy_delta);
+    ctx.metric("cg.gear2.time_delta", cg_rel[1].time_delta);
+    ctx.metric("cg.gear5.energy_delta", cg_rel[4].energy_delta);
+    ctx.metric("cg.gear5.time_delta", cg_rel[4].time_delta);
+    ctx.metric("ep.gear2.energy_delta", ep_rel[1].energy_delta);
+    ctx.metric("ep.gear2.time_delta", ep_rel[1].time_delta);
     TextTable headline({"claim", "paper", "measured"});
     headline.add_row({"CG gear 2 energy", "-9.5%", fmt_percent(cg_rel[1].energy_delta)});
     headline.add_row({"CG gear 2 delay", "<+1%", fmt_percent(cg_rel[1].time_delta)});
@@ -111,5 +118,12 @@ int main(int argc, char** argv) {
     std::cout << "=== Section 3.1 headline comparisons ===\n"
               << headline.to_string();
   }
+  ctx.metric("bound_ok", bound_ok ? 1.0 : 0.0);
   return bound_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig1_single_node", run);
 }

@@ -18,6 +18,8 @@
 #include "cluster/experiment.hpp"
 #include "exec/result_cache.hpp"
 #include "exec/sweep_runner.hpp"
+#include "harness.hpp"
+#include "obs/metrics.hpp"
 #include "report/figures.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
@@ -25,9 +27,10 @@
 
 using namespace gearsim;
 
-int main(int argc, char** argv) {
-  const std::string svg_dir =
-      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+namespace {
+
+int run(bench::BenchContext& ctx) {
+  const std::string& svg_dir = ctx.svg_dir();
   // All sweeps go through the executor: GEARSIM_SWEEP_JOBS parallelizes
   // them and GEARSIM_CACHE_DIR (e.g. out/cache) lets repeated bench runs
   // skip every already-simulated point — both bit-identical to serial.
@@ -36,8 +39,10 @@ int main(int argc, char** argv) {
     cache_options.disk_dir = dir;
   }
   exec::ResultCache cache(cache_options);
+  obs::MetricsRegistry metrics(ctx.wall_profile());
   exec::SweepOptions sweep_options;
   sweep_options.cache = &cache;
+  sweep_options.metrics = &metrics;
   const exec::SweepRunner runner(cluster::athlon_cluster(), sweep_options);
 
   std::cout << "=== Figure 2: energy vs time on 2/4/8 (or 4/9) nodes ===\n\n";
@@ -101,6 +106,26 @@ int main(int argc, char** argv) {
     t.add_row({"LU gear4@8 speedup vs gear1@4", "~1.5x",
                fmt_fixed(f4.time / g4on8.time, 2) + "x"});
     std::cout << "=== Section 3.2 quoted LU comparisons ===\n" << t.to_string();
+    ctx.metric("lu.speedup_8v4", f4.time / f8.time);
+    ctx.metric("lu.energy_8v4_delta", f8.energy / f4.energy - 1.0);
+    ctx.metric("lu.gear4at8_energy_delta", g4on8.energy / f4.energy - 1.0);
+    ctx.metric("lu.gear4at8_speedup", f4.time / g4on8.time);
+  }
+  // Deterministic simulation-volume metrics from the executor: a change
+  // in any of these means the sweep simulated different work.
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  for (const char* name : {"sim.engine.events_dispatched", "net.messages",
+                           "exec.sweep.points", "exec.cache.misses"}) {
+    const auto it = snap.metrics.find(name);
+    if (it != snap.metrics.end()) {
+      ctx.metric(name, static_cast<double>(it->second.count));
+    }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig2_multinode", run);
 }

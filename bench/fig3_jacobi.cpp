@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "report/figures.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
@@ -16,9 +17,10 @@
 
 using namespace gearsim;
 
-int main(int argc, char** argv) {
-  const std::string svg_dir =
-      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+namespace {
+
+int run(bench::BenchContext& ctx) {
+  const std::string& svg_dir = ctx.svg_dir();
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const workloads::Jacobi jacobi;
 
@@ -73,5 +75,16 @@ int main(int argc, char** argv) {
       (g3on6.time <= g1on4.time && g3on6.energy <= g1on4.energy);
   std::cout << "\nGear 2/3 on 6 nodes dominates gear 1 on 4 nodes: "
             << (example ? "yes (as in the paper)" : "NO") << '\n';
+  ctx.metric("speedup_10_nodes", one.wall / curves.back().fastest().time);
+  ctx.metric("all_case3", all_case3 ? 1.0 : 0.0);
+  ctx.metric("dominating_example", example ? 1.0 : 0.0);
+  ctx.metric("gear1at4.time_s", g1on4.time.value());
+  ctx.metric("gear2at6.energy_j", g2on6.energy.value());
   return (all_case3 && example) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig3_jacobi", run);
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "report/figures.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
@@ -20,9 +21,10 @@
 
 using namespace gearsim;
 
-int main(int argc, char** argv) {
-  const std::string svg_dir =
-      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+namespace {
+
+int run(bench::BenchContext& ctx) {
+  const std::string& svg_dir = ctx.svg_dir();
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const workloads::Synthetic synth;
 
@@ -77,5 +79,16 @@ int main(int argc, char** argv) {
       g5on8.time <= g1on4.time && g5on8.energy <= g1on4.energy;
   std::cout << "\nGear 5 on 8 nodes dominates gear 1 on 4 nodes: "
             << (dominated ? "yes" : "NO") << '\n';
+  ctx.metric("l2_miss_rate", synth.measured_l2_miss_rate());
+  ctx.metric("gear5.time_delta", rel1[4].time_delta);
+  ctx.metric("gear5.energy_delta", rel1[4].energy_delta);
+  ctx.metric("speedup_8_nodes", speedup8);
+  ctx.metric("dominated", dominated ? 1.0 : 0.0);
   return dominated ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig4_synthetic", run);
 }

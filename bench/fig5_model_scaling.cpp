@@ -27,6 +27,7 @@
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "report/figures.hpp"
 #include "model/pipeline.hpp"
 #include "util/table.hpp"
@@ -45,11 +46,8 @@ std::optional<ScalingShape> paper_shape(const std::string& name) {
   return ScalingShape::kLogarithmic;  // BT, EP, MG, SP.
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string svg_dir =
-      (argc > 2 && std::string(argv[1]) == "--svg") ? argv[2] : "";
+int run(bench::BenchContext& ctx) {
+  const std::string& svg_dir = ctx.svg_dir();
   cluster::ExperimentRunner athlon(cluster::athlon_cluster());
   cluster::ExperimentRunner sun(cluster::sun_cluster());
   // A hypothetical large power-scalable cluster for direct validation.
@@ -194,5 +192,15 @@ int main(int argc, char** argv) {
             << "  (max " << fmt_percent(time_err.max(), 1) << ")\n"
             << "mean |energy error| = " << fmt_percent(energy_err.mean(), 1)
             << "  (max " << fmt_percent(energy_err.max(), 1) << ")\n";
+  ctx.metric("model.time_error.mean", time_err.mean());
+  ctx.metric("model.time_error.max", time_err.max());
+  ctx.metric("model.energy_error.mean", energy_err.mean());
+  ctx.metric("model.energy_error.max", energy_err.max());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig5_model_scaling", run);
 }

@@ -1,0 +1,131 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace gearsim::bench {
+
+void BenchContext::metric(std::string_view key, double value) {
+  metrics_[std::string(key)] = value;
+}
+
+void BenchContext::wall_metric(std::string_view key, double value) {
+  wall_metrics_[std::string(key)] = value;
+}
+
+void BenchContext::info(std::string_view key, std::string_view value) {
+  info_[std::string(key)] = std::string(value);
+}
+
+std::string BenchContext::to_json(double wall_seconds) const {
+  // Keep this dialect in lockstep with obs::compare_bench, which parses
+  // it: schema gearsim-bench/1, flat name->number "metrics" map.
+  std::string s = "{\"schema\":\"gearsim-bench/1\"";
+  s += ",\"name\":" + json::jstr(name_);
+  s += ",\"info\":{";
+  bool first = true;
+  for (const auto& [k, v] : info_) {
+    if (!first) s += ',';
+    first = false;
+    s += json::jstr(k) + ":" + json::jstr(v);
+  }
+  s += "},\"metrics\":{";
+  first = true;
+  for (const auto& [k, v] : metrics_) {
+    if (!first) s += ',';
+    first = false;
+    s += json::jstr(k) + ":" + json::jnum(v);
+  }
+  s += "},\"wall\":{\"seconds\":" + json::jnum(wall_seconds) +
+       ",\"metrics\":{";
+  first = true;
+  for (const auto& [k, v] : wall_metrics_) {
+    if (!first) s += ',';
+    first = false;
+    s += json::jstr(k) + ":" + json::jnum(v);
+  }
+  s += "}}}";
+  return s;
+}
+
+int bench_main(int argc, char** argv, std::string_view name,
+               const std::function<int(BenchContext&)>& body) {
+  BenchContext ctx{std::string(name)};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--svg" && i + 1 < argc) {
+      ctx.svg_dir_ = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      ctx.json_path_ = argv[++i];
+    } else if (arg == "--wall-profile") {
+      ctx.wall_profile_ = true;
+    } else {
+      std::cerr << ctx.name_ << ": ignoring unknown argument '" << arg
+                << "'\n";
+    }
+  }
+
+  int code = 0;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    code = body(ctx);
+  } catch (const std::exception& e) {
+    std::cerr << ctx.name_ << ": " << e.what() << '\n';
+    code = 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!ctx.json_path_.empty()) {
+    std::filesystem::path path(ctx.json_path_);
+    if (path.extension() != ".json") {
+      path /= "BENCH_" + ctx.name_ + ".json";
+    }
+    if (path.has_parent_path()) {
+      std::filesystem::create_directories(path.parent_path());
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << ctx.to_json(wall_seconds) << '\n';
+    if (!out.good()) {
+      std::cerr << ctx.name_ << ": failed to write " << path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << path.string() << '\n';
+  }
+  return code;
+}
+
+double time_op(const std::function<void()>& op, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  op();  // Warm caches and lazy state outside the measurement.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t batch = 1;;) {
+    const auto start = clock::now();
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (elapsed >= min_seconds) {
+      best = std::min(best, elapsed / static_cast<double>(batch));
+      return best;
+    }
+    // Too short to trust: grow toward a batch that spans min_seconds.
+    if (elapsed > 0.0) {
+      const double scale = (1.5 * min_seconds) / elapsed;
+      batch = static_cast<std::uint64_t>(
+          static_cast<double>(batch) * std::min(scale, 100.0)) + 1;
+    } else {
+      batch *= 10;
+    }
+  }
+}
+
+}  // namespace gearsim::bench

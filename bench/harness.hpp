@@ -1,0 +1,86 @@
+// The shared bench front end.
+//
+// Every bench/* target funnels through bench_main(), which gives the
+// whole suite one invocation convention (CI runs them in a single
+// uniform loop — no per-binary special cases):
+//
+//   <bench> [--svg DIR] [--json PATH] [--wall-profile]
+//
+//   --svg DIR       figure-producing benches write their SVGs here;
+//                   others ignore it.
+//   --json PATH     write the bench's result document.  PATH ending in
+//                   ".json" is used verbatim; anything else is treated
+//                   as a directory and the document lands at
+//                   PATH/BENCH_<name>.json.
+//   --wall-profile  opt into wall-clock metrics (ctx.wall_metric and
+//                   harness timings still work without it; this flag
+//                   only gates *library* wall instrumentation a bench
+//                   wires up itself, e.g. SweepOptions.metrics).
+//
+// Unknown flags are ignored (with a stderr note), so one CI loop can
+// pass the union of flags to every binary.
+//
+// The result document (obs::kBenchSchema, "gearsim-bench/1") has two
+// metric sections with different contracts:
+//   * metrics — deterministic, simulation-domain headline values
+//     (ctx.metric).  These are what tools/bench_compare gates against
+//     the committed baselines in bench/baselines/.
+//   * wall    — wall-clock measurements (ctx.wall_metric) plus the
+//     bench's total runtime.  Informational; never compared.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace gearsim::bench {
+
+class BenchContext {
+ public:
+  explicit BenchContext(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Figure output directory; empty means "don't write figures".
+  [[nodiscard]] const std::string& svg_dir() const { return svg_dir_; }
+  [[nodiscard]] bool figures() const { return !svg_dir_.empty(); }
+  /// True when --wall-profile was passed (see header comment).
+  [[nodiscard]] bool wall_profile() const { return wall_profile_; }
+
+  /// Record a deterministic headline value — the regression gate
+  /// compares these against bench/baselines/<name>.json.
+  void metric(std::string_view key, double value);
+  /// Record a wall-clock measurement (never compared).
+  void wall_metric(std::string_view key, double value);
+  /// Free-form context string for the result document.
+  void info(std::string_view key, std::string_view value);
+
+  /// Canonical result document (obs::kBenchSchema).
+  [[nodiscard]] std::string to_json(double wall_seconds) const;
+
+ private:
+  friend int bench_main(int argc, char** argv, std::string_view name,
+                        const std::function<int(BenchContext&)>& body);
+
+  std::string name_;
+  std::string svg_dir_;
+  std::string json_path_;
+  bool wall_profile_ = false;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, double> wall_metrics_;
+  std::map<std::string, std::string> info_;
+};
+
+/// Parse the uniform flags, run `body`, and write the result document
+/// when requested.  Returns the body's exit code (1 if it threw).
+int bench_main(int argc, char** argv, std::string_view name,
+               const std::function<int(BenchContext&)>& body);
+
+/// Seconds per operation of `op`, measured with a self-calibrating
+/// batch loop (replaces the google-benchmark dependency): batches grow
+/// geometrically until one takes at least `min_seconds`, and the
+/// fastest batch's per-op time is reported (the usual micro-bench
+/// estimator — least contaminated by scheduler noise).
+double time_op(const std::function<void()>& op, double min_seconds = 0.02);
+
+}  // namespace gearsim::bench

@@ -1,12 +1,21 @@
-// Microbenchmarks (google-benchmark) for the simulation substrate itself:
-// event-queue throughput, process context-switch cost, cache-simulator
-// access rate, MPI ping-pong, and a full small experiment.  These guard
-// the simulator's own performance — the figure harnesses run thousands of
+// Microbenchmarks for the simulation substrate itself: event-queue
+// throughput, process context-switch cost, cache-simulator access rate,
+// MPI ping-pong, and a full small experiment.  These guard the
+// simulator's own performance — the figure harnesses run thousands of
 // cluster-runs, so kernel regressions show up as wall-clock pain.
-#include <benchmark/benchmark.h>
+//
+// Timings are wall-clock and machine-dependent, so they go into the
+// `wall` section of BENCH_microbench_kernel.json, which the regression
+// gate never compares; the deterministic work counts per iteration land
+// in `metrics` so a silent change in the amount of simulated work fails
+// the gate even though the timings float.
+#include <cstddef>
+#include <iostream>
+#include <string>
 
 #include "cluster/experiment.hpp"
 #include "cpu/cache.hpp"
+#include "harness.hpp"
 #include "model/analytic.hpp"
 #include "trace/analysis.hpp"
 #include "mpi/comm.hpp"
@@ -18,136 +27,136 @@ using namespace gearsim;
 
 namespace {
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::EventQueue q;
-    for (int i = 0; i < n; ++i) {
-      q.push(seconds((i * 7919) % n), [] {});
-    }
-    Seconds t{};
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop(t));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+// Keep the optimizer from deleting a result we only compute for timing.
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
 
-void BM_EngineDispatch(benchmark::State& state) {
-  for (auto _ : state) {
+// Times one kernel, reports ns/item, and records it as a wall metric.
+void report(bench::BenchContext& ctx, const std::string& name,
+            double items_per_call, const std::function<void()>& op) {
+  const double seconds_per_call = bench::time_op(op);
+  const double ns_per_item = seconds_per_call / items_per_call * 1e9;
+  ctx.wall_metric(name + ".ns_per_item", ns_per_item);
+  std::cout << name << ": " << ns_per_item << " ns/item\n";
+}
+
+int run(bench::BenchContext& ctx) {
+  for (const int n : {1024, 65536}) {
+    report(ctx, "event_queue_push_pop_" + std::to_string(n), n, [n] {
+      sim::EventQueue q;
+      for (int i = 0; i < n; ++i) {
+        q.push(seconds((i * 7919) % n), [] {});
+      }
+      Seconds t{};
+      while (!q.empty()) keep(q.pop(t));
+    });
+  }
+
+  report(ctx, "engine_dispatch", 10000, [] {
     sim::Engine e;
     for (int i = 0; i < 10000; ++i) e.schedule_at(seconds(i), [] {});
     e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_EngineDispatch);
+  });
 
-void BM_ProcessContextSwitch(benchmark::State& state) {
-  for (auto _ : state) {
+  report(ctx, "process_context_switch", 1000, [] {
     sim::Engine e;
     e.spawn("p", [](sim::Process& p) {
       for (int i = 0; i < 1000; ++i) p.delay(seconds(0.001));
     });
     e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_ProcessContextSwitch);
+  });
 
-void BM_CacheSimAccess(benchmark::State& state) {
-  cpu::CacheSim cache({kilobytes(512), 64, 16});
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.access(rng.below(megabytes(64))));
+  {
+    cpu::CacheSim cache({kilobytes(512), 64, 16});
+    Rng rng(1);
+    report(ctx, "cache_sim_access", 1,
+           [&] { keep(cache.access(rng.below(megabytes(64)))); });
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CacheSimAccess);
 
-void BM_MpiPingPong(benchmark::State& state) {
-  const Bytes bytes = static_cast<Bytes>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine engine;
-    net::Network network(net::ethernet_100mbps(), 2);
-    mpi::World world(engine, network, 2);
-    for (int r = 0; r < 2; ++r) {
-      sim::Process& proc =
-          engine.spawn("rank" + std::to_string(r), [&, r](sim::Process&) {
-            mpi::Comm comm(world, r);
-            for (int i = 0; i < 100; ++i) {
-              if (r == 0) {
-                comm.send(1, 0, bytes);
-                comm.recv(1, 1);
-              } else {
-                comm.recv(0, 0);
-                comm.send(0, 1, bytes);
+  for (const Bytes bytes : {Bytes{64}, Bytes{65536}}) {
+    report(ctx, "mpi_ping_pong_" + std::to_string(bytes), 200, [bytes] {
+      sim::Engine engine;
+      net::Network network(net::ethernet_100mbps(), 2);
+      mpi::World world(engine, network, 2);
+      for (int r = 0; r < 2; ++r) {
+        sim::Process& proc =
+            engine.spawn("rank" + std::to_string(r), [&, r](sim::Process&) {
+              mpi::Comm comm(world, r);
+              for (int i = 0; i < 100; ++i) {
+                if (r == 0) {
+                  comm.send(1, 0, bytes);
+                  comm.recv(1, 1);
+                } else {
+                  comm.recv(0, 0);
+                  comm.send(0, 1, bytes);
+                }
               }
-            }
-          });
-      world.bind_rank(r, proc);
+            });
+        world.bind_rank(r, proc);
+      }
+      engine.run();
+    });
+  }
+
+  {
+    net::Network network(net::ethernet_100mbps(), 16);
+    Rng rng(5);
+    Seconds now{};
+    report(ctx, "network_transfer", 1, [&] {
+      const auto src = static_cast<std::size_t>(rng.below(16));
+      auto dst = static_cast<std::size_t>(rng.below(16));
+      if (dst == src) dst = (dst + 1) % 16;
+      now += microseconds(10.0);
+      keep(network.transfer(src, dst, 8192, now));
+    });
+  }
+
+  {
+    const cpu::CpuModel cpu_model(cpu::CpuParams{}, cpu::athlon64_gears());
+    const cpu::PowerModel power_model(cpu::PowerParams{},
+                                      cpu::athlon64_gears());
+    report(ctx, "analytic_curve", 1, [&] {
+      keep(model::analytic_single_node_curve(cpu_model, power_model, 50.0,
+                                             seconds(100.0)));
+    });
+  }
+
+  {
+    // One rank with 10k alternating send/recv records.
+    trace::Tracer tracer(1);
+    double t = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+      tracer.on_enter(0, mpi::CallType::kSend, seconds(t), 1024, 0);
+      tracer.on_exit(0, mpi::CallType::kSend, seconds(t + 0.001));
+      t += 0.01;
+      tracer.on_enter(0, mpi::CallType::kRecv, seconds(t), 0, 0);
+      tracer.on_exit(0, mpi::CallType::kRecv, seconds(t + 0.002));
+      t += 0.01;
     }
-    engine.run();
+    report(ctx, "trace_analysis", 10000, [&] {
+      keep(trace::analyze_rank(tracer.records(0), Seconds{}, seconds(t)));
+    });
   }
-  state.SetItemsProcessed(state.iterations() * 200);
-}
-BENCHMARK(BM_MpiPingPong)->Arg(64)->Arg(65536);
 
-void BM_NetworkTransfer(benchmark::State& state) {
-  net::Network network(net::ethernet_100mbps(), 16);
-  Rng rng(5);
-  Seconds now{};
-  for (auto _ : state) {
-    const auto src = static_cast<std::size_t>(rng.below(16));
-    auto dst = static_cast<std::size_t>(rng.below(16));
-    if (dst == src) dst = (dst + 1) % 16;
-    now += microseconds(10.0);
-    benchmark::DoNotOptimize(network.transfer(src, dst, 8192, now));
+  {
+    cluster::ExperimentRunner runner(cluster::athlon_cluster());
+    const workloads::Jacobi jacobi;
+    // The full-experiment kernel also yields a deterministic anchor: the
+    // simulated wall time and event count of an 8-node Jacobi run.
+    const cluster::RunResult r = runner.run(jacobi, 8, 0);
+    ctx.metric("jacobi8.sim_wall_s", r.wall.value());
+    ctx.metric("jacobi8.mpi_calls", static_cast<double>(r.mpi_calls));
+    report(ctx, "full_experiment_jacobi8", 1,
+           [&] { keep(runner.run(jacobi, 8, 0)); });
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_NetworkTransfer);
 
-void BM_AnalyticCurve(benchmark::State& state) {
-  const cpu::CpuModel cpu_model(cpu::CpuParams{}, cpu::athlon64_gears());
-  const cpu::PowerModel power_model(cpu::PowerParams{},
-                                    cpu::athlon64_gears());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model::analytic_single_node_curve(
-        cpu_model, power_model, 50.0, seconds(100.0)));
-  }
-  state.SetItemsProcessed(state.iterations());
+  return 0;
 }
-BENCHMARK(BM_AnalyticCurve);
-
-void BM_TraceAnalysis(benchmark::State& state) {
-  // One rank with 10k alternating send/recv records.
-  trace::Tracer tracer(1);
-  double t = 0.0;
-  for (int i = 0; i < 5000; ++i) {
-    tracer.on_enter(0, mpi::CallType::kSend, seconds(t), 1024, 0);
-    tracer.on_exit(0, mpi::CallType::kSend, seconds(t + 0.001));
-    t += 0.01;
-    tracer.on_enter(0, mpi::CallType::kRecv, seconds(t), 0, 0);
-    tracer.on_exit(0, mpi::CallType::kRecv, seconds(t + 0.002));
-    t += 0.01;
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        trace::analyze_rank(tracer.records(0), Seconds{}, seconds(t)));
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_TraceAnalysis);
-
-void BM_FullExperimentJacobi8(benchmark::State& state) {
-  cluster::ExperimentRunner runner(cluster::athlon_cluster());
-  const workloads::Jacobi jacobi;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(jacobi, 8, 0));
-  }
-}
-BENCHMARK(BM_FullExperimentJacobi8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "microbench_kernel", run);
+}

@@ -8,12 +8,12 @@
 //   warm       SweepRunner, jobs=hardware, cache pre-filled by `parallel`
 //
 // verifies all three are bit-identical (to_json fingerprints), and writes
-// the timings to BENCH_sweep.json (or argv[1]).  The recorded `cores`
-// field is the honest hardware_concurrency of the machine that produced
-// the numbers: on a single-core box `parallel` cannot beat `serial`, and
-// the JSON says so rather than pretending.
+// the timings to the wall section of BENCH_microbench_sweep.json (pass
+// `--json PATH`).  The recorded `cores` field is the honest
+// hardware_concurrency of the machine that produced the numbers: on a
+// single-core box `parallel` cannot beat `serial`, and the JSON says so
+// rather than pretending.
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -22,6 +22,7 @@
 #include "exec/result_cache.hpp"
 #include "exec/result_io.hpp"
 #include "exec/sweep_runner.hpp"
+#include "harness.hpp"
 #include "workloads/nas.hpp"
 
 using namespace gearsim;
@@ -45,10 +46,7 @@ std::string jnum(double v) {
   return buf;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+int run(bench::BenchContext& ctx) {
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
 
   cluster::ClusterConfig config = cluster::athlon_cluster();
@@ -94,21 +92,22 @@ int main(int argc, char** argv) {
 
   const double parallel_speedup = t_serial / t_parallel;
   const double warm_speedup = t_serial / t_warm;
-  std::ofstream out(out_path, std::ios::trunc);
-  out << "{\n"
-      << "  \"benchmark\": \"microbench_sweep\",\n"
-      << "  \"workload\": \"CG\",\n"
-      << "  \"points\": " << points.size() << ",\n"
-      << "  \"cores\": " << cores << ",\n"
-      << "  \"serial_s\": " << jnum(t_serial) << ",\n"
-      << "  \"parallel_s\": " << jnum(t_parallel) << ",\n"
-      << "  \"warm_cache_s\": " << jnum(t_warm) << ",\n"
-      << "  \"parallel_speedup\": " << jnum(parallel_speedup) << ",\n"
-      << "  \"warm_cache_speedup\": " << jnum(warm_speedup) << ",\n"
-      << "  \"bit_identical\": true\n"
-      << "}\n";
-  std::cout << "wrote " << out_path << " (parallel speedup "
-            << jnum(parallel_speedup) << "x, warm-cache speedup "
-            << jnum(warm_speedup) << "x)\n";
+  ctx.info("workload", "CG");
+  ctx.metric("points", static_cast<double>(points.size()));
+  ctx.metric("bit_identical", 1.0);
+  ctx.wall_metric("cores", static_cast<double>(cores));
+  ctx.wall_metric("serial_s", t_serial);
+  ctx.wall_metric("parallel_s", t_parallel);
+  ctx.wall_metric("warm_cache_s", t_warm);
+  ctx.wall_metric("parallel_speedup", parallel_speedup);
+  ctx.wall_metric("warm_cache_speedup", warm_speedup);
+  std::cout << "parallel speedup " << jnum(parallel_speedup)
+            << "x, warm-cache speedup " << jnum(warm_speedup) << "x\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "microbench_sweep", run);
 }

@@ -1,5 +1,5 @@
 // Adaptive-policy tradeoff benchmark: can online controllers beat the
-// static gear curve?  Writes BENCH_policy.json (or argv[1]).
+// static gear curve?  Writes BENCH_policy_tradeoff.json (pass `--json`).
 //
 // Three claims, each checked (the process fails if one does not hold):
 //
@@ -21,13 +21,13 @@
 //      results (exec::to_json fingerprints compared byte-for-byte).
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cluster/experiment.hpp"
 #include "exec/result_io.hpp"
+#include "harness.hpp"
 #include "policy/evaluator.hpp"
 #include "workloads/registry.hpp"
 
@@ -57,10 +57,7 @@ const policy::PolicyRow& row_named(const policy::Evaluation& eval,
   std::exit(1);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_policy.json";
+int run(bench::BenchContext& ctx) {
   bool ok = true;
 
   // ---- claim 1: slack reclamation on an imbalanced iterative kernel -------
@@ -141,45 +138,31 @@ int main(int argc, char** argv) {
             << '\n';
   ok = ok && deterministic;
 
-  std::ofstream out(out_path, std::ios::trunc);
-  out << "{\n"
-      << "  \"benchmark\": \"policy_tradeoff\",\n"
-      << "  \"slack_cell\": {\n"
-      << "    \"workload\": \"BT\", \"nodes\": 9, \"load_imbalance\": 0.20,\n"
-      << "    \"best_static_gear\": " << best_static->gear_label << ",\n"
-      << "    \"best_static_energy_saving\": " << jnum(static_saving) << ",\n"
-      << "    \"best_static_slowdown\": " << jnum(static_slowdown) << ",\n"
-      << "    \"reclaimer_energy_saving\": " << jnum(reclaimer_saving)
-      << ",\n"
-      << "    \"reclaimer_slowdown\": " << jnum(reclaimer_slowdown) << ",\n"
-      << "    \"claim_holds\": " << (slack_ok ? "true" : "false") << "\n"
-      << "  },\n"
-      << "  \"cg_cell_ungated\": {\n"
-      << "    \"workload\": \"CG\", \"nodes\": 8, \"load_imbalance\": 0.20,\n"
-      << "    \"reclaimer_energy_saving\": "
-      << jnum(-cg_reclaimer.energy_delta) << ",\n"
-      << "    \"reclaimer_slowdown\": " << jnum(cg_reclaimer.time_delta)
-      << "\n"
-      << "  },\n"
-      << "  \"short_message_cells\": [\n";
-  for (std::size_t i = 0; i < short_cells.size(); ++i) {
-    const ShortCell& cell = short_cells[i];
-    out << "    {\"workload\": \"" << cell.workload
-        << "\", \"nodes\": " << cell.nodes << ", \"timeout_downshift_s\": "
-        << jnum(cell.timeout_wall) << ", \"comm_downshift_s\": "
-        << jnum(cell.comm_wall) << "}"
-        << (i + 1 < short_cells.size() ? "," : "") << "\n";
+  ctx.metric("bt.best_static_gear",
+             static_cast<double>(best_static->gear_label));
+  ctx.metric("bt.best_static_energy_saving", static_saving);
+  ctx.metric("bt.best_static_slowdown", static_slowdown);
+  ctx.metric("bt.reclaimer_energy_saving", reclaimer_saving);
+  ctx.metric("bt.reclaimer_slowdown", reclaimer_slowdown);
+  ctx.metric("bt.claim_holds", slack_ok ? 1.0 : 0.0);
+  ctx.metric("cg.reclaimer_energy_saving", -cg_reclaimer.energy_delta);
+  ctx.metric("cg.reclaimer_slowdown", cg_reclaimer.time_delta);
+  for (const ShortCell& cell : short_cells) {
+    ctx.metric(cell.workload + ".timeout_downshift_s", cell.timeout_wall);
+    ctx.metric(cell.workload + ".comm_downshift_s", cell.comm_wall);
   }
-  out << "  ],\n"
-      << "  \"timeout_never_slower\": " << (timeout_ok ? "true" : "false")
-      << ",\n"
-      << "  \"bit_identical\": " << (deterministic ? "true" : "false") << "\n"
-      << "}\n";
-  std::cout << "wrote " << out_path << '\n';
+  ctx.metric("timeout_never_slower", timeout_ok ? 1.0 : 0.0);
+  ctx.metric("bit_identical", deterministic ? 1.0 : 0.0);
 
   if (!ok) {
     std::cerr << "FAIL: at least one policy-tradeoff claim does not hold\n";
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "policy_tradeoff", run);
 }

@@ -13,6 +13,7 @@
 // one runs wide at low gears.
 #include <iostream>
 
+#include "harness.hpp"
 #include "sched/scheduler.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
@@ -29,9 +30,7 @@ sched::WorkloadProfile restrict_to_gear_one(const sched::WorkloadProfile& p) {
   return sched::WorkloadProfile(p.workload_name() + "@g1", std::move(points));
 }
 
-}  // namespace
-
-int main() {
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
 
   const auto cg = workloads::make_workload("CG");
@@ -106,6 +105,9 @@ int main() {
                    fmt_fixed(fixed.makespan.value(), 1),
                    fmt_fixed(best.total_energy().value() / 1e3, 1),
                    fmt_fixed(fixed.total_energy().value() / 1e3, 1)});
+    const std::string prefix = "cap" + fmt_fixed(cap, 0);
+    ctx.metric(prefix + ".scalable_makespan_s", best.makespan.value());
+    ctx.metric(prefix + ".fixed_makespan_s", fixed.makespan.value());
   }
   std::cout << table.to_string() << '\n'
             << "Best-objective scalable scheduling is never slower than the"
@@ -117,5 +119,12 @@ int main() {
                  " serializes the rest.  Gear freedom needs an objective"
                  " that values headroom (min-EDP/min-energy above).\n";
   }
+  ctx.metric("best_never_worse", best_never_worse ? 1.0 : 0.0);
   return best_never_worse ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "powercap_scheduling", run);
 }

@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/nas.hpp"
@@ -78,9 +79,7 @@ ClaimChecks check_claims(const cluster::ClusterConfig& config) {
 
 std::string mark(bool ok) { return ok ? "yes" : "NO"; }
 
-}  // namespace
-
-int main() {
+int run(bench::BenchContext& ctx) {
   std::cout << "=== Calibration sensitivity: +/-20% on each model knob ===\n\n";
 
   struct Variant {
@@ -113,11 +112,15 @@ int main() {
   TextTable table({"variant", "S1 bound", "S2 fastest", "S3 ordering",
                    "S4 CG vs EP", "S5 LU case 3"});
   bool structural_ok = true;
+  int claims_held = 0;
   for (const auto& v : variants) {
     cluster::ClusterConfig config = cluster::athlon_cluster();
     v.mutate(config);
     const ClaimChecks c = check_claims(config);
     structural_ok = structural_ok && c.bound && c.fastest;
+    claims_held += static_cast<int>(c.bound) + static_cast<int>(c.fastest) +
+                   static_cast<int>(c.concordance) +
+                   static_cast<int>(c.cg_vs_ep) + static_cast<int>(c.lu_case3);
     table.add_row({v.name, mark(c.bound), mark(c.fastest),
                    mark(c.concordance), mark(c.cg_vs_ep), mark(c.lu_case3)});
   }
@@ -127,5 +130,13 @@ int main() {
             << (structural_ok ? "verified" : "VIOLATED") << ".\n"
             << "S3-S5 are calibration-dependent; rows where they flip mark"
                " the edge of the reproduction's validity envelope.\n";
+  ctx.metric("structural_ok", structural_ok ? 1.0 : 0.0);
+  ctx.metric("claims_held", static_cast<double>(claims_held));
   return structural_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "sensitivity_calibration", run);
 }

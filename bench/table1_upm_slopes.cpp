@@ -10,6 +10,7 @@
 #include <map>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/nas.hpp"
@@ -17,7 +18,9 @@
 
 using namespace gearsim;
 
-int main() {
+namespace {
+
+int run(bench::BenchContext& ctx) {
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
 
   // The paper's Table 1, for side-by-side comparison.
@@ -48,6 +51,8 @@ int main() {
     table.add_row({row.name, fmt_fixed(row.upm, 1), fmt_fixed(row.slope_1_2, 3),
                    fmt_fixed(row.slope_2_3, 3), fmt_fixed(p[1], 3),
                    fmt_fixed(p[2], 3)});
+    ctx.metric(entry.name + ".slope_1_2", row.slope_1_2);
+    ctx.metric(entry.name + ".slope_2_3", row.slope_2_3);
   }
 
   std::cout << "=== Table 1: UPM predicts the energy-time tradeoff ===\n"
@@ -61,5 +66,12 @@ int main() {
                                      " claim requires modulo its MG outlier)"
                                    : "")
             << '\n';
+  ctx.metric("concordance", concordance);
   return concordance >= 0.8 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "table1_upm_slopes", run);
 }

@@ -15,13 +15,16 @@
 #include <iostream>
 
 #include "cluster/experiment.hpp"
+#include "harness.hpp"
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/jacobi.hpp"
 
 using namespace gearsim;
 
-int main() {
+namespace {
+
+int run(bench::BenchContext& ctx) {
   cluster::ClusterConfig config = cluster::athlon_cluster();
   config.max_nodes = 32;
   config.network.backplane_bandwidth = 32 * config.network.link_bandwidth;
@@ -41,6 +44,8 @@ int main() {
   const cluster::RunResult weak1 = runner.run(weak, 1, 0);
   bool strong_blows_up = false;
   bool weak_stays_flat = true;
+  double strong_ratio_32 = 0.0;
+  double weak_per_work_32 = 0.0;
   for (int n : {1, 2, 4, 8, 16, 32}) {
     const cluster::RunResult s = runner.run(strong, n, 0);
     const cluster::RunResult w = runner.run(weak, n, 0);
@@ -48,7 +53,11 @@ int main() {
     // Weak scaling performs n units of work; normalize per unit.
     const double weak_per_work =
         w.energy.value() / n / weak1.energy.value();
-    if (n == 32 && strong_ratio > 1.5) strong_blows_up = true;
+    if (n == 32) {
+      if (strong_ratio > 1.5) strong_blows_up = true;
+      strong_ratio_32 = strong_ratio;
+      weak_per_work_32 = weak_per_work;
+    }
     if (weak_per_work > 1.25) weak_stays_flat = false;
     table.add_row({std::to_string(n), fmt_fixed(s.wall.value(), 1),
                    fmt_fixed(s.energy.value() / 1e3, 1),
@@ -70,5 +79,15 @@ int main() {
   std::cout << "Weak-scaled Jacobi at 32 nodes, gear 5 vs gear 1: "
             << fmt_percent(rel[4].time_delta) << " time, "
             << fmt_percent(rel[4].energy_delta) << " energy\n";
+  ctx.metric("strong.energy_ratio_32", strong_ratio_32);
+  ctx.metric("weak.energy_per_work_32", weak_per_work_32);
+  ctx.metric("weak32.gear5.time_delta", rel[4].time_delta);
+  ctx.metric("weak32.gear5.energy_delta", rel[4].energy_delta);
   return (strong_blows_up && weak_stays_flat) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "weak_vs_strong", run);
 }

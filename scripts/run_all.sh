@@ -7,11 +7,12 @@
 #   <out>/test_output.txt       full ctest log
 #   <out>/bench_output.txt      every table the benches print
 #   <out>/figures/*.svg         the paper's figures, rendered
+#   <out>/bench/BENCH_*.json    one result document per bench
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="${1:-$ROOT/out}"
-mkdir -p "$OUT/figures"
+mkdir -p "$OUT/figures" "$OUT/bench"
 
 cmake -B "$ROOT/build" -G Ninja -S "$ROOT"
 cmake --build "$ROOT/build"
@@ -19,16 +20,16 @@ cmake --build "$ROOT/build"
 ctest --test-dir "$ROOT/build" 2>&1 | tee "$OUT/test_output.txt"
 
 : > "$OUT/bench_output.txt"
+# Every bench speaks the bench/harness CLI, so one invocation fits all.
 for b in "$ROOT"/build/bench/*; do
   [ -x "$b" ] || continue
   echo "===== $(basename "$b") =====" | tee -a "$OUT/bench_output.txt"
-  case "$(basename "$b")" in
-    fig1_single_node|fig2_multinode|fig3_jacobi|fig4_synthetic|fig5_model_scaling)
-      "$b" --svg "$OUT/figures" | tee -a "$OUT/bench_output.txt" ;;
-    *)
-      "$b" | tee -a "$OUT/bench_output.txt" ;;
-  esac
+  "$b" --svg "$OUT/figures" --json "$OUT/bench" | tee -a "$OUT/bench_output.txt"
   echo | tee -a "$OUT/bench_output.txt"
 done
+
+"$ROOT/build/tools/bench_compare" check \
+  --baselines "$ROOT/bench/baselines" --results "$OUT/bench" \
+  | tee -a "$OUT/bench_output.txt"
 
 echo "done: $OUT"

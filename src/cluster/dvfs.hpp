@@ -29,6 +29,7 @@
 
 #include "cluster/experiment.hpp"
 #include "mpi/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace gearsim::cluster {
 
@@ -82,6 +83,18 @@ class GearPolicy {
   virtual void on_blocking_exit(int /*rank*/, mpi::CallType /*type*/,
                                 Bytes /*bytes*/, Seconds /*now*/,
                                 Seconds /*waited*/) {}
+
+  /// Attach a metrics registry for the upcoming run (nullptr detaches).
+  /// The runner calls this before begin_run(); controllers fetch their
+  /// counters there.  Decisions never depend on the registry, so an
+  /// instrumented run is bit-identical to an uninstrumented one.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Creates one fresh policy instance per run — how policies travel

@@ -94,8 +94,12 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   GEARSIM_REQUIRE(nodes >= 1 && nodes <= config_.max_nodes,
                   "node count outside the cluster");
   // Reset any per-run controller state before the first gear query; for
-  // static policies this is a no-op (or a rank-count check).
-  if (policy != nullptr) policy->begin_run(nodes);
+  // static policies this is a no-op (or a rank-count check).  Metrics are
+  // attached first so begin_run can register the policy's counters.
+  if (policy != nullptr) {
+    policy->set_metrics(options.metrics);
+    policy->begin_run(nodes);
+  }
   const std::size_t gear_index =
       policy != nullptr ? policy->compute_gear(0) : options.gear_index;
   GEARSIM_REQUIRE(gear_index < config_.gears.size(), "gear out of range");
@@ -107,6 +111,8 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
 
   sim::Engine engine;
   net::Network network(config_.network, static_cast<std::size_t>(nodes));
+  engine.set_metrics(options.metrics);
+  network.set_metrics(options.metrics);
   mpi::World world(engine, network, nodes, config_.mpi);
   trace::Tracer tracer(static_cast<std::size_t>(nodes));
   world.add_observer(&tracer);
@@ -319,6 +325,45 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
       result.sampled_energy =
           joules(result.sampled_energy->value() *
                  (stats.energy.value() / solid_energy.value()));
+    }
+  }
+  if (obs::MetricsRegistry* reg = options.metrics) {
+    reg->counter("cluster.runs").add();
+    reg->counter("cluster.mpi_calls").add(result.mpi_calls);
+    reg->counter("cluster.gear_switches").add(result.gear_switches);
+    for (const trace::FaultEvent& ev : fault_log) {
+      switch (ev.kind) {
+        case trace::FaultEventKind::kNodeCrash:
+          reg->counter("faults.crashes").add();
+          break;
+        case trace::FaultEventKind::kStragglerBegin:
+          reg->counter("faults.straggler_windows").add();
+          break;
+        case trace::FaultEventKind::kLinkDrop:
+          reg->counter("faults.link_drop_bursts").add();
+          break;
+        case trace::FaultEventKind::kMeterDropBegin:
+          reg->counter("faults.meter_dropouts").add();
+          break;
+        case trace::FaultEventKind::kCheckpoint:
+          reg->counter("faults.checkpoints").add();
+          break;
+        case trace::FaultEventKind::kRestart:
+          reg->counter("faults.restarts").add();
+          break;
+        case trace::FaultEventKind::kStragglerEnd:
+        case trace::FaultEventKind::kMeterDropEnd:
+          break;  // Window closings pair with the Begin counts above.
+      }
+    }
+    if (compose_mode) {
+      // Sum + count live in the histogram, so sweeps aggregate how much
+      // wall time went to re-execution and checkpoint I/O across points.
+      reg->histogram("faults.rework_seconds", {0.1, 1.0, 10.0, 100.0, 1000.0})
+          .observe(result.rework_time.value());
+      reg->histogram("faults.checkpoint_seconds",
+                     {0.1, 1.0, 10.0, 100.0, 1000.0})
+          .observe(result.checkpoint_time.value());
     }
   }
   if (!options.trace_csv_path.empty()) {

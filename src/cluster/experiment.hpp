@@ -10,6 +10,7 @@
 #include "cluster/config.hpp"
 #include "cluster/workload.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "trace/analysis.hpp"
 #include "trace/fault_events.hpp"
 #include "util/statistics.hpp"
@@ -117,6 +118,13 @@ struct RunOptions {
   /// call).  Null — or a plan with nothing scheduled — leaves the run
   /// bit-identical to a fault-free one.  See docs/FAULTS.md.
   const faults::FaultPlan* faults = nullptr;
+  /// Optional metrics registry (must outlive the call).  The runner wires
+  /// it into the engine, network, policy and fault layers for this run;
+  /// all recorded values are sim-domain facts, so attaching a registry
+  /// never changes the RunResult.  One registry must not be shared by
+  /// concurrent runs — exec::SweepRunner gives each point its own and
+  /// merges the snapshots in request order.  See docs/OBSERVABILITY.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ExperimentRunner {

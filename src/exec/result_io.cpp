@@ -1,283 +1,18 @@
 #include "exec/result_io.hpp"
 
-#include <cctype>
-#include <charconv>
-#include <cstdio>
-#include <limits>
-#include <map>
-#include <memory>
-#include <variant>
-#include <vector>
-
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace gearsim::exec {
 
+// The JSON tree, parser and jnum/jstr emitters used to live here; they
+// moved to util/json.hpp so the observability manifests and the bench
+// regression gate share the exact same dialect (round-trip doubles).
 namespace {
 
-// ---- emission ---------------------------------------------------------------
-
-std::string jnum(double v) {
-  char buf[40];
-  const auto [ptr, ec] = std::to_chars(
-      buf, buf + sizeof(buf), v, std::chars_format::general,
-      std::numeric_limits<double>::max_digits10);
-  GEARSIM_ENSURE(ec == std::errc(), "double rendering failed");
-  return std::string(buf, ptr);
-}
-
-std::string jstr(std::string_view s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-// ---- minimal JSON tree + parser --------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue, std::less<>>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  // Numbers keep their raw token so integer fields convert exactly.
-  std::variant<std::nullptr_t, bool, std::string /*number token*/,
-               std::shared_ptr<std::string> /*string*/,
-               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
-      v = nullptr;
-
-  [[nodiscard]] bool is_null() const {
-    return std::holds_alternative<std::nullptr_t>(v);
-  }
-  [[nodiscard]] bool as_bool() const {
-    GEARSIM_REQUIRE(std::holds_alternative<bool>(v), "expected JSON bool");
-    return std::get<bool>(v);
-  }
-  [[nodiscard]] double as_double() const {
-    GEARSIM_REQUIRE(std::holds_alternative<std::string>(v),
-                    "expected JSON number");
-    const std::string& tok = std::get<std::string>(v);
-    double out = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(tok.data(), tok.data() + tok.size(), out);
-    GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
-                    "bad JSON number: " + tok);
-    return out;
-  }
-  [[nodiscard]] std::uint64_t as_u64() const {
-    GEARSIM_REQUIRE(std::holds_alternative<std::string>(v),
-                    "expected JSON number");
-    const std::string& tok = std::get<std::string>(v);
-    std::uint64_t out = 0;
-    const auto [ptr, ec] =
-        std::from_chars(tok.data(), tok.data() + tok.size(), out);
-    GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
-                    "bad JSON integer: " + tok);
-    return out;
-  }
-  [[nodiscard]] int as_int() const {
-    return static_cast<int>(as_double());
-  }
-  [[nodiscard]] const std::string& as_string() const {
-    GEARSIM_REQUIRE(
-        std::holds_alternative<std::shared_ptr<std::string>>(v),
-        "expected JSON string");
-    return *std::get<std::shared_ptr<std::string>>(v);
-  }
-  [[nodiscard]] const JsonObject& as_object() const {
-    GEARSIM_REQUIRE(std::holds_alternative<std::shared_ptr<JsonObject>>(v),
-                    "expected JSON object");
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonArray& as_array() const {
-    GEARSIM_REQUIRE(std::holds_alternative<std::shared_ptr<JsonArray>>(v),
-                    "expected JSON array");
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    const JsonValue v = value();
-    skip_ws();
-    GEARSIM_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON value");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    GEARSIM_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    GEARSIM_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
-                    std::string("expected '") + c + "' in JSON");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': literal("true"); return JsonValue{true};
-      case 'f': literal("false"); return JsonValue{false};
-      case 'n': literal("null"); return JsonValue{nullptr};
-      default: return number();
-    }
-  }
-
-  void literal(std::string_view word) {
-    GEARSIM_REQUIRE(text_.substr(pos_, word.size()) == word,
-                    "bad JSON literal");
-    pos_ += word.size();
-  }
-
-  JsonValue object() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(obj)};
-    }
-    for (;;) {
-      skip_ws();
-      const std::string key = raw_string();
-      skip_ws();
-      expect(':');
-      (*obj)[key] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{std::move(obj)};
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(arr)};
-    }
-    for (;;) {
-      arr->push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{std::move(arr)};
-    }
-  }
-
-  JsonValue string_value() {
-    return JsonValue{std::make_shared<std::string>(raw_string())};
-  }
-
-  std::string raw_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      GEARSIM_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      GEARSIM_REQUIRE(pos_ < text_.size(), "dangling escape in JSON string");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          GEARSIM_REQUIRE(pos_ + 4 <= text_.size(), "short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else GEARSIM_REQUIRE(false, "bad \\u escape");
-          }
-          // The emitter only produces \u00xx control escapes; reject the
-          // rest rather than mis-decode them.
-          GEARSIM_REQUIRE(code < 0x80, "unsupported \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: GEARSIM_REQUIRE(false, "bad escape in JSON string");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    GEARSIM_REQUIRE(pos_ > start, "expected JSON number");
-    return JsonValue{std::string(text_.substr(start, pos_ - start))};
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& field(const JsonObject& obj, std::string_view name) {
-  const auto it = obj.find(name);
-  GEARSIM_REQUIRE(it != obj.end(),
-                  "missing JSON field: " + std::string(name));
-  return it->second;
-}
+using json::field;
+using json::jnum;
+using json::jstr;
 
 }  // namespace
 
@@ -374,9 +109,9 @@ std::string to_json(const cluster::RunResult& r) {
   return s;
 }
 
-cluster::RunResult result_from_json(std::string_view json) {
-  const JsonValue root = Parser(json).parse();
-  const JsonObject& o = root.as_object();
+cluster::RunResult result_from_json(std::string_view text) {
+  const json::Value root = json::parse(text);
+  const json::Object& o = root.as_object();
 
   cluster::RunResult r;
   r.nodes = field(o, "nodes").as_int();
@@ -394,7 +129,7 @@ cluster::RunResult result_from_json(std::string_view json) {
   r.mean_active_power = watts(field(o, "mean_active_power").as_double());
   r.mean_idle_power = watts(field(o, "mean_idle_power").as_double());
 
-  const JsonObject& b = field(o, "breakdown").as_object();
+  const json::Object& b = field(o, "breakdown").as_object();
   r.breakdown.wall = seconds(field(b, "wall").as_double());
   r.breakdown.active_max = seconds(field(b, "active_max").as_double());
   r.breakdown.idle_derived = seconds(field(b, "idle_derived").as_double());
@@ -402,8 +137,8 @@ cluster::RunResult result_from_json(std::string_view json) {
   r.breakdown.idle_mean = seconds(field(b, "idle_mean").as_double());
   r.breakdown.critical = seconds(field(b, "critical").as_double());
   r.breakdown.reducible = seconds(field(b, "reducible").as_double());
-  for (const JsonValue& rv : field(b, "ranks").as_array()) {
-    const JsonObject& ro = rv.as_object();
+  for (const json::Value& rv : field(b, "ranks").as_array()) {
+    const json::Object& ro = rv.as_object();
     trace::RankBreakdown rb;
     rb.wall = seconds(field(ro, "wall").as_double());
     rb.active = seconds(field(ro, "active").as_double());
@@ -414,8 +149,8 @@ cluster::RunResult result_from_json(std::string_view json) {
     r.breakdown.ranks.push_back(rb);
   }
 
-  for (const JsonValue& nv : field(o, "node_energy").as_array()) {
-    const JsonObject& no = nv.as_object();
+  for (const json::Value& nv : field(o, "node_energy").as_array()) {
+    const json::Object& no = nv.as_object();
     power::NodeEnergy ne;
     ne.total = joules(field(no, "total").as_double());
     ne.active = joules(field(no, "active").as_double());
@@ -429,9 +164,9 @@ cluster::RunResult result_from_json(std::string_view json) {
   r.messages = field(o, "messages").as_u64();
   r.net_bytes = static_cast<Bytes>(field(o, "net_bytes").as_u64());
   r.gear_switches = field(o, "gear_switches").as_u64();
-  for (const JsonValue& rankv : field(o, "gear_residency").as_array()) {
+  for (const json::Value& rankv : field(o, "gear_residency").as_array()) {
     std::vector<Seconds> per_gear;
-    for (const JsonValue& gv : rankv.as_array()) {
+    for (const json::Value& gv : rankv.as_array()) {
       per_gear.push_back(seconds(gv.as_double()));
     }
     r.gear_residency.push_back(std::move(per_gear));
@@ -449,15 +184,15 @@ cluster::RunResult result_from_json(std::string_view json) {
   r.checkpoint_time = seconds(field(o, "checkpoint_time").as_double());
   r.checkpoint_energy = joules(field(o, "checkpoint_energy").as_double());
   if (!field(o, "fatal_crash").is_null()) {
-    const JsonObject& fc = field(o, "fatal_crash").as_object();
+    const json::Object& fc = field(o, "fatal_crash").as_object();
     faults::CrashEvent ev;
     ev.node = static_cast<std::size_t>(field(fc, "node").as_u64());
     ev.at = seconds(field(fc, "at").as_double());
     r.fatal_crash = ev;
   }
   r.retransmissions = field(o, "retransmissions").as_u64();
-  for (const JsonValue& ev : field(o, "fault_events").as_array()) {
-    const JsonObject& eo = ev.as_object();
+  for (const json::Value& ev : field(o, "fault_events").as_array()) {
+    const json::Object& eo = ev.as_object();
     trace::FaultEvent fe;
     const int kind = field(eo, "kind").as_int();
     GEARSIM_REQUIRE(kind >= 0 && kind <= 7, "bad fault-event kind");

@@ -1,5 +1,6 @@
 #include "exec/sweep_runner.hpp"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -48,12 +49,41 @@ std::vector<cluster::RunResult> SweepRunner::run(
     for (std::size_t i = 0; i < points.size(); ++i) misses.push_back(i);
   }
 
+  // Sweep-level bookkeeping happens on the calling thread only; workers
+  // write per-point registries / per-slot arrays, never `reg` itself.
+  obs::MetricsRegistry* const reg = options_.metrics;
+  const CacheStats stats_before = cache_stats();
+  if (reg != nullptr) {
+    reg->counter("exec.sweep.points").add(points.size());
+    if (options_.cache != nullptr) {
+      reg->counter("exec.cache.hits").add(points.size() - misses.size());
+      reg->counter("exec.cache.misses").add(misses.size());
+      reg->counter("exec.cache.insertions").add(misses.size());
+    }
+  }
+  std::vector<obs::MetricsSnapshot> point_metrics(
+      reg != nullptr ? misses.size() : 0);
+  // Wall profiling: per-point durations land in a per-index slot (no
+  // races), folded into the registry after the pool drains.
+  const bool wall = reg != nullptr && reg->wall_profiling();
+  std::vector<double> point_seconds(wall ? misses.size() : 0, 0.0);
+  const auto sweep_start = std::chrono::steady_clock::now();
+
   parallel_for_ordered(options_.jobs, misses.size(), [&](std::size_t m) {
+    std::chrono::steady_clock::time_point point_start;
+    if (wall) point_start = std::chrono::steady_clock::now();
     const std::size_t i = misses[m];
     const SweepPoint& p = points[i];
     cluster::RunOptions run_options;
     run_options.gear_index = p.gear_index;
     run_options.faults = options_.faults;
+    // A private registry per point: the engine's discipline makes each
+    // point single-threaded, so no atomics are needed anywhere.
+    std::unique_ptr<obs::MetricsRegistry> point_reg;
+    if (reg != nullptr) {
+      point_reg = std::make_unique<obs::MetricsRegistry>();
+      run_options.metrics = point_reg.get();
+    }
     // A fresh policy instance per point: adaptive controllers carry
     // per-run state, and concurrent workers must never share one.
     std::unique_ptr<cluster::GearPolicy> policy;
@@ -76,7 +106,46 @@ std::vector<cluster::RunResult> SweepRunner::run(
     if (options_.cache != nullptr) {
       options_.cache->insert(keys[i], results[i]);
     }
+    if (point_reg != nullptr) point_metrics[m] = point_reg->snapshot();
+    if (wall) {
+      point_seconds[m] = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - point_start)
+                             .count();
+    }
   });
+
+  if (reg != nullptr) {
+    // Request-order fold: merging snapshots in miss order (not completion
+    // order) keeps every sim-domain value bit-identical for any job count.
+    for (const obs::MetricsSnapshot& snap : point_metrics) reg->merge(snap);
+    // Evictions are order-independent under the LRU capacity rule (each
+    // insert beyond capacity evicts exactly one entry), so the delta is
+    // safe to report as a sim-domain counter.
+    const CacheStats stats_after = cache_stats();
+    reg->counter("exec.cache.evictions")
+        .add(stats_after.evictions - stats_before.evictions);
+    if (wall) {
+      obs::Histogram& h = *reg->wall_histogram(
+          "exec.sweep.point_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0});
+      double busy = 0.0;
+      for (double s : point_seconds) {
+        h.observe(s);
+        busy += s;
+      }
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sweep_start)
+                                 .count();
+      const int jobs = resolve_jobs(options_.jobs);
+      reg->wall_gauge("exec.sweep.jobs", obs::Gauge::Kind::kLast)
+          ->set(static_cast<double>(jobs));
+      if (elapsed > 0.0 && !point_seconds.empty()) {
+        // Busy fraction of the pool: 1.0 means every worker simulated for
+        // the whole sweep; low values mean queue-wait or load imbalance.
+        reg->wall_gauge("exec.sweep.utilization", obs::Gauge::Kind::kLast)
+            ->set(busy / (elapsed * static_cast<double>(jobs)));
+      }
+    }
+  }
 
   return results;
 }

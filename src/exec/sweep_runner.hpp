@@ -49,6 +49,15 @@ struct SweepOptions {
   ResultCache* cache = nullptr;
   /// Optional fault plan applied to every point (must outlive the call).
   const faults::FaultPlan* faults = nullptr;
+  /// Optional metrics registry (not owned; must outlive the call).  Each
+  /// simulated point gets a private registry (workers never touch this
+  /// one) and the per-point snapshots fold in *in request order* after
+  /// the pool drains, so every sim-domain value is bit-identical for any
+  /// job count.  Cache hits contribute exec.cache.hits instead of sim
+  /// metrics — a hit never re-simulates.  When the registry has wall
+  /// profiling enabled, per-point wall durations and pool utilization
+  /// are recorded too (kWall domain, never deterministic).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class SweepRunner {

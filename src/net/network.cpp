@@ -44,6 +44,18 @@ Network::Network(NetworkParams params, std::size_t num_nodes)
                   "negative or non-finite jitter");
 }
 
+void Network::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_messages_ = nullptr;
+    m_bytes_ = nullptr;
+    m_retransmissions_ = nullptr;
+    return;
+  }
+  m_messages_ = &metrics->counter("net.messages");
+  m_bytes_ = &metrics->counter("net.bytes");
+  m_retransmissions_ = &metrics->counter("net.retransmissions");
+}
+
 Seconds Network::uncontended_time(Bytes bytes) const {
   return params_.latency +
          seconds(static_cast<double>(bytes) / params_.link_bandwidth);
@@ -80,6 +92,8 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
   GEARSIM_REQUIRE(src != dst, "self-transfer does not use the network");
   ++messages_;
   bytes_ += bytes;
+  if (m_messages_ != nullptr) m_messages_->add();
+  if (m_bytes_ != nullptr) m_bytes_->add(bytes);
 
   const double b = static_cast<double>(bytes);
   const Seconds wire = seconds(b / params_.link_bandwidth);
@@ -116,6 +130,9 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
     }
     if (losses > 0) {
       retransmissions_ += static_cast<std::uint64_t>(losses);
+      if (m_retransmissions_ != nullptr) {
+        m_retransmissions_->add(static_cast<std::uint64_t>(losses));
+      }
       if (on_retransmit_) on_retransmit_(src, dst, now, losses, penalty);
     }
     lat = lat * spike + penalty;

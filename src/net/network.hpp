@@ -27,6 +27,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/random.hpp"
 #include "util/units.hpp"
@@ -125,6 +126,10 @@ class Network {
                                             int, Seconds)>;
   void set_retransmit_hook(RetransmitHook hook) { on_retransmit_ = std::move(hook); }
 
+  /// Attach a metrics registry (nullptr detaches): messages/bytes carried
+  /// and retransmissions performed, all deterministic sim-domain counts.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   NetworkParams params_;
   std::vector<Seconds> tx_free_;
@@ -137,6 +142,9 @@ class Network {
   Rng fault_rng_;
   std::uint64_t retransmissions_ = 0;
   RetransmitHook on_retransmit_;
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_retransmissions_ = nullptr;
 };
 
 }  // namespace gearsim::net

@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace gearsim::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    GEARSIM_REQUIRE(edges_[i - 1] < edges_[i],
+                    "histogram edges must be strictly increasing");
+  }
+  buckets_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper edge admits v; everything past the last
+  // edge lands in the overflow bucket.  Values exactly on an edge belong
+  // to the bucket the edge bounds (v <= edge), so bucket boundaries are
+  // stable under exact re-runs.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - edges_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricSnapshot::Kind kind,
+                                               Domain domain) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    GEARSIM_REQUIRE(it->second.kind == kind,
+                    "metric re-registered with a different kind: " +
+                        std::string(name));
+    GEARSIM_REQUIRE(it->second.domain == domain,
+                    "metric re-registered in a different domain: " +
+                        std::string(name));
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.domain = domain;
+  return entries_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Domain domain) {
+  return entry(name, MetricSnapshot::Kind::kCounter, domain).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Gauge::Kind kind,
+                              Domain domain) {
+  const auto snap_kind = kind == Gauge::Kind::kMax
+                             ? MetricSnapshot::Kind::kGaugeMax
+                             : MetricSnapshot::Kind::kGaugeLast;
+  Entry& e = entry(name, snap_kind, domain);
+  e.gauge.kind_ = kind;
+  return e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> edges,
+                                      Domain domain) {
+  Entry& e = entry(name, MetricSnapshot::Kind::kHistogram, domain);
+  if (e.histogram.edges_.empty() && e.histogram.count_ == 0) {
+    e.histogram = Histogram(std::move(edges));
+  } else {
+    GEARSIM_REQUIRE(e.histogram.edges_ == edges,
+                    "histogram re-registered with different edges: " +
+                        std::string(name));
+  }
+  return e.histogram;
+}
+
+Counter* MetricsRegistry::wall_counter(std::string_view name) {
+  return wall_profiling_ ? &counter(name, Domain::kWall) : nullptr;
+}
+
+Gauge* MetricsRegistry::wall_gauge(std::string_view name, Gauge::Kind kind) {
+  return wall_profiling_ ? &gauge(name, kind, Domain::kWall) : nullptr;
+}
+
+Histogram* MetricsRegistry::wall_histogram(std::string_view name,
+                                           std::vector<double> edges) {
+  return wall_profiling_ ? &histogram(name, std::move(edges), Domain::kWall)
+                         : nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot m;
+    m.kind = e.kind;
+    m.domain = e.domain;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        m.count = e.counter.value();
+        break;
+      case MetricSnapshot::Kind::kGaugeMax:
+      case MetricSnapshot::Kind::kGaugeLast:
+        m.value = e.gauge.value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        m.count = e.histogram.count();
+        m.value = e.histogram.sum();
+        m.edges = e.histogram.edges();
+        m.buckets = e.histogram.buckets();
+        break;
+    }
+    snap.metrics.emplace(name, std::move(m));
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, m] : other.metrics) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        counter(name, m.domain).add(m.count);
+        break;
+      case MetricSnapshot::Kind::kGaugeMax:
+        gauge(name, Gauge::Kind::kMax, m.domain).set(m.value);
+        break;
+      case MetricSnapshot::Kind::kGaugeLast:
+        gauge(name, Gauge::Kind::kLast, m.domain).set(m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        Histogram& h = histogram(name, m.edges, m.domain);
+        GEARSIM_REQUIRE(h.buckets_.size() == m.buckets.size(),
+                        "histogram merge shape mismatch: " + name);
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          h.buckets_[i] += m.buckets[i];
+        }
+        h.count_ += m.count;
+        h.sum_ += m.value;
+        break;
+      }
+    }
+  }
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, m] : other.metrics) {
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      metrics.emplace(name, m);
+      continue;
+    }
+    MetricSnapshot& mine = it->second;
+    GEARSIM_REQUIRE(mine.kind == m.kind,
+                    "metric merge kind mismatch: " + name);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        mine.count += m.count;
+        break;
+      case MetricSnapshot::Kind::kGaugeMax:
+        mine.value = std::max(mine.value, m.value);
+        break;
+      case MetricSnapshot::Kind::kGaugeLast:
+        mine.value = m.value;
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        GEARSIM_REQUIRE(mine.edges == m.edges && mine.buckets.size() ==
+                                                     m.buckets.size(),
+                        "histogram merge shape mismatch: " + name);
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          mine.buckets[i] += m.buckets[i];
+        }
+        mine.count += m.count;
+        mine.value += m.value;
+        break;
+    }
+  }
+}
+
+namespace {
+
+const char* kind_name(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGaugeMax: return "gauge_max";
+    case MetricSnapshot::Kind::kGaugeLast: return "gauge_last";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricSnapshot::Kind kind_from_name(const std::string& name) {
+  if (name == "counter") return MetricSnapshot::Kind::kCounter;
+  if (name == "gauge_max") return MetricSnapshot::Kind::kGaugeMax;
+  if (name == "gauge_last") return MetricSnapshot::Kind::kGaugeLast;
+  if (name == "histogram") return MetricSnapshot::Kind::kHistogram;
+  throw ContractError("unknown metric kind: " + name);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json(Domain domain) const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [name, m] : metrics) {
+    if (m.domain != domain) continue;
+    if (!first) s += ',';
+    first = false;
+    s += json::jstr(name) + ":{\"kind\":\"" + kind_name(m.kind) + "\"";
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s += ",\"count\":" + std::to_string(m.count);
+        break;
+      case MetricSnapshot::Kind::kGaugeMax:
+      case MetricSnapshot::Kind::kGaugeLast:
+        s += ",\"value\":" + json::jnum(m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        s += ",\"count\":" + std::to_string(m.count) +
+             ",\"sum\":" + json::jnum(m.value) + ",\"edges\":[";
+        for (std::size_t i = 0; i < m.edges.size(); ++i) {
+          if (i) s += ',';
+          s += json::jnum(m.edges[i]);
+        }
+        s += "],\"buckets\":[";
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          if (i) s += ',';
+          s += std::to_string(m.buckets[i]);
+        }
+        s += ']';
+        break;
+      }
+    }
+    s += '}';
+  }
+  s += '}';
+  return s;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  // Two top-level sections so consumers can diff the deterministic core
+  // while ignoring wall-clock noise wholesale.
+  return "{\"sim\":" + to_json(Domain::kSim) +
+         ",\"wall\":" + to_json(Domain::kWall) + "}";
+}
+
+void merge_metrics_section(const json::Value& section, Domain domain,
+                           MetricsSnapshot& snap) {
+  for (const auto& [name, mv] : section.as_object()) {
+    const json::Object& mo = mv.as_object();
+    MetricSnapshot m;
+    m.domain = domain;
+    m.kind = kind_from_name(json::field(mo, "kind").as_string());
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        m.count = json::field(mo, "count").as_u64();
+        break;
+      case MetricSnapshot::Kind::kGaugeMax:
+      case MetricSnapshot::Kind::kGaugeLast:
+        m.value = json::field(mo, "value").as_double();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        m.count = json::field(mo, "count").as_u64();
+        m.value = json::field(mo, "sum").as_double();
+        for (const json::Value& e : json::field(mo, "edges").as_array()) {
+          m.edges.push_back(e.as_double());
+        }
+        for (const json::Value& b : json::field(mo, "buckets").as_array()) {
+          m.buckets.push_back(b.as_u64());
+        }
+        GEARSIM_REQUIRE(m.buckets.size() == m.edges.size() + 1,
+                        "histogram bucket/edge count mismatch: " + name);
+        break;
+    }
+    snap.metrics.emplace(name, std::move(m));
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(std::string_view text) {
+  const json::Value root = json::parse(text);
+  const json::Object& o = root.as_object();
+  MetricsSnapshot snap;
+  for (const Domain domain : {Domain::kSim, Domain::kWall}) {
+    const char* section = domain == Domain::kSim ? "sim" : "wall";
+    if (const json::Value* sec = json::find(o, section)) {
+      merge_metrics_section(*sec, domain, snap);
+    }
+  }
+  return snap;
+}
+
+}  // namespace gearsim::obs

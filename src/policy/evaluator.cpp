@@ -66,8 +66,8 @@ std::vector<double> slowdown_ladder(
 
 Evaluation PolicyEvaluator::evaluate(const cluster::Workload& workload,
                                      int nodes) const {
-  exec::SweepRunner runner(
-      config_, {options_.jobs, options_.cache, options_.faults});
+  exec::SweepRunner runner(config_, {options_.jobs, options_.cache,
+                                     options_.faults, options_.metrics});
 
   Evaluation eval;
   eval.workload = workload.name();

@@ -17,6 +17,7 @@
 #include "cluster/config.hpp"
 #include "cluster/experiment.hpp"
 #include "exec/result_cache.hpp"
+#include "obs/metrics.hpp"
 #include "report/svg_plot.hpp"
 
 namespace gearsim::policy {
@@ -55,6 +56,9 @@ class PolicyEvaluator {
     exec::ResultCache* cache = nullptr;
     /// Optional fault plan applied to every run (must outlive the call).
     const faults::FaultPlan* faults = nullptr;
+    /// Optional metrics registry, forwarded to the underlying
+    /// exec::SweepRunner (not owned; see exec::SweepOptions::metrics).
+    obs::MetricsRegistry* metrics = nullptr;
     /// Safety factor handed to the bottleneck planner and SlackReclaimer.
     double safety = 0.9;
     /// SlackReclaimer's performance-loss budget.

@@ -107,6 +107,12 @@ class SlackReclaimer final : public RuntimeController {
   Params params_;
   WaitPredictor predictor_;
   std::vector<RankState> state_;
+  // Counter handles (null without a registry), refreshed in reset().
+  obs::Counter* m_parks_ = nullptr;
+  obs::Counter* m_votes_ = nullptr;
+  obs::Counter* m_downshifts_ = nullptr;
+  obs::Counter* m_upshifts_ = nullptr;
+  obs::Counter* m_backoffs_ = nullptr;
 };
 
 class SlackReclaimerFactory final : public cluster::PolicyFactory {

@@ -22,14 +22,18 @@ std::string TimeoutDownshift::signature() const {
          ",alpha=" + cluster::sig_value(params_.alpha) + "}";
 }
 
-void TimeoutDownshift::reset(int nprocs) { predictor_.reset(nprocs); }
+void TimeoutDownshift::reset(int nprocs) {
+  predictor_.reset(nprocs);
+  m_parks_ = policy_counter("policy.predictive_parks");
+}
 
 void TimeoutDownshift::observe_blocking_enter(int rank, mpi::CallType type,
                                               Bytes bytes, Seconds) {
   const double predicted = predictor_.predict(rank, type, bytes);
+  const bool park = predicted > params_.timeout.value();
   comm_gears_[static_cast<std::size_t>(rank)] =
-      predicted > params_.timeout.value() ? params_.park_gear
-                                          : params_.compute_gear;
+      park ? params_.park_gear : params_.compute_gear;
+  if (park && m_parks_ != nullptr) m_parks_->add();
 }
 
 void TimeoutDownshift::observe_blocking_exit(int rank, mpi::CallType type,

@@ -51,6 +51,7 @@ class TimeoutDownshift final : public RuntimeController {
  private:
   Params params_;
   WaitPredictor predictor_;
+  obs::Counter* m_parks_ = nullptr;  ///< Refreshed in reset().
 };
 
 class TimeoutDownshiftFactory final : public cluster::PolicyFactory {

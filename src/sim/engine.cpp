@@ -86,6 +86,18 @@ void Process::terminate() {
 
 Engine::~Engine() { terminate_processes(); }
 
+void Engine::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_events_ = nullptr;
+    m_spawned_ = nullptr;
+    m_queue_high_water_ = nullptr;
+    return;
+  }
+  m_events_ = &metrics->counter("sim.engine.events_dispatched");
+  m_spawned_ = &metrics->counter("sim.engine.processes_spawned");
+  m_queue_high_water_ = &metrics->gauge("sim.engine.queue_high_water");
+}
+
 void Engine::terminate_processes() {
   for (auto& p : processes_) p->terminate();
 }
@@ -93,6 +105,9 @@ void Engine::terminate_processes() {
 void Engine::schedule_at(Seconds t, EventFn fn) {
   GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
   queue_.push(t, std::move(fn));
+  if (m_queue_high_water_ != nullptr) {
+    m_queue_high_water_->set(static_cast<double>(queue_.size()));
+  }
 }
 
 void Engine::schedule_after(Seconds dt, EventFn fn) {
@@ -108,6 +123,7 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
   ref.state_ = Process::State::kReady;
   schedule_at(now_, [&ref] { ref.resume(); });
   processes_.push_back(std::move(proc));
+  if (m_spawned_ != nullptr) m_spawned_->add();
   return ref;
 }
 
@@ -116,6 +132,7 @@ void Engine::dispatch_one() {
   EventFn fn = queue_.pop(t);
   now_ = t;
   ++events_executed_;
+  if (m_events_ != nullptr) m_events_->add();
   fn();
 }
 

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 #include "util/units.hpp"
@@ -123,6 +124,12 @@ class Engine {
   /// Number of events executed so far (for microbenchmarks/tests).
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Attach a metrics registry (nullptr detaches).  The engine then
+  /// reports events dispatched, processes spawned and the event-queue
+  /// high-water mark — all sim-domain facts, so attaching a registry
+  /// never perturbs simulation results.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   friend class Process;
   void dispatch_one();
@@ -134,6 +141,9 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::uint64_t events_executed_ = 0;
   bool running_ = false;
+  obs::Counter* m_events_ = nullptr;
+  obs::Counter* m_spawned_ = nullptr;
+  obs::Gauge* m_queue_high_water_ = nullptr;
 };
 
 }  // namespace gearsim::sim

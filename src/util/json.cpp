@@ -1,0 +1,278 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace gearsim::json {
+
+bool Value::is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+bool Value::is_number() const { return std::holds_alternative<std::string>(v); }
+bool Value::is_string() const {
+  return std::holds_alternative<std::shared_ptr<std::string>>(v);
+}
+bool Value::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(v);
+}
+bool Value::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(v);
+}
+
+bool Value::as_bool() const {
+  GEARSIM_REQUIRE(std::holds_alternative<bool>(v), "expected JSON bool");
+  return std::get<bool>(v);
+}
+
+double Value::as_double() const {
+  GEARSIM_REQUIRE(is_number(), "expected JSON number");
+  const std::string& tok = std::get<std::string>(v);
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
+                  "bad JSON number: " + tok);
+  return out;
+}
+
+std::uint64_t Value::as_u64() const {
+  GEARSIM_REQUIRE(is_number(), "expected JSON number");
+  const std::string& tok = std::get<std::string>(v);
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  GEARSIM_REQUIRE(ec == std::errc() && ptr == tok.data() + tok.size(),
+                  "bad JSON integer: " + tok);
+  return out;
+}
+
+int Value::as_int() const { return static_cast<int>(as_double()); }
+
+const std::string& Value::as_string() const {
+  GEARSIM_REQUIRE(is_string(), "expected JSON string");
+  return *std::get<std::shared_ptr<std::string>>(v);
+}
+
+const Object& Value::as_object() const {
+  GEARSIM_REQUIRE(is_object(), "expected JSON object");
+  return *std::get<std::shared_ptr<Object>>(v);
+}
+
+const Array& Value::as_array() const {
+  GEARSIM_REQUIRE(is_array(), "expected JSON array");
+  return *std::get<std::shared_ptr<Array>>(v);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    const Value v = value();
+    skip_ws();
+    GEARSIM_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    GEARSIM_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    GEARSIM_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                    std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': literal("true"); return Value{true};
+      case 'f': literal("false"); return Value{false};
+      case 'n': literal("null"); return Value{nullptr};
+      default: return number();
+    }
+  }
+
+  void literal(std::string_view word) {
+    GEARSIM_REQUIRE(text_.substr(pos_, word.size()) == word,
+                    "bad JSON literal");
+    pos_ += word.size();
+  }
+
+  Value object() {
+    expect('{');
+    auto obj = std::make_shared<Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(obj)};
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      (*obj)[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{std::move(obj)};
+    }
+  }
+
+  Value array() {
+    expect('[');
+    auto arr = std::make_shared<Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(arr)};
+    }
+    for (;;) {
+      arr->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{std::move(arr)};
+    }
+  }
+
+  Value string_value() {
+    return Value{std::make_shared<std::string>(raw_string())};
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      GEARSIM_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      GEARSIM_REQUIRE(pos_ < text_.size(), "dangling escape in JSON string");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          GEARSIM_REQUIRE(pos_ + 4 <= text_.size(), "short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else GEARSIM_REQUIRE(false, "bad \\u escape");
+          }
+          // The emitter only produces \u00xx control escapes; reject the
+          // rest rather than mis-decode them.
+          GEARSIM_REQUIRE(code < 0x80, "unsupported \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: GEARSIM_REQUIRE(false, "bad escape in JSON string");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    GEARSIM_REQUIRE(pos_ > start, "expected JSON number");
+    return Value{std::string(text_.substr(start, pos_ - start))};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+const Value& field(const Object& obj, std::string_view name) {
+  const auto it = obj.find(name);
+  GEARSIM_REQUIRE(it != obj.end(),
+                  "missing JSON field: " + std::string(name));
+  return it->second;
+}
+
+const Value* find(const Object& obj, std::string_view name) {
+  const auto it = obj.find(name);
+  return it != obj.end() ? &it->second : nullptr;
+}
+
+std::string jnum(double v) {
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(
+      buf, buf + sizeof(buf), v, std::chars_format::general,
+      std::numeric_limits<double>::max_digits10);
+  GEARSIM_ENSURE(ec == std::errc(), "double rendering failed");
+  return std::string(buf, ptr);
+}
+
+std::string jstr(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace gearsim::json

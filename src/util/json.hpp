@@ -1,0 +1,66 @@
+// Minimal JSON tree, parser and canonical emission helpers.
+//
+// Extracted from exec/result_io.cpp so every layer that speaks JSON — the
+// on-disk result cache, the observability manifests (src/obs/), the bench
+// harness and the bench_compare gate — shares one dialect:
+//   * numbers keep their raw token on parse, so integers convert exactly
+//     and doubles round-trip bit-identically;
+//   * emission renders doubles at max_digits10 (jnum), escapes control
+//     characters (jstr), and objects built from std::map serialize in
+//     sorted key order — the canonical form the regression gate diffs.
+// The parser accepts only what the emitters produce (ASCII strings,
+// \u00xx control escapes); it is a data format, not a general JSON lib.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace gearsim::json {
+
+struct Value;
+/// std::less<> enables string_view lookups; std::map iteration order is
+/// the canonical (sorted) serialization order.
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+struct Value {
+  // Numbers keep their raw token so integer fields convert exactly.
+  std::variant<std::nullptr_t, bool, std::string /*number token*/,
+               std::shared_ptr<std::string> /*string*/,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_number() const;
+  [[nodiscard]] bool is_string() const;
+  [[nodiscard]] bool is_object() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] int as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] const Array& as_array() const;
+};
+
+/// Parse one complete JSON document; throws ContractError on malformed
+/// input or trailing bytes.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Required object member; throws ContractError when absent.
+[[nodiscard]] const Value& field(const Object& obj, std::string_view name);
+/// Optional object member; nullptr when absent.
+[[nodiscard]] const Value* find(const Object& obj, std::string_view name);
+
+/// Render a double at round-trip precision (max_digits10, shortest form).
+[[nodiscard]] std::string jnum(double v);
+/// Quote + escape a string for JSON emission.
+[[nodiscard]] std::string jstr(std::string_view s);
+
+}  // namespace gearsim::json

@@ -23,19 +23,30 @@
 // independent points over worker threads (bit-identical to serial),
 // --cache DIR skips points already simulated by any earlier invocation
 // (content-addressed; see docs/EXECUTOR.md).
+//
+// `run`, `sweep`, `space`, `faults`, and `policy` accept
+// --metrics PATH: write an obs::RunManifest (config/workload identity,
+// deterministic sim metrics, wall timing) there — see
+// docs/OBSERVABILITY.md.  --wall-profile additionally records wall-clock
+// profiling metrics in the manifest's (never-compared) wall section.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "cluster/experiment.hpp"
+#include "exec/cache_key.hpp"
 #include "exec/result_cache.hpp"
 #include "exec/sweep_runner.hpp"
 #include "model/analytic.hpp"
 #include "model/pipeline.hpp"
 #include "model/tradeoff.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "policy/evaluator.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
@@ -79,6 +90,64 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   return args;
 }
+
+/// --metrics PATH support, shared by every measuring command: owns the
+/// registry handed to the run/sweep layers and writes the manifest on
+/// request.  When --metrics was not given, registry() is null and no
+/// instrumentation runs (the disabled path stays bit-identical).
+class MetricsSink {
+ public:
+  MetricsSink(const Args& args, std::string tool)
+      : path_(args.get("metrics", "")),
+        tool_(std::move(tool)),
+        registry_(args.has("wall-profile")),
+        start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] obs::MetricsRegistry* registry() {
+    return path_.empty() ? nullptr : &registry_;
+  }
+
+  void add_info(std::string key, std::string value) {
+    info_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Identity of the simulated configuration and workload, as cache-key
+  /// hashes (full canonical text is huge; the hash identifies it).
+  void add_identity(const cluster::ClusterConfig& config,
+                    const cluster::Workload& workload) {
+    const std::string config_text = exec::canonical_config(config);
+    add_info("cluster", config.name);
+    add_info("config_sig",
+             exec::CacheKey{config_text, exec::fnv1a(config_text)}.hex());
+    const std::string wsig = workload.signature();
+    add_info("workload", workload.name());
+    add_info("workload_sig", exec::CacheKey{wsig, exec::fnv1a(wsig)}.hex());
+  }
+
+  /// Write the manifest (no-op without --metrics).  `cache_key_format`
+  /// is exec::kKeyFormatVersion for commands that go through the result
+  /// cache, 0 for direct runs.
+  void write(int cache_key_format) {
+    if (path_.empty()) return;
+    obs::RunManifest manifest;
+    manifest.tool = std::move(tool_);
+    manifest.cache_key_format = cache_key_format;
+    manifest.info = std::move(info_);
+    manifest.metrics = registry_.snapshot();
+    manifest.wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_)
+                                .count();
+    obs::write_manifest_file(manifest, path_);
+    std::cout << "wrote " << path_ << '\n';
+  }
+
+ private:
+  std::string path_;
+  std::string tool_;
+  obs::MetricsRegistry registry_;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 cluster::ClusterConfig cluster_by_name(const std::string& name) {
   if (name == "athlon") return cluster::athlon_cluster();
@@ -192,7 +261,15 @@ int cmd_run(const Args& args) {
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int gear = args.get_int("gear", 1);
-  print_run(runner.run(*workload, nodes, static_cast<std::size_t>(gear - 1)));
+  MetricsSink sink(args, "gearsim run");
+  cluster::RunOptions options;
+  options.gear_index = static_cast<std::size_t>(gear - 1);
+  options.metrics = sink.registry();
+  print_run(runner.run(*workload, nodes, options));
+  sink.add_identity(runner.config(), *workload);
+  sink.add_info("nodes", std::to_string(nodes));
+  sink.add_info("gear", std::to_string(gear));
+  sink.write(0);
   return 0;
 }
 
@@ -223,8 +300,10 @@ int cmd_sweep(const Args& args) {
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int repeat = args.get_int("repeat", 1);
+  MetricsSink sink(args, "gearsim sweep");
   exec::SweepOptions options;
   const auto cache = make_sweep_options(args, &options);
+  options.metrics = sink.registry();
   const exec::SweepRunner runner(config, options);
 
   // gears x repetitions as one flat point list, so cache hits and the
@@ -267,6 +346,10 @@ int cmd_sweep(const Args& args) {
   }
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
   print_cache_stats(options.cache);
+  sink.add_identity(config, *workload);
+  sink.add_info("nodes", std::to_string(nodes));
+  sink.add_info("repeat", std::to_string(repeat));
+  sink.write(exec::kKeyFormatVersion);
   return 0;
 }
 
@@ -274,8 +357,10 @@ int cmd_space(const Args& args) {
   const cluster::ClusterConfig config =
       cluster_by_name(args.get("cluster", "athlon"));
   const auto workload = workloads::make_workload(args.get("workload", "LU"));
+  MetricsSink sink(args, "gearsim space");
   exec::SweepOptions options;
   const auto cache = make_sweep_options(args, &options);
+  options.metrics = sink.registry();
   const exec::SweepRunner runner(config, options);
   const std::vector<int> node_counts =
       workloads::paper_node_counts(*workload, config.max_nodes);
@@ -292,6 +377,8 @@ int cmd_space(const Args& args) {
   }
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
   print_cache_stats(options.cache);
+  sink.add_identity(config, *workload);
+  sink.write(exec::kKeyFormatVersion);
   return 0;
 }
 
@@ -360,15 +447,23 @@ int cmd_faults(const Args& args) {
     plan.with_checkpointing(ckpt);
   }
 
+  MetricsSink sink(args, "gearsim faults");
   cluster::RunOptions options;
   options.gear_index = static_cast<std::size_t>(gear - 1);
   options.faults = &plan;
+  options.metrics = sink.registry();
   const cluster::RunResult r = runner.run(*workload, nodes, options);
   std::cout << "fault-free wall " << fmt_fixed(solid.wall.value(), 3)
             << " s, energy " << fmt_fixed(solid.energy.value() / 1e3, 3)
             << " kJ; " << plan.crashes().size()
             << " crash(es) scheduled\n";
   print_run(r);
+  sink.add_identity(runner.config(), *workload);
+  sink.add_info("nodes", std::to_string(nodes));
+  sink.add_info("gear", std::to_string(gear));
+  sink.add_info("seed", std::to_string(seed));
+  sink.add_info("rate_per_hour", args.get("rate", "0"));
+  sink.write(0);
   return 0;
 }
 
@@ -381,11 +476,13 @@ int cmd_policy(const Args& args) {
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 8);
 
+  MetricsSink sink(args, "gearsim policy");
   exec::SweepOptions sweep_options;
   const auto cache = make_sweep_options(args, &sweep_options);
   policy::PolicyEvaluator::Options options;
   options.jobs = sweep_options.jobs;
   options.cache = sweep_options.cache;
+  options.metrics = sink.registry();
   const policy::PolicyEvaluator evaluator(config, options);
 
   const policy::Evaluation eval = evaluator.evaluate(*workload, nodes);
@@ -398,6 +495,9 @@ int cmd_policy(const Args& args) {
         .write(path);
     std::cout << "wrote " << path << '\n';
   }
+  sink.add_identity(config, *workload);
+  sink.add_info("nodes", std::to_string(nodes));
+  sink.write(exec::kKeyFormatVersion);
   return 0;
 }
 
@@ -470,6 +570,9 @@ int usage() {
       "         [--no-restart] [--cluster C]\n"
       "  policy --workload W --nodes N [--jobs J] [--cache DIR]\n"
       "         [--svg FILE] [--cluster C]\n"
+      "run/sweep/space/faults/policy also take --metrics PATH (write an\n"
+      "observability manifest there) and --wall-profile (include\n"
+      "wall-clock profiling metrics in it); see docs/OBSERVABILITY.md\n"
       "clusters: athlon (default), sun, xeon; gears are 1 (fastest) .. 6\n";
   return 2;
 }
