@@ -49,8 +49,7 @@ int run(bench::BenchContext& ctx) {
       for (int i = 0; i < n; ++i) {
         q.push(seconds((i * 7919) % n), [] {});
       }
-      Seconds t{};
-      while (!q.empty()) keep(q.pop(t));
+      while (!q.empty()) keep(q.pop().fn);
     });
   }
 

@@ -57,6 +57,12 @@ struct RunResult {
   std::uint64_t mpi_calls = 0;
   std::uint64_t messages = 0;
   Bytes net_bytes = 0;
+  /// FNV-1a fingerprint of the engine's full event-dispatch order (see
+  /// sim::Engine::order_hash).  Pure determinism probe: equal inputs must
+  /// give equal hashes, for any sweep worker count and through the result
+  /// cache — the regression tripwire for event-kernel changes.  Carries
+  /// no physics; plots and reports never read it.
+  std::uint64_t event_order_hash = 0;
   std::uint64_t gear_switches = 0;  ///< DVFS transitions across all ranks.
   /// Seconds each rank spent at each *requested* gear (outer index rank,
   /// inner index gear; inner size == the cluster's gear count).  Covers

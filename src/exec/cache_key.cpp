@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace gearsim::exec {
 
@@ -24,14 +25,7 @@ std::string num(std::uint64_t v) { return std::to_string(v); }
 
 }  // namespace
 
-std::uint64_t fnv1a(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+std::uint64_t fnv1a(std::string_view bytes) { return util::fnv1a(bytes); }
 
 std::string CacheKey::hex() const {
   static const char* digits = "0123456789abcdef";

@@ -26,7 +26,9 @@ namespace gearsim::exec {
 /// Bump when the canonical text layout changes (retires old disk caches).
 /// v2: policy identity joined the key (|policy=none / |policy=<sig>) and
 /// results grew per-rank gear residency.
-inline constexpr int kKeyFormatVersion = 2;
+/// v3: results grew event_order_hash (the dispatch-order determinism
+/// probe); older cached entries lack the field and must be re-run.
+inline constexpr int kKeyFormatVersion = 3;
 
 /// FNV-1a 64-bit hash of a byte string.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);

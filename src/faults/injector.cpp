@@ -58,8 +58,11 @@ void FaultInjector::arm_crashes(sim::Engine& engine,
                                 std::function<bool()> still_running) {
   GEARSIM_REQUIRE(static_cast<bool>(still_running),
                   "crash events need a liveness predicate");
+  // The whole crash schedule is known up front: submit it as one batch.
+  sim::EventBatch batch;
+  batch.reserve(plan_.crashes().size());
   for (const CrashEvent& ev : plan_.crashes()) {
-    engine.schedule_at(
+    batch.add(
         ev.at, [this, ev, still_running]() {
           // Only the first crash aborts; the run is already over (or
           // already aborted) for the rest.
@@ -72,6 +75,7 @@ void FaultInjector::arm_crashes(sim::Engine& engine,
           throw NodeFailure(ev.node, ev.at);
         });
   }
+  if (!batch.empty()) engine.schedule_batch(batch);
 }
 
 std::size_t FaultInjector::effective_gear(std::size_t node, Seconds now,

@@ -124,12 +124,13 @@ void World::notify_exit(Rank rank, CallType t) {
   for (auto* obs : observers_) obs->on_exit(rank, t, engine_.now());
 }
 
-void World::complete_recv(detail::RecvState& op, const detail::Envelope& env) {
+void World::complete_recv(detail::RecvState& op, const detail::Envelope& env,
+                          sim::EventBatch& wakes) {
   op.complete = true;
   op.status = Status{env.src, env.tag, env.bytes};
   if (env.send_state && !env.send_state->matched) {
     env.send_state->matched = true;
-    if (env.send_state->waiter != nullptr) env.send_state->waiter->wake();
+    if (env.send_state->waiter != nullptr) env.send_state->waiter->wake(wakes);
   }
 }
 
@@ -147,8 +148,12 @@ void World::deliver(Rank dst, detail::Envelope env) {
   }
   const std::shared_ptr<detail::RecvState> op = *it;
   posted.erase(it);
-  complete_recv(*op, env);
-  if (op->waiter != nullptr) op->waiter->wake();
+  // Batch the wake chain: a rendezvous sender's wake (from complete_recv)
+  // and the receiver's wake go to the queue in one operation, sender
+  // first — the order individual schedules produced.
+  complete_recv(*op, env, wake_batch_);
+  if (op->waiter != nullptr) op->waiter->wake(wake_batch_);
+  if (!wake_batch_.empty()) engine_.schedule_batch(wake_batch_);
 }
 
 void World::post_recv(Rank dst, const std::shared_ptr<detail::RecvState>& op) {
@@ -158,8 +163,9 @@ void World::post_recv(Rank dst, const std::shared_ptr<detail::RecvState>& op) {
                                  return op->matches(env);
                                });
   if (it != queue.end()) {
-    complete_recv(*op, *it);
+    complete_recv(*op, *it, wake_batch_);
     queue.erase(it);
+    if (!wake_batch_.empty()) engine_.schedule_batch(wake_batch_);
     return;
   }
   posted_[dst].push_back(op);

@@ -116,7 +116,10 @@ class World {
   void deliver(Rank dst, detail::Envelope env);
   /// Post a receive; matches the unexpected queue first.
   void post_recv(Rank dst, const std::shared_ptr<detail::RecvState>& op);
-  static void complete_recv(detail::RecvState& op, const detail::Envelope& env);
+  /// Complete `op` against `env`; a rendezvous sender's wake is appended
+  /// to `wakes` (submitted by the caller in one batch, sender first).
+  static void complete_recv(detail::RecvState& op, const detail::Envelope& env,
+                            sim::EventBatch& wakes);
 
   sim::Engine& engine_;
   net::Network& network_;
@@ -127,6 +130,12 @@ class World {
   std::vector<CallObserver*> observers_;
   std::uint64_t traced_calls_ = 0;
   int last_context_ = 0;
+  /// Reusable wake batch for the delivery path: one message completion
+  /// can wake a rendezvous sender *and* the receiver — batching submits
+  /// both with a single queue operation (sender first, preserving the
+  /// historical dispatch order).  Safe as a member: delivery runs in
+  /// engine context, one event at a time, and drains it before returning.
+  sim::EventBatch wake_batch_;
 };
 
 }  // namespace gearsim::mpi

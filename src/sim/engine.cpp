@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "util/log.hpp"
@@ -74,6 +75,13 @@ void Process::wake() {
   engine_.schedule_at(engine_.now(), [this] { resume(); });
 }
 
+void Process::wake(EventBatch& into) {
+  GEARSIM_REQUIRE(state_ == State::kBlocked,
+                  "wake() targets a process that is not blocked");
+  state_ = State::kReady;
+  into.add(engine_.now(), [this] { resume(); });
+}
+
 void Process::terminate() {
   if (state_ == State::kFinished) return;
   terminate_requested_ = true;
@@ -91,11 +99,15 @@ void Engine::set_metrics(obs::MetricsRegistry* metrics) {
     m_events_ = nullptr;
     m_spawned_ = nullptr;
     m_queue_high_water_ = nullptr;
+    m_pool_inline_ = nullptr;
+    m_pool_fallback_ = nullptr;
     return;
   }
   m_events_ = &metrics->counter("sim.engine.events_dispatched");
   m_spawned_ = &metrics->counter("sim.engine.processes_spawned");
   m_queue_high_water_ = &metrics->gauge("sim.engine.queue_high_water");
+  m_pool_inline_ = &metrics->counter("sim.engine.pool.inline_events");
+  m_pool_fallback_ = &metrics->counter("sim.engine.pool.fallback_allocs");
 }
 
 void Engine::terminate_processes() {
@@ -104,6 +116,7 @@ void Engine::terminate_processes() {
 
 void Engine::schedule_at(Seconds t, EventFn fn) {
   GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
+  count_pool_path(fn.on_heap());
   queue_.push(t, std::move(fn));
   if (m_queue_high_water_ != nullptr) {
     m_queue_high_water_->set(static_cast<double>(queue_.size()));
@@ -113,6 +126,27 @@ void Engine::schedule_at(Seconds t, EventFn fn) {
 void Engine::schedule_after(Seconds dt, EventFn fn) {
   GEARSIM_REQUIRE(dt.value() >= 0.0, "negative event delay");
   schedule_at(now_ + dt, std::move(fn));
+}
+
+void Engine::schedule_batch(EventBatch& batch) {
+  batch.visit_meta([this](Seconds t, bool on_heap) {
+    GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
+    count_pool_path(on_heap);
+  });
+  queue_.push_batch(batch);
+  if (m_queue_high_water_ != nullptr) {
+    m_queue_high_water_->set(static_cast<double>(queue_.size()));
+  }
+}
+
+void Engine::count_pool_path(bool on_heap) {
+  if (on_heap) {
+    ++pool_fallback_allocs_;
+    if (m_pool_fallback_ != nullptr) m_pool_fallback_->add();
+  } else {
+    ++pool_inline_events_;
+    if (m_pool_inline_ != nullptr) m_pool_inline_->add();
+  }
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
@@ -127,13 +161,31 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
   return ref;
 }
 
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
+                       EventBatch& into) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body)));
+  Process& ref = *proc;
+  ref.start_thread();
+  ref.state_ = Process::State::kReady;
+  into.add(now_, [&ref] { ref.resume(); });
+  processes_.push_back(std::move(proc));
+  if (m_spawned_ != nullptr) m_spawned_->add();
+  return ref;
+}
+
 void Engine::dispatch_one() {
-  Seconds t{};
-  EventFn fn = queue_.pop(t);
-  now_ = t;
+  EventQueue::Popped ev = queue_.pop();
+  now_ = ev.time;
   ++events_executed_;
+  // Dispatch-order fingerprint: the time identifies *when*, the insertion
+  // seq identifies *which* of several simultaneous events ran — together
+  // they pin the exact execution order of the whole run.
+  order_hash_ = util::fnv1a_mix(order_hash_,
+                                std::bit_cast<std::uint64_t>(ev.time.value()));
+  order_hash_ = util::fnv1a_mix(order_hash_, ev.seq);
   if (m_events_ != nullptr) m_events_->add();
-  fn();
+  ev.fn();
 }
 
 void Engine::check_deadlock() const {

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 #include "util/units.hpp"
 
 namespace gearsim::sim {
@@ -52,6 +53,13 @@ class Process {
   /// Make a blocked process runnable again at the current simulated time.
   /// Must be called from engine context or another running process.
   void wake();
+
+  /// Batched variant: mark the process ready and append its resume event
+  /// to `into` instead of scheduling immediately.  The caller submits the
+  /// batch via Engine::schedule_batch; until then the process must not be
+  /// woken again.  Lets the MPI delivery path wake a rendezvous sender
+  /// and the receiver with a single queue operation.
+  void wake(EventBatch& into);
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] bool finished() const { return state_ == State::kFinished; }
@@ -100,8 +108,22 @@ class Engine {
   /// Schedule `fn` after a non-negative delay.
   void schedule_after(Seconds dt, EventFn fn);
 
+  /// Submit every event of `batch` (each at time >= now()) with one queue
+  /// operation.  Sequence numbers are assigned in submission order, so
+  /// the dispatch order is exactly what individual schedule_at calls
+  /// would have produced.  Drains the batch but keeps its capacity —
+  /// hot-path callers reuse one instance.
+  void schedule_batch(EventBatch& batch);
+
   /// Create a process that starts at the current simulated time.
   Process& spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Batched variant: the start event is appended to `into` instead of
+  /// being scheduled immediately; the caller submits the batch via
+  /// schedule_batch.  Lets the experiment runner launch all ranks with a
+  /// single queue operation.
+  Process& spawn(std::string name, std::function<void(Process&)> body,
+                 EventBatch& into);
 
   /// Run until the event queue drains.  Throws SimulationError if
   /// processes remain blocked with no pending events (deadlock), and
@@ -124,6 +146,24 @@ class Engine {
   /// Number of events executed so far (for microbenchmarks/tests).
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Running FNV-1a fingerprint of the dispatch order: every executed
+  /// event folds its (time, insertion seq) pair in.  Two runs of the same
+  /// scenario are event-for-event identical iff their hashes match, which
+  /// is the determinism contract queue changes are verified against
+  /// (golden hashes in sim_test, cross-path checks in the sweep tests).
+  [[nodiscard]] std::uint64_t order_hash() const { return order_hash_; }
+
+  /// Events whose capture fit EventFn's inline buffer (the fast path).
+  [[nodiscard]] std::uint64_t pool_inline_events() const {
+    return pool_inline_events_;
+  }
+  /// Events whose capture overflowed to a heap allocation.  Kept near
+  /// zero by sizing EventFn::kInlineCapacity for the library's real
+  /// captures; the microbench_engine baseline gates regressions.
+  [[nodiscard]] std::uint64_t pool_fallback_allocs() const {
+    return pool_fallback_allocs_;
+  }
+
   /// Attach a metrics registry (nullptr detaches).  The engine then
   /// reports events dispatched, processes spawned and the event-queue
   /// high-water mark — all sim-domain facts, so attaching a registry
@@ -133,6 +173,7 @@ class Engine {
  private:
   friend class Process;
   void dispatch_one();
+  void count_pool_path(bool on_heap);
   void check_deadlock() const;
   void rethrow_process_error();
 
@@ -140,10 +181,15 @@ class Engine {
   Seconds now_{0.0};
   std::vector<std::unique_ptr<Process>> processes_;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t order_hash_ = util::kFnv1aOffset;
+  std::uint64_t pool_inline_events_ = 0;
+  std::uint64_t pool_fallback_allocs_ = 0;
   bool running_ = false;
   obs::Counter* m_events_ = nullptr;
   obs::Counter* m_spawned_ = nullptr;
   obs::Gauge* m_queue_high_water_ = nullptr;
+  obs::Counter* m_pool_inline_ = nullptr;
+  obs::Counter* m_pool_fallback_ = nullptr;
 };
 
 }  // namespace gearsim::sim

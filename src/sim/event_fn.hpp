@@ -1,0 +1,157 @@
+// Small-buffer-optimized, move-only callable for simulation events.
+//
+// The engine dispatches millions of events per sweep, and with
+// std::function every one of them paid a heap allocation for its capture
+// (plus the matching free on dispatch).  EventFn stores captures up to
+// kInlineCapacity bytes directly inside the object — sized for every
+// capture the engine/net/mpi/faults layers actually create (the largest
+// is a crash event: this + CrashEvent + a std::function liveness
+// predicate, 56 bytes on LP64) — and falls back to the heap only for
+// oversized captures.  The engine counts both paths (see
+// Engine::pool_fallback_allocs) so a capture outgrowing the buffer shows
+// up in the bench-regression gate instead of silently re-introducing the
+// per-event allocation.
+//
+// Dispatch semantics the queue relies on:
+//   * move-only (captures own shared_ptrs, std::functions, ...);
+//   * relocation via the Ops vtable is noexcept, so the queue's pool can
+//     move entries without ever being left in a half-moved state;
+//   * invocation may throw (fault injection aborts a run by throwing
+//     NodeFailure out of an event body) — exceptions propagate.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace gearsim::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget.  Raising it trades queue-entry size for
+  /// fewer fallback allocations; the microbench_engine baseline pins the
+  /// current fallback count so growth is a reviewed decision.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename Fn = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<Fn, EventFn> &&
+                                 std::is_invocable_r_v<void, Fn&>,
+                             int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): callables convert
+  // implicitly, matching the std::function-based API this replaces.
+  EventFn(F&& f) {  // NOLINT(bugprone-forwarding-reference-overload)
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    GEARSIM_REQUIRE(ops_ != nullptr, "invoking an empty EventFn");
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// True when the capture exceeded kInlineCapacity and lives on the
+  /// heap — the slow path the engine's pool metrics count.
+  [[nodiscard]] bool on_heap() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+ private:
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable into `dst` and destroy the `src`
+    /// copy.  noexcept by construction (inline storage requires a
+    /// nothrow move; the heap path moves a raw pointer).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static Fn* inline_obj(void* storage) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn*& heap_obj(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<Fn**>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*inline_obj<Fn>(s))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* f = inline_obj<Fn>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) noexcept { inline_obj<Fn>(s)->~Fn(); },
+      false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*heap_obj<Fn>(s))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn*(heap_obj<Fn>(src));
+      },
+      [](void* s) noexcept { delete heap_obj<Fn>(s); },
+      true,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gearsim::sim

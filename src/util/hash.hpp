@@ -1,0 +1,39 @@
+// FNV-1a 64-bit hashing, shared by the cache-key layer (content
+// addressing) and the simulation engine (event-dispatch order hashes).
+//
+// FNV-1a is not cryptographic; it is a fast, well-distributed stream
+// hash whose incremental form (`fnv1a_mix`) lets the engine fold one
+// (time, seq) pair per dispatched event into a running fingerprint
+// without buffering anything.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gearsim::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Fold the 8 bytes of `v` (little-endian order) into hash state `h`.
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix(std::uint64_t h,
+                                                std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xffU;
+    h *= kFnv1aPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+/// FNV-1a 64-bit hash of a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnv1aOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace gearsim::util

@@ -1,0 +1,225 @@
+// Focused tests for the pooled event queue and the small-buffer EventFn:
+// FIFO ordering under interleaved push/pop at equal timestamps (the
+// const_cast move-from-top regression), scheduling-time validation,
+// batched submission, and the inline/heap capture paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace gearsim::sim {
+namespace {
+
+// Satellite of the kernel rewrite: the old pop() move-constructed from a
+// const_cast of the priority_queue top and then called std::pop_heap,
+// which compared (and moved) the moved-from entry.  The new pop extracts
+// the callable from its pool slot before any re-heapify, so every pop
+// must yield a valid, invocable callback in exact (time, seq) order even
+// when pops interleave with pushes at equal timestamps.
+TEST(EventQueue, InterleavedEqualTimePushesPopFifoWithValidCallbacks) {
+  EventQueue q;
+  std::vector<int> fired;
+  const Seconds t = seconds(1.0);
+  q.push(t, [&] { fired.push_back(0); });
+  q.push(t, [&] { fired.push_back(1); });
+
+  EventQueue::Popped first = q.pop();
+  ASSERT_TRUE(static_cast<bool>(first.fn));
+  first.fn();
+
+  // Push more events at the *same* timestamp between pops; they must
+  // sort after the still-queued earlier event.
+  q.push(t, [&] { fired.push_back(2); });
+  q.push(t, [&] { fired.push_back(3); });
+
+  while (!q.empty()) {
+    EventQueue::Popped p = q.pop();
+    ASSERT_TRUE(static_cast<bool>(p.fn));
+    EXPECT_EQ(p.time, t);
+    p.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, PopReportsMonotonicSeqForEqualTimes) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.push(seconds(2.0), [] {});
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  while (!q.empty()) {
+    const EventQueue::Popped p = q.pop();
+    if (!first) {
+      EXPECT_GT(p.seq, prev_seq);
+    }
+    prev_seq = p.seq;
+    first = false;
+  }
+}
+
+TEST(EventQueue, InterleavedAcrossTimesStaysSorted) {
+  EventQueue q;
+  std::vector<double> order;
+  // Deterministic scatter of timestamps, popping half-way through.
+  for (int i = 0; i < 100; ++i) {
+    q.push(seconds(static_cast<double>((i * 37) % 50)),
+           [&order, i] { order.push_back(static_cast<double>((i * 37) % 50)); });
+    if (i % 3 == 2) q.pop().fn();
+  }
+  while (!q.empty()) q.pop().fn();
+  // Events popped after a given pop may predate it (they were pushed
+  // later), so global sortedness is not expected — but re-running the
+  // remaining queue alone must be sorted.  Check the tail drain instead:
+  // drain a fresh queue fully and require sorted order.
+  EventQueue q2;
+  std::vector<double> drained;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>((i * 37) % 50);
+    q2.push(seconds(t), [&drained, t] { drained.push_back(t); });
+  }
+  while (!q2.empty()) q2.pop().fn();
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+  EXPECT_EQ(drained.size(), 100U);
+}
+
+TEST(EventQueue, RejectsNonFiniteAndNegativeTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.push(seconds(std::numeric_limits<double>::quiet_NaN()), [] {}),
+               ContractError);
+  EXPECT_THROW(q.push(seconds(-std::numeric_limits<double>::infinity()), [] {}),
+               ContractError);
+  EXPECT_THROW(q.push(seconds(std::numeric_limits<double>::infinity()), [] {}),
+               ContractError);
+  EXPECT_THROW(q.push(seconds(-1.0), [] {}), ContractError);
+  EXPECT_TRUE(q.empty());
+  q.push(seconds(0.0), [] {});  // Zero is a valid (start-of-run) time.
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueue, EngineRejectsSchedulingBeforeNow) {
+  Engine e;
+  e.schedule_at(seconds(1.0), [&] {
+    EXPECT_THROW(e.schedule_at(seconds(std::nan("")), [] {}), ContractError);
+    EXPECT_THROW(e.schedule_at(seconds(0.5), [] {}), ContractError);
+  });
+  e.run();
+}
+
+TEST(EventQueue, BatchSubmissionMatchesIndividualPushOrder) {
+  std::vector<int> individual;
+  {
+    EventQueue q;
+    q.push(seconds(1.0), [&] { individual.push_back(10); });
+    q.push(seconds(0.5), [&] { individual.push_back(5); });
+    q.push(seconds(1.0), [&] { individual.push_back(11); });
+    while (!q.empty()) q.pop().fn();
+  }
+  std::vector<int> batched;
+  {
+    EventQueue q;
+    EventBatch b;
+    b.add(seconds(1.0), [&] { batched.push_back(10); });
+    b.add(seconds(0.5), [&] { batched.push_back(5); });
+    b.add(seconds(1.0), [&] { batched.push_back(11); });
+    q.push_batch(b);
+    EXPECT_TRUE(b.empty());  // Drained, reusable.
+    while (!q.empty()) q.pop().fn();
+  }
+  EXPECT_EQ(individual, (std::vector<int>{5, 10, 11}));
+  EXPECT_EQ(batched, individual);
+}
+
+TEST(EventQueue, BatchValidationRejectsBadTimes) {
+  Engine e;
+  EventBatch b;
+  b.add(seconds(std::numeric_limits<double>::quiet_NaN()), [] {});
+  EXPECT_THROW(e.schedule_batch(b), ContractError);
+}
+
+TEST(EventQueue, PoolSlotsAreReusedUnderChurn) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) q.push(seconds(i), [] {});
+  const std::size_t warm = q.pool_capacity();
+  for (int i = 0; i < 1000; ++i) {
+    EventQueue::Popped p = q.pop();
+    q.push(p.time + seconds(1.0), [] {});
+  }
+  EXPECT_EQ(q.pool_capacity(), warm);  // Steady-state churn: no growth.
+}
+
+// --- EventFn: inline vs heap capture paths ------------------------------
+
+TEST(EventFn, SmallCapturesStayInline) {
+  int hits = 0;
+  EventFn f{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.on_heap());
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, OversizedCapturesFallBackToHeapAndStillRun) {
+  struct Big {
+    double payload[12] = {};  // 96 bytes > kInlineCapacity.
+  };
+  Big big;
+  big.payload[7] = 42.0;
+  double seen = 0.0;
+  EventFn f{[big, &seen] { seen = big.payload[7]; }};
+  EXPECT_TRUE(f.on_heap());
+  f();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(EventFn, MovePreservesCaptureAndEmptiesSource) {
+  auto flag = std::make_shared<int>(0);
+  EventFn a{[flag] { ++*flag; }};
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*flag, 1);
+  // Captured state is owned: the shared_ptr count reflects one live copy.
+  EXPECT_EQ(flag.use_count(), 2);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*flag, 2);
+}
+
+TEST(EventFn, InvokingEmptyFnIsAContractError) {
+  EventFn f;
+  EXPECT_THROW(f(), ContractError);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    EventFn f{[token] { (void)*token; }};
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // Capture keeps it alive.
+    EventFn g = std::move(f);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // Both shells destroyed; freed once.
+}
+
+TEST(EventFn, ExceptionsPropagateOutOfInvocation) {
+  EventFn f{[] { throw std::runtime_error("boom"); }};
+  EXPECT_THROW(f(), std::runtime_error);
+  // The callable survives a throwing invocation (the fault layer's crash
+  // events throw NodeFailure through here).
+  EXPECT_TRUE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace gearsim::sim
