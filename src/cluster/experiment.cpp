@@ -13,6 +13,7 @@
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
 #include "util/assert.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace gearsim::cluster {
@@ -93,6 +94,14 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   GearPolicy* policy = options.policy;
   GEARSIM_REQUIRE(nodes >= 1 && nodes <= config_.max_nodes,
                   "node count outside the cluster");
+  // Deterministic fault injection for the supervision/strict-mode tests:
+  // lets a test fail run N through the full stack without a bespoke
+  // throwing workload.  One relaxed atomic load when disarmed.
+  if (util::failpoint("cluster.run.throw")) {
+    throw SimulationError("failpoint cluster.run.throw fired (" +
+                          workload.name() + ", " + std::to_string(nodes) +
+                          " nodes)");
+  }
   // Reset any per-run controller state before the first gear query; for
   // static policies this is a no-op (or a rank-count check).  Metrics are
   // attached first so begin_run can register the policy's counters.

@@ -1,61 +1,134 @@
 #include "exec/result_cache.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "exec/result_io.hpp"
+#include "exec/store.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
+#include "util/failpoint.hpp"
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cstdio>
+#include <unistd.h>
+#define GEARSIM_HAVE_FSYNC 1
+#endif
 
 namespace gearsim::exec {
 
 namespace {
 
-// A disk entry is a two-field JSON object.  The key text is emitted with
-// the same escaping as result_io strings; since canonical keys never
-// contain quotes/backslashes/control bytes, a plain find() locates the
-// "result" object reliably.
-std::string render_disk_entry(const std::string& key_text,
-                              const cluster::RunResult& result) {
-  return "{\"format\":" + std::to_string(kKeyFormatVersion) +
-         ",\"key\":\"" + key_text + "\",\"result\":" + to_json(result) +
-         "}\n";
+/// Unique-per-writer temp name: pid + a process-wide counter, so two
+/// processes (or threads) racing on one key never interleave bytes in a
+/// shared temp file, and a crashed writer's leftovers are recognizable
+/// by the ".tmp." infix (sweep_stale_tmp).
+std::string make_tmp_path(const std::string& final_path) {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(GEARSIM_HAVE_FSYNC)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return final_path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Write `bytes` to `path` and flush them to stable storage before
+/// returning (fsync on POSIX).  Returns false on any failure.
+bool write_durable(const std::string& path, std::string_view bytes) {
+#if defined(GEARSIM_HAVE_FSYNC)
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = wrote && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  return wrote && flushed && closed;
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
+#endif
 }
 
 }  // namespace
 
 ResultCache::ResultCache(Options options) : options_(std::move(options)) {
   GEARSIM_REQUIRE(options_.capacity > 0, "cache capacity must be positive");
+  if (!options_.disk_dir.empty()) {
+    // Hygiene: a writer killed between write and rename leaves a `.tmp.`
+    // file behind.  Lookups never read temp names, so these can only
+    // waste space — sweep them now.
+    stats_.stale_tmp_swept = sweep_stale_tmp(options_.disk_dir);
+  }
 }
 
 std::string ResultCache::disk_path(const CacheKey& key) const {
   return options_.disk_dir + "/" + key.hex() + ".json";
 }
 
+void ResultCache::note_corrupt(const std::string& path,
+                               const std::string& reason) {
+  ++stats_.corrupt;
+  const std::string quarantined_to = quarantine_entry(path);
+  if (!quarantined_to.empty()) ++stats_.quarantined;
+  // Warn once per offending path: a sweep probing a corrupt entry
+  // thousands of times must not flood the log.
+  if (warned_paths_.insert(path).second) {
+    GEARSIM_WARN("result store: corrupt entry "
+                 << path << " (" << reason << ") — "
+                 << (quarantined_to.empty()
+                         ? std::string("quarantine failed, left in place")
+                         : "quarantined to " + quarantined_to)
+                 << "; treating as a miss");
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("exec.store.corrupt").add(1);
+    if (!quarantined_to.empty()) {
+      options_.metrics->counter("exec.store.quarantined").add(1);
+    }
+  }
+}
+
 std::optional<cluster::RunResult> ResultCache::disk_lookup(
     const CacheKey& key) {
   if (options_.disk_dir.empty()) return std::nullopt;
-  std::ifstream in(disk_path(key));
-  if (!in) return std::nullopt;
+  const std::string path = disk_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // Absent: a plain miss.
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
 
+  // Integrity first: header shape, payload length, checksum.  Anything
+  // torn, flipped, or pre-v3 is quarantined and reads as a miss.
+  const StoreValidation validation = validate_store_bytes(text);
+  if (!validation.ok) {
+    note_corrupt(path, validation.error);
+    return std::nullopt;
+  }
+
   // Verify the stored key text matches the probe exactly — a hash
-  // collision (or a stale format) must read as a miss.
-  const std::string want = "\"key\":\"" + key.text + "\",\"result\":";
-  const std::size_t at = text.find(want);
-  if (at == std::string::npos) return std::nullopt;
-  const std::size_t start = at + want.size();
-  // The result object runs to the entry's closing brace.
-  std::size_t end = text.find_last_of('}');
-  if (end == std::string::npos || end <= start) return std::nullopt;
+  // collision (or a reused file name) must read as a miss, not an error.
+  const auto result_json = payload_result_json(validation.payload, key.text);
+  if (!result_json.has_value()) return std::nullopt;
   try {
-    return result_from_json(
-        std::string_view(text).substr(start, end - start));
-  } catch (const ContractError&) {
-    return std::nullopt;  // Corrupt entry: treat as miss, will be rewritten.
+    return result_from_json(*result_json);
+  } catch (const std::exception& e) {
+    // The checksum passed but the payload does not decode — a
+    // hand-edited entry (consistent bytes, wrong content) or a format
+    // drift.  Same treatment as corruption: quarantine and recompute.
+    note_corrupt(path, std::string("undecodable result: ") + e.what());
+    return std::nullopt;
   }
 }
 
@@ -103,16 +176,29 @@ void ResultCache::insert(const CacheKey& key,
   if (!options_.disk_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(options_.disk_dir, ec);
-    // Write to a temp name then rename, so a concurrent reader never
-    // sees a half-written entry.
+    // Write to a unique temp name, fsync, then rename: a reader (or a
+    // crash) can never observe a half-written entry under the final
+    // name, and a torn temp write is caught by the header on read.
     const std::string final_path = disk_path(key);
-    const std::string tmp_path = final_path + ".tmp";
-    {
-      std::ofstream out(tmp_path, std::ios::trunc);
-      if (!out) return;  // Disk store is best-effort.
-      out << render_disk_entry(key.text, result);
+    const std::string tmp_path = make_tmp_path(final_path);
+    std::string bytes = render_store_entry(key.text, result);
+    // Failpoint: simulate a torn write (power loss mid-write).  arg > 0
+    // keeps that many bytes, otherwise half the entry survives.
+    if (const auto arg = util::failpoint("exec.store.write.truncate")) {
+      const std::size_t keep =
+          *arg > 0 ? std::min(bytes.size(), static_cast<std::size_t>(*arg))
+                   : bytes.size() / 2;
+      bytes.resize(keep);
     }
+    if (!write_durable(tmp_path, bytes)) {
+      std::filesystem::remove(tmp_path, ec);
+      return;  // Disk store is best-effort.
+    }
+    // Failpoint: simulate a crash between write and rename — the entry
+    // never appears, only a stale temp file (swept on the next start).
+    if (util::failpoint("exec.store.rename.fail")) return;
     std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) std::filesystem::remove(tmp_path, ec);
   }
 }
 

@@ -4,15 +4,22 @@
 // identity, the FNV-1a hash only buckets and names files.  Two tiers:
 //
 //  * in-memory LRU (default 4096 entries) — hot within one process;
-//  * optional on-disk JSON store, one file per point named
-//    `<dir>/<hash-hex>.json`, each holding {"key": <text>, "result":
-//    {...}} — warm across processes (bench reruns, CLI invocations,
-//    model refits).
+//  * optional on-disk store, one file per point named
+//    `<dir>/<hash-hex>.json` in the v3 integrity format (exec/store.hpp:
+//    a length+checksum header over a {"key", "result"} JSON payload) —
+//    warm across processes (bench reruns, CLI invocations, model refits).
 //
 // On every lookup the stored key text is compared against the probe's:
 // a 64-bit hash collision therefore degrades to a miss, never a wrong
-// result.  Thread-safe; lookup/insert take one mutex (simulation time
-// dwarfs it by orders of magnitude).
+// result.  Disk entries are validated before being trusted: a truncated,
+// bit-flipped, hand-edited or stale-format entry is quarantined into
+// `<dir>/.quarantine/`, logged once per offending path, counted in
+// CacheStats (and an attached obs::MetricsRegistry), and treated as a
+// miss — the point recomputes and rewrites a clean entry.  Writes land
+// in a unique temp file, are fsync'd, then renamed atomically; stale
+// temp files left by killed processes are swept at construction.
+// Thread-safe; lookup/insert take one mutex (simulation time dwarfs it
+// by orders of magnitude).  See docs/RESILIENCE.md.
 #pragma once
 
 #include <cstddef>
@@ -21,9 +28,14 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/experiment.hpp"
 #include "exec/cache_key.hpp"
+
+namespace gearsim::obs {
+class MetricsRegistry;  // obs/metrics.hpp
+}
 
 namespace gearsim::exec {
 
@@ -34,6 +46,9 @@ struct CacheStats {
   std::uint64_t misses = 0;      ///< Neither tier had it (simulate!).
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;   ///< LRU capacity evictions (disk keeps them).
+  std::uint64_t corrupt = 0;     ///< Disk entries that failed validation.
+  std::uint64_t quarantined = 0; ///< Corrupt entries moved to .quarantine/.
+  std::uint64_t stale_tmp_swept = 0;  ///< Temp leftovers removed at startup.
 
   [[nodiscard]] std::uint64_t lookups() const {
     return hits + disk_hits + misses;
@@ -48,6 +63,11 @@ class ResultCache {
     /// When non-empty, the on-disk store directory (created on first
     /// insert; e.g. "out/cache").  Empty = memory-only.
     std::string disk_dir;
+    /// Optional metrics registry (not owned; must outlive the cache).
+    /// Only integrity events are recorded — exec.store.corrupt and
+    /// exec.store.quarantined — and only when they occur, so a clean
+    /// store leaves the registry untouched (bit-identical manifests).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ResultCache() : ResultCache(Options{}) {}
@@ -57,11 +77,13 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Look `key` up: memory first, then disk (a disk hit is promoted into
-  /// memory).  Unreadable or mismatched disk entries count as misses.
+  /// memory).  Unreadable, corrupt (quarantined), or mismatched disk
+  /// entries count as misses.
   [[nodiscard]] std::optional<cluster::RunResult> lookup(const CacheKey& key);
 
   /// Insert (or refresh) `result` under `key` in memory, and — when a
-  /// disk_dir is configured — persist it as JSON.
+  /// disk_dir is configured — persist it durably (write temp, fsync,
+  /// atomic rename).
   void insert(const CacheKey& key, const cluster::RunResult& result);
 
   [[nodiscard]] CacheStats stats() const;
@@ -78,11 +100,14 @@ class ResultCache {
   [[nodiscard]] std::string disk_path(const CacheKey& key) const;
   [[nodiscard]] std::optional<cluster::RunResult> disk_lookup(
       const CacheKey& key);  // caller holds mutex_
+  void note_corrupt(const std::string& path, const std::string& reason);
+  // caller holds mutex_
 
   Options options_;
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recent
   std::unordered_map<std::string, LruList::iterator> index_;
+  std::unordered_set<std::string> warned_paths_;  // warn once per offender
   CacheStats stats_;
 };
 

@@ -1,0 +1,290 @@
+#include "exec/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exec/cache_key.hpp"
+#include "exec/result_io.hpp"
+#include "util/hash.hpp"
+
+namespace gearsim::exec {
+
+namespace {
+
+constexpr std::string_view kMagic = "gearsim-store";
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xfU];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Parse a decimal field "name=<digits>" out of `token`; false on any
+/// deviation (header fields are machine-written, so strictness is free
+/// corruption detection).
+bool parse_field(std::string_view token, std::string_view name,
+                 std::uint64_t* out) {
+  if (token.size() <= name.size() + 1) return false;
+  if (token.substr(0, name.size()) != name) return false;
+  if (token[name.size()] != '=') return false;
+  const std::string_view value = token.substr(name.size() + 1);
+  std::uint64_t v = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_hex_field(std::string_view token, std::string_view name,
+                     std::uint64_t* out) {
+  if (token.size() != name.size() + 1 + 16) return false;
+  if (token.substr(0, name.size()) != name) return false;
+  if (token[name.size()] != '=') return false;
+  std::uint64_t v = 0;
+  for (const char c : token.substr(name.size() + 1)) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+std::string_view next_token(std::string_view line, std::size_t* pos) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  const std::size_t start = *pos;
+  while (*pos < line.size() && line[*pos] != ' ') ++*pos;
+  return line.substr(start, *pos - start);
+}
+
+/// Full validation including a result-JSON decode — what `verify` and
+/// `scrub` run per entry (ResultCache defers the decode to lookup time,
+/// where the probe key is known).
+bool deep_validate(std::string_view bytes, std::string* error) {
+  const StoreValidation v = validate_store_bytes(bytes);
+  if (!v.ok) {
+    *error = v.error;
+    return false;
+  }
+  // Without a probe key, locate the stored one by its markers.
+  constexpr std::string_view key_marker = "\"key\":\"";
+  constexpr std::string_view result_marker = "\",\"result\":";
+  const std::size_t key_at = v.payload.find(key_marker);
+  const std::size_t result_at =
+      key_at == std::string::npos ? std::string::npos
+                                  : v.payload.find(result_marker, key_at);
+  if (key_at == std::string::npos || result_at == std::string::npos) {
+    *error = "payload missing key/result fields";
+    return false;
+  }
+  const std::string_view key =
+      std::string_view(v.payload)
+          .substr(key_at + key_marker.size(),
+                  result_at - key_at - key_marker.size());
+  const auto json = payload_result_json(v.payload, key);
+  if (!json.has_value()) {
+    *error = "payload key/result structure mismatch";
+    return false;
+  }
+  try {
+    (void)result_from_json(*json);
+  } catch (const std::exception& e) {
+    *error = std::string("result decode failed: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+std::string read_file(const std::filesystem::path& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = in.good() || in.eof();
+  return buf.str();
+}
+
+bool is_tmp_name(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos;
+}
+
+StoreReport walk_store(const std::string& dir) {
+  StoreReport report;
+  std::error_code ec;
+  const std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return report;  // Missing/unreadable store: nothing to report.
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (is_tmp_name(name)) {
+      report.stale_tmp.push_back(entry.path().string());
+      continue;
+    }
+    if (entry.path().extension() != ".json") continue;
+    ++report.scanned;
+    bool read_ok = false;
+    const std::string bytes = read_file(entry.path(), &read_ok);
+    std::string error;
+    if (read_ok && deep_validate(bytes, &error)) {
+      ++report.valid;
+    } else {
+      report.corrupt.push_back(entry.path().string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent: sort so reports
+  // (and quarantine order) are stable for tests and operators alike.
+  std::sort(report.corrupt.begin(), report.corrupt.end());
+  std::sort(report.stale_tmp.begin(), report.stale_tmp.end());
+  return report;
+}
+
+}  // namespace
+
+std::string render_store_entry(std::string_view key_text,
+                               const cluster::RunResult& result) {
+  std::string payload = "{\"format\":" + std::to_string(kKeyFormatVersion) +
+                        ",\"key\":\"" + std::string(key_text) +
+                        "\",\"result\":" + to_json(result) + "}\n";
+  std::string header = std::string(kMagic) + " v" +
+                       std::to_string(kStoreFormatVersion) +
+                       " len=" + std::to_string(payload.size()) +
+                       " fnv1a=" + hex16(util::fnv1a(payload)) + "\n";
+  return header + payload;
+}
+
+StoreValidation validate_store_bytes(std::string_view bytes) {
+  StoreValidation out;
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string_view::npos) {
+    out.error = "no header line";
+    return out;
+  }
+  const std::string_view header = bytes.substr(0, nl);
+  std::size_t pos = 0;
+  if (next_token(header, &pos) != kMagic) {
+    out.error = "missing store magic (pre-v3 or foreign file)";
+    return out;
+  }
+  const std::string_view version = next_token(header, &pos);
+  if (version != "v" + std::to_string(kStoreFormatVersion)) {
+    out.error = "unsupported store version: " + std::string(version);
+    return out;
+  }
+  std::uint64_t len = 0;
+  if (!parse_field(next_token(header, &pos), "len", &len)) {
+    out.error = "malformed len field";
+    return out;
+  }
+  std::uint64_t checksum = 0;
+  if (!parse_hex_field(next_token(header, &pos), "fnv1a", &checksum)) {
+    out.error = "malformed fnv1a field";
+    return out;
+  }
+  const std::string_view payload = bytes.substr(nl + 1);
+  if (payload.size() != len) {
+    out.error = "payload length " + std::to_string(payload.size()) +
+                " != header len " + std::to_string(len) +
+                " (truncated or padded write)";
+    return out;
+  }
+  if (util::fnv1a(payload) != checksum) {
+    out.error = "payload checksum mismatch (bit rot or edit)";
+    return out;
+  }
+  out.ok = true;
+  out.payload = std::string(payload);
+  return out;
+}
+
+std::optional<std::string_view> payload_result_json(std::string_view payload,
+                                                    std::string_view key_text) {
+  const std::string want =
+      "\"key\":\"" + std::string(key_text) + "\",\"result\":";
+  const std::size_t at = payload.find(want);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::size_t start = at + want.size();
+  const std::size_t end = payload.find_last_of('}');
+  if (end == std::string_view::npos || end <= start) return std::nullopt;
+  return payload.substr(start, end - start);
+}
+
+std::string quarantine_entry(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path source(path);
+  const fs::path qdir = source.parent_path() / kQuarantineDir;
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  if (ec) return {};
+  fs::path target = qdir / source.filename();
+  for (int suffix = 1; fs::exists(target, ec); ++suffix) {
+    target = qdir / (source.filename().string() + "." +
+                     std::to_string(suffix));
+  }
+  fs::rename(source, target, ec);
+  return ec ? std::string{} : target.string();
+}
+
+std::uint64_t sweep_stale_tmp(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::uint64_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    if (!is_tmp_name(entry.path().filename().string())) continue;
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+std::string StoreReport::to_string() const {
+  std::ostringstream os;
+  os << "scanned " << scanned << " entries: " << valid << " valid, "
+     << corrupt.size() << " corrupt, " << stale_tmp.size()
+     << " stale temp file(s)\n";
+  for (const std::string& path : corrupt) {
+    os << "  corrupt: " << path << '\n';
+  }
+  for (const std::string& path : stale_tmp) {
+    os << "  stale tmp: " << path << '\n';
+  }
+  if (quarantined > 0 || removed_tmp > 0) {
+    os << "scrubbed: " << quarantined << " quarantined to " << kQuarantineDir
+       << "/, " << removed_tmp << " temp file(s) removed\n";
+  }
+  return os.str();
+}
+
+StoreReport verify_store(const std::string& dir) { return walk_store(dir); }
+
+StoreReport scrub_store(const std::string& dir) {
+  StoreReport report = walk_store(dir);
+  for (const std::string& path : report.corrupt) {
+    if (!quarantine_entry(path).empty()) ++report.quarantined;
+  }
+  std::error_code ec;
+  for (const std::string& path : report.stale_tmp) {
+    if (std::filesystem::remove(path, ec) && !ec) ++report.removed_tmp;
+  }
+  return report;
+}
+
+}  // namespace gearsim::exec

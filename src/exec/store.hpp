@@ -1,0 +1,99 @@
+// The on-disk result-store format (v3) and its integrity tooling.
+//
+// Store layout: one text file per cached point, two lines —
+//
+//   gearsim-store v3 len=<payload bytes> fnv1a=<16 hex digits>\n
+//   {"format":<key fmt>,"key":"<canonical key>","result":{...}}\n
+//
+// The header is written last-byte-exact before the payload, so a reader
+// can detect *any* torn state without trusting the payload: a truncated
+// write fails the length check, a bit flip fails the FNV-1a checksum
+// (util/hash.hpp), a missing header means a pre-v3 (or foreign) file.
+// Entries that fail validation are never served; ResultCache quarantines
+// them into `<dir>/.quarantine/` and treats the lookup as a miss, so the
+// point is recomputed and rewritten.  Writes go to a unique `.tmp.` name,
+// are fsync'd, then atomically renamed into place; `.tmp.` leftovers from
+// a killed process are swept on the next ResultCache construction or by
+// `gearsim cache scrub`.
+//
+// `verify_store` / `scrub_store` walk a whole store directory — behind
+// the `gearsim cache verify|scrub` CLI — reporting (and, for scrub,
+// repairing-by-quarantine) corrupt entries and stale temp files.
+// See docs/RESILIENCE.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+
+namespace gearsim::exec {
+
+/// Store *layout* version (distinct from the cache-key format version in
+/// cache_key.hpp): v3 introduced the integrity header; earlier layouts
+/// had no header and are quarantined on sight.
+inline constexpr int kStoreFormatVersion = 3;
+
+/// Name of the quarantine subdirectory inside a store directory.
+inline constexpr const char* kQuarantineDir = ".quarantine";
+
+/// Render the full file bytes (header + payload) for one entry.
+[[nodiscard]] std::string render_store_entry(std::string_view key_text,
+                                             const cluster::RunResult& result);
+
+/// Outcome of validating one entry's raw bytes.
+struct StoreValidation {
+  bool ok = false;
+  std::string error;    ///< First failure, empty when ok.
+  std::string payload;  ///< The checksummed payload (ok only).
+};
+
+/// Validate header shape, payload length, and checksum.  Does not parse
+/// the payload JSON — see payload_result_json.
+[[nodiscard]] StoreValidation validate_store_bytes(std::string_view bytes);
+
+/// Extract the `"result"` JSON object from a validated payload, given the
+/// exact key text the caller probed with.  nullopt when the stored key
+/// differs (a 64-bit hash collision or stale file reads as a miss, never
+/// as a wrong result).
+[[nodiscard]] std::optional<std::string_view> payload_result_json(
+    std::string_view payload, std::string_view key_text);
+
+/// Move a corrupt entry into `<parent>/.quarantine/` (suffixing the name
+/// if a previous quarantine of the same file exists).  Returns the new
+/// path, or "" when the move failed (the entry is then left in place).
+[[nodiscard]] std::string quarantine_entry(const std::string& path);
+
+/// Remove `.tmp.` leftovers (from writers killed between write and
+/// rename) under `dir`; returns how many were removed.  Lookups never
+/// read temp names, so this is hygiene, not correctness.
+std::uint64_t sweep_stale_tmp(const std::string& dir);
+
+/// One store walk's findings.
+struct StoreReport {
+  std::uint64_t scanned = 0;  ///< Entry files examined.
+  std::uint64_t valid = 0;    ///< Passed header+checksum+decode validation.
+  std::vector<std::string> corrupt;    ///< Paths that failed validation.
+  std::vector<std::string> stale_tmp;  ///< `.tmp.` leftovers found.
+  std::uint64_t quarantined = 0;       ///< scrub only: corrupt entries moved.
+  std::uint64_t removed_tmp = 0;       ///< scrub only: temp files removed.
+
+  [[nodiscard]] bool clean() const {
+    return corrupt.empty() && stale_tmp.empty();
+  }
+  /// Human-readable multi-line summary (CLI output).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Walk every entry under `dir` (quarantine excluded), fully validating
+/// each (header, length, checksum, and a result-JSON decode).  Read-only.
+[[nodiscard]] StoreReport verify_store(const std::string& dir);
+
+/// verify_store plus repair: corrupt entries are quarantined (so the
+/// next sweep recomputes them) and stale temp files removed.
+StoreReport scrub_store(const std::string& dir);
+
+}  // namespace gearsim::exec

@@ -1,0 +1,269 @@
+#include "exec/supervisor.hpp"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/failpoint.hpp"
+#include "util/parallel.hpp"
+
+namespace gearsim::exec {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+std::string describe_point(const SweepPoint& p) {
+  std::ostringstream os;
+  os << (p.workload != nullptr ? p.workload->name() : std::string("<null>"))
+     << " nodes=" << p.nodes << " gear=" << p.gear_index + 1
+     << " rep=" << p.rep;
+  if (p.policy != nullptr) os << " policy=" << p.policy->signature();
+  return os.str();
+}
+
+/// Mutable per-job scratch; index-aligned with the submitted points, so
+/// workers write disjoint slots and the calling thread folds in request
+/// order after the pool drains.
+struct JobState {
+  bool valid = false;      ///< Passed validate_point.
+  bool cache_hit = false;
+  bool completed = false;
+  int attempts = 0;
+  FailureKind kind = FailureKind::kPermanent;
+  std::string error;
+  std::exception_ptr eptr;
+  double wall_seconds = 0.0;
+  obs::MetricsSnapshot snapshot;  ///< Simulated jobs only.
+};
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  return kind == FailureKind::kTransient ? "transient" : "permanent";
+}
+
+FailureKind classify_failure(const std::exception& e) {
+  // Retry only conditions that a re-run can plausibly clear.  A
+  // deterministic simulation that threw (ContractError, SimulationError,
+  // a workload bug) will throw identically on every attempt.
+  if (dynamic_cast<const TransientError*>(&e) != nullptr ||
+      dynamic_cast<const std::system_error*>(&e) != nullptr ||
+      dynamic_cast<const std::ios_base::failure*>(&e) != nullptr) {
+    return FailureKind::kTransient;
+  }
+  return FailureKind::kPermanent;
+}
+
+std::size_t SweepOutcome::completed() const {
+  std::size_t n = 0;
+  for (const auto& r : results) {
+    if (r.has_value()) ++n;
+  }
+  return n;
+}
+
+std::string SweepOutcome::report() const {
+  std::ostringstream os;
+  for (const JobFailure& f : failures) {
+    os << "job #" << f.index << " (" << f.point << "): " << f.error << " ["
+       << to_string(f.kind) << ", attempts=" << f.attempts;
+    if (!f.key.empty()) os << ", key=" << f.key;
+    os << "]\n";
+  }
+  return os.str();
+}
+
+SweepSupervisor::SweepSupervisor(cluster::ClusterConfig config,
+                                 SweepOptions sweep_options,
+                                 SupervisorOptions supervisor_options)
+    : runner_(std::move(config), sweep_options),
+      supervisor_options_(std::move(supervisor_options)) {
+  GEARSIM_REQUIRE(supervisor_options_.max_attempts >= 1,
+                  "supervisor needs at least one attempt per job");
+  GEARSIM_REQUIRE(supervisor_options_.backoff_base_seconds >= 0.0,
+                  "backoff base must be >= 0");
+  GEARSIM_REQUIRE(supervisor_options_.watchdog_seconds >= 0.0,
+                  "watchdog threshold must be >= 0");
+}
+
+SweepOutcome SweepSupervisor::run(
+    const std::vector<SweepPoint>& points) const {
+  const std::size_t n = points.size();
+  const SweepOptions& sweep = runner_.options();
+  const SupervisorOptions& sup = supervisor_options_;
+  const auto classify =
+      sup.classify ? sup.classify
+                   : std::function<FailureKind(const std::exception&)>(
+                         &classify_failure);
+
+  SweepOutcome outcome;
+  outcome.results.resize(n);
+  std::vector<JobState> jobs(n);
+  std::vector<CacheKey> keys(sweep.cache != nullptr ? n : 0);
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+
+  // Phase 1, calling thread: per-job validation (a bad point fails alone
+  // — the sweep-level abort lives in SweepRunner::run) and cache probes.
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      runner_.validate_point(points[i]);
+    } catch (const std::exception& e) {
+      jobs[i].error = e.what();
+      jobs[i].eptr = std::current_exception();
+      jobs[i].kind = FailureKind::kPermanent;
+      continue;
+    }
+    jobs[i].valid = true;
+    if (sweep.cache != nullptr) {
+      keys[i] = runner_.point_key(points[i]);
+      if (auto hit = sweep.cache->lookup(keys[i])) {
+        outcome.results[i] = std::move(*hit);
+        jobs[i].completed = true;
+        jobs[i].cache_hit = true;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  obs::MetricsRegistry* const reg = sweep.metrics;
+
+  // Phase 2, worker pool: every pending job under exception isolation.
+  // Nothing escapes the lambda, so parallel_for_ordered never aborts and
+  // every job gets its turn regardless of its neighbours' fate.
+  parallel_for_ordered(
+      sweep.jobs, pending.size(), [&](std::size_t m) {
+        const std::size_t i = pending[m];
+        const auto job_index = static_cast<std::int64_t>(i);
+        JobState& job = jobs[i];
+        for (int attempt = 1;; ++attempt) {
+          job.attempts = attempt;
+          const SteadyClock::time_point start = SteadyClock::now();
+          try {
+            // Failpoints (deterministic, keyed by job index; see
+            // docs/RESILIENCE.md).  job.slow's arg is a sleep in
+            // milliseconds — the watchdog test's runaway config.
+            if (util::failpoint("exec.supervisor.job.throw", job_index)) {
+              throw TransientError(
+                  "failpoint exec.supervisor.job.throw fired for job " +
+                  std::to_string(i));
+            }
+            if (util::failpoint("exec.supervisor.job.throw_permanent",
+                                job_index)) {
+              throw SimulationError(
+                  "failpoint exec.supervisor.job.throw_permanent fired "
+                  "for job " +
+                  std::to_string(i));
+            }
+            if (const auto ms =
+                    util::failpoint("exec.supervisor.job.slow", job_index)) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+            }
+            std::unique_ptr<obs::MetricsRegistry> point_reg;
+            if (reg != nullptr) {
+              point_reg = std::make_unique<obs::MetricsRegistry>();
+            }
+            cluster::RunResult result =
+                runner_.simulate_point(points[i], point_reg.get());
+            job.wall_seconds += seconds_since(start);
+            if (sweep.cache != nullptr) {
+              sweep.cache->insert(keys[i], result);
+            }
+            if (point_reg != nullptr) job.snapshot = point_reg->snapshot();
+            outcome.results[i] = std::move(result);
+            job.completed = true;
+            return;
+          } catch (const std::exception& e) {
+            job.wall_seconds += seconds_since(start);
+            job.error = e.what();
+            job.eptr = std::current_exception();
+            job.kind = classify(e);
+          } catch (...) {
+            job.wall_seconds += seconds_since(start);
+            job.error = "unknown exception";
+            job.eptr = std::current_exception();
+            job.kind = FailureKind::kPermanent;
+          }
+          if (job.kind != FailureKind::kTransient ||
+              attempt >= sup.max_attempts) {
+            return;  // Terminal: permanent, or retry budget exhausted.
+          }
+          // Deterministic exponential backoff: attempt k waits
+          // base * 2^(k-2) seconds before running.
+          if (sup.backoff_base_seconds > 0.0) {
+            const double wait =
+                sup.backoff_base_seconds *
+                static_cast<double>(std::uint64_t{1} << (attempt - 1));
+            std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+          }
+        }
+      });
+
+  // Phase 3, calling thread: fold in request order (determinism), build
+  // the failure report, apply the watchdog.
+  std::size_t cache_hits = 0;
+  std::size_t simulated = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    JobState& job = jobs[i];
+    if (job.attempts > 1) {
+      outcome.retries += static_cast<std::uint64_t>(job.attempts - 1);
+    }
+    if (job.cache_hit) ++cache_hits;
+    if (job.completed && !job.cache_hit) {
+      ++simulated;
+      if (reg != nullptr && !job.snapshot.empty()) reg->merge(job.snapshot);
+    }
+    if (sup.watchdog_seconds > 0.0 &&
+        job.wall_seconds > sup.watchdog_seconds) {
+      outcome.runaway.push_back(i);
+    }
+    if (!job.completed) {
+      JobFailure failure;
+      failure.index = i;
+      failure.point = describe_point(points[i]);
+      failure.key = (sweep.cache != nullptr && job.valid) ? keys[i].hex()
+                                                          : std::string();
+      failure.attempts = job.attempts;
+      failure.kind = job.kind;
+      failure.error = job.error;
+      failure.wall_seconds = job.wall_seconds;
+      outcome.failures.push_back(std::move(failure));
+    }
+  }
+
+  if (reg != nullptr) {
+    reg->counter("exec.supervisor.jobs").add(n);
+    reg->counter("exec.supervisor.failures").add(outcome.failures.size());
+    reg->counter("exec.supervisor.retries").add(outcome.retries);
+    if (sweep.cache != nullptr) {
+      reg->counter("exec.cache.hits").add(cache_hits);
+      reg->counter("exec.cache.misses").add(pending.size());
+      reg->counter("exec.cache.insertions").add(simulated);
+    }
+    // Wall-clock derived, so never a sim-domain (comparable) metric.
+    if (obs::Counter* runaway = reg->wall_counter("exec.supervisor.runaway")) {
+      runaway->add(outcome.runaway.size());
+    }
+  }
+
+  if (sup.strict && !outcome.failures.empty()) {
+    // Throw-through compatibility: the lowest-index failure, exactly
+    // what a serial SweepRunner::run would have surfaced first.
+    std::rethrow_exception(jobs[outcome.failures.front().index].eptr);
+  }
+  return outcome;
+}
+
+}  // namespace gearsim::exec

@@ -1,0 +1,130 @@
+// Supervised sweep execution: per-job failure isolation on top of
+// SweepRunner.
+//
+// SweepRunner::run is all-or-nothing — one poisoned point aborts the
+// sweep and discards every other job's work.  SweepSupervisor runs the
+// same points under per-job exception isolation instead: each job's
+// failures are caught, classified (transient vs permanent), retried on a
+// bounded deterministic backoff schedule when transient, and recorded as
+// structured JobFailure entries.  The sweep-level outcome returns *all*
+// completed results (index-aligned, cache-served or simulated) plus the
+// failure report; `strict` mode restores throw-through semantics for
+// callers that want today's behavior.
+//
+// A per-job wall-clock watchdog flags runaway configs: jobs whose total
+// wall time exceeds SupervisorOptions::watchdog_seconds are listed in
+// SweepOutcome::runaway (they are flagged, never killed — a cooperative
+// simulation cannot be safely interrupted mid-run).
+//
+// Determinism: completed results are bit-identical to SweepRunner::run
+// for any worker count (same per-point isolation, same request-order
+// metrics fold).  Failure *schedules* are deterministic when the faults
+// are — the failpoints in util/failpoint.hpp key off the job index, so
+// tests replay exact failure patterns under any parallelism.
+// See docs/RESILIENCE.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+
+namespace gearsim::exec {
+
+/// Thrown (by failpoints, I/O layers, or user workloads) to mark a
+/// failure worth retrying: the condition is environmental, not a
+/// deterministic property of the config.  The default classifier treats
+/// this type — and std::system_error / std::ios_base::failure — as
+/// transient; everything else (ContractError, SimulationError, ...) as
+/// permanent, because an identical re-run of a deterministic simulation
+/// can only fail identically.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FailureKind { kTransient, kPermanent };
+const char* to_string(FailureKind kind);
+
+/// Default classification (see TransientError).
+[[nodiscard]] FailureKind classify_failure(const std::exception& e);
+
+/// One job's terminal failure, after retries were exhausted (transient)
+/// or skipped (permanent).
+struct JobFailure {
+  std::size_t index = 0;  ///< Position in the submitted point list.
+  std::string point;      ///< Human-readable point description.
+  std::string key;        ///< Cache-key hash hex ("" without a cache or
+                          ///< for points that failed validation).
+  int attempts = 0;       ///< Simulation attempts made (0 = failed
+                          ///< validation before any attempt).
+  FailureKind kind = FailureKind::kPermanent;  ///< Last failure's class.
+  std::string error;      ///< Last attempt's exception text.
+  double wall_seconds = 0.0;  ///< Wall time spent across all attempts.
+};
+
+/// Everything a supervised sweep produced.
+struct SweepOutcome {
+  /// Index-aligned with the submitted points; nullopt = that job failed
+  /// (its JobFailure is in `failures`).
+  std::vector<std::optional<cluster::RunResult>> results;
+  /// Terminal failures, ordered by job index.
+  std::vector<JobFailure> failures;
+  /// Jobs whose wall time exceeded the watchdog threshold (completed or
+  /// failed), ordered by job index.  Wall-clock derived: never compare
+  /// across runs.
+  std::vector<std::size_t> runaway;
+  /// Total retry attempts across all jobs (attempts beyond each job's
+  /// first).
+  std::uint64_t retries = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::size_t completed() const;
+  /// Human-readable failure report (one line per failure; "" when ok).
+  [[nodiscard]] std::string report() const;
+};
+
+struct SupervisorOptions {
+  /// Max simulation attempts per job; only transient failures retry.
+  int max_attempts = 3;
+  /// Attempt k (k >= 2) waits base * 2^(k-2) seconds first — a
+  /// deterministic schedule, not jittered.  0 = retry immediately.
+  double backoff_base_seconds = 0.0;
+  /// Flag jobs whose total wall time exceeds this; 0 = watchdog off.
+  double watchdog_seconds = 0.0;
+  /// Strict mode: after every job has drained, rethrow the lowest-index
+  /// failure instead of returning it in the outcome (SweepRunner::run
+  /// compatibility, for tests and callers that must not continue).
+  bool strict = false;
+  /// Override the transient/permanent classification (null = default
+  /// classify_failure).
+  std::function<FailureKind(const std::exception&)> classify;
+};
+
+class SweepSupervisor {
+ public:
+  explicit SweepSupervisor(cluster::ClusterConfig config,
+                           SweepOptions sweep_options = {},
+                           SupervisorOptions supervisor_options = {});
+
+  [[nodiscard]] const SweepRunner& runner() const { return runner_; }
+  [[nodiscard]] const SupervisorOptions& supervisor_options() const {
+    return supervisor_options_;
+  }
+
+  /// Run every point under per-job isolation.  Cache hits short-circuit
+  /// as in SweepRunner::run; completed results are bit-identical to an
+  /// unsupervised sweep.  Strict mode throws the lowest-index failure
+  /// after all jobs drain.
+  [[nodiscard]] SweepOutcome run(const std::vector<SweepPoint>& points) const;
+
+ private:
+  SweepRunner runner_;
+  SupervisorOptions supervisor_options_;
+};
+
+}  // namespace gearsim::exec

@@ -12,20 +12,55 @@ namespace gearsim::exec {
 SweepRunner::SweepRunner(cluster::ClusterConfig config, SweepOptions options)
     : config_(std::move(config)), options_(options) {}
 
+void SweepRunner::validate_point(const SweepPoint& p) const {
+  const cluster::ClusterConfig& base = config_.config();
+  GEARSIM_REQUIRE(p.workload != nullptr, "sweep point without a workload");
+  GEARSIM_REQUIRE(p.nodes >= 1 && p.nodes <= base.max_nodes,
+                  "sweep point node count out of range");
+  GEARSIM_REQUIRE(p.gear_index < base.gears.size(),
+                  "sweep point gear out of range");
+  GEARSIM_REQUIRE(p.rep >= 0, "sweep point repetition must be >= 0");
+}
+
+CacheKey SweepRunner::point_key(const SweepPoint& p) const {
+  return sweep_point_key(
+      config_.config(), p.workload->signature(), p.nodes, p.gear_index, p.rep,
+      options_.faults,
+      p.policy != nullptr ? p.policy->signature() : std::string());
+}
+
+cluster::RunResult SweepRunner::simulate_point(
+    const SweepPoint& p, obs::MetricsRegistry* point_metrics) const {
+  const cluster::ClusterConfig& base = config_.config();
+  cluster::RunOptions run_options;
+  run_options.gear_index = p.gear_index;
+  run_options.faults = options_.faults;
+  run_options.metrics = point_metrics;
+  // A fresh policy instance per point: adaptive controllers carry
+  // per-run state, and concurrent workers must never share one.
+  std::unique_ptr<cluster::GearPolicy> policy;
+  if (p.policy != nullptr) {
+    policy = p.policy->instantiate(p.nodes);
+    run_options.policy = policy.get();
+  }
+  if (p.rep == 0) {
+    return config_.run(*p.workload, p.nodes, run_options);
+  }
+  // Repetition r is the same point under shifted seeds — identical
+  // to ExperimentRunner::run_repeated's convention.
+  cluster::ClusterConfig shifted = base;
+  shifted.seed = base.seed + static_cast<std::uint64_t>(p.rep);
+  shifted.network.jitter_seed =
+      base.network.jitter_seed + static_cast<std::uint64_t>(p.rep);
+  const cluster::ExperimentRunner sub(shifted);
+  return sub.run(*p.workload, p.nodes, run_options);
+}
+
 std::vector<cluster::RunResult> SweepRunner::run(
     const std::vector<SweepPoint>& points) const {
-  const cluster::ClusterConfig& base = config_.config();
-
   // Validate everything up front: a bad point must fail before any
   // simulation time (or cache traffic) is spent.
-  for (const SweepPoint& p : points) {
-    GEARSIM_REQUIRE(p.workload != nullptr, "sweep point without a workload");
-    GEARSIM_REQUIRE(p.nodes >= 1 && p.nodes <= base.max_nodes,
-                    "sweep point node count out of range");
-    GEARSIM_REQUIRE(p.gear_index < base.gears.size(),
-                    "sweep point gear out of range");
-    GEARSIM_REQUIRE(p.rep >= 0, "sweep point repetition must be >= 0");
-  }
+  for (const SweepPoint& p : points) validate_point(p);
 
   std::vector<cluster::RunResult> results(points.size());
   std::vector<CacheKey> keys(options_.cache != nullptr ? points.size() : 0);
@@ -34,11 +69,7 @@ std::vector<cluster::RunResult> SweepRunner::run(
 
   if (options_.cache != nullptr) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      const SweepPoint& p = points[i];
-      keys[i] = sweep_point_key(
-          base, p.workload->signature(), p.nodes, p.gear_index, p.rep,
-          options_.faults,
-          p.policy != nullptr ? p.policy->signature() : std::string());
+      keys[i] = point_key(points[i]);
       if (auto hit = options_.cache->lookup(keys[i])) {
         results[i] = *hit;
       } else {
@@ -73,36 +104,11 @@ std::vector<cluster::RunResult> SweepRunner::run(
     std::chrono::steady_clock::time_point point_start;
     if (wall) point_start = std::chrono::steady_clock::now();
     const std::size_t i = misses[m];
-    const SweepPoint& p = points[i];
-    cluster::RunOptions run_options;
-    run_options.gear_index = p.gear_index;
-    run_options.faults = options_.faults;
     // A private registry per point: the engine's discipline makes each
     // point single-threaded, so no atomics are needed anywhere.
     std::unique_ptr<obs::MetricsRegistry> point_reg;
-    if (reg != nullptr) {
-      point_reg = std::make_unique<obs::MetricsRegistry>();
-      run_options.metrics = point_reg.get();
-    }
-    // A fresh policy instance per point: adaptive controllers carry
-    // per-run state, and concurrent workers must never share one.
-    std::unique_ptr<cluster::GearPolicy> policy;
-    if (p.policy != nullptr) {
-      policy = p.policy->instantiate(p.nodes);
-      run_options.policy = policy.get();
-    }
-    if (p.rep == 0) {
-      results[i] = config_.run(*p.workload, p.nodes, run_options);
-    } else {
-      // Repetition r is the same point under shifted seeds — identical
-      // to ExperimentRunner::run_repeated's convention.
-      cluster::ClusterConfig shifted = base;
-      shifted.seed = base.seed + static_cast<std::uint64_t>(p.rep);
-      shifted.network.jitter_seed =
-          base.network.jitter_seed + static_cast<std::uint64_t>(p.rep);
-      const cluster::ExperimentRunner sub(shifted);
-      results[i] = sub.run(*p.workload, p.nodes, run_options);
-    }
+    if (reg != nullptr) point_reg = std::make_unique<obs::MetricsRegistry>();
+    results[i] = simulate_point(points[i], point_reg.get());
     if (options_.cache != nullptr) {
       options_.cache->insert(keys[i], results[i]);
     }

@@ -91,6 +91,26 @@ class SweepRunner {
       const cluster::Workload& workload, int nodes, std::size_t gear_index,
       int repetitions) const;
 
+  /// Validate one point against the config; throws ContractError on a
+  /// null workload or out-of-range nodes/gear/rep.  run() applies this to
+  /// the whole list up front (a bad point fails before any simulation
+  /// time is spent); SweepSupervisor applies it per job instead, so one
+  /// bad point fails alone.
+  void validate_point(const SweepPoint& p) const;
+
+  /// The point's content-addressed cache key (full config + workload
+  /// signature + coordinates + fault plan + policy identity).  The point
+  /// must be valid.
+  [[nodiscard]] CacheKey point_key(const SweepPoint& p) const;
+
+  /// Simulate one validated point — no cache or sweep-level-metrics
+  /// interaction.  When `point_metrics` is non-null the run is
+  /// instrumented into it (callers fold per-point snapshots in request
+  /// order, preserving the determinism contract).  Thread-safe:
+  /// concurrent calls share nothing mutable.
+  [[nodiscard]] cluster::RunResult simulate_point(
+      const SweepPoint& p, obs::MetricsRegistry* point_metrics) const;
+
   /// Cache statistics (zeroes when no cache is attached).
   [[nodiscard]] CacheStats cache_stats() const;
 

@@ -1,0 +1,146 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace gearsim::util {
+
+Failpoints& Failpoints::global() {
+  static Failpoints* instance = [] {
+    auto* fp = new Failpoints;
+    if (const char* env = std::getenv("GEARSIM_FAILPOINTS");
+        env != nullptr && *env != '\0') {
+      fp->arm_from_string(env);
+    }
+    return fp;
+  }();
+  return *instance;
+}
+
+void Failpoints::arm(const std::string& name, FailpointSpec spec) {
+  GEARSIM_REQUIRE(!name.empty(), "failpoint name must be non-empty");
+  GEARSIM_REQUIRE(spec.every >= 1, "failpoint 'every' must be >= 1");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.insert_or_assign(name, State{std::move(spec), {}});
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::disarm(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(name) > 0) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+bool Failpoints::armed(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return points_.count(name) > 0;
+}
+
+std::optional<std::int64_t> Failpoints::hit(std::string_view name,
+                                            std::int64_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return std::nullopt;
+  State& state = it->second;
+  const FailpointSpec& spec = state.spec;
+  if (!spec.indices.empty() &&
+      std::find(spec.indices.begin(), spec.indices.end(), index) ==
+          spec.indices.end()) {
+    return std::nullopt;
+  }
+  Stream& stream = state.streams[index];
+  ++stream.visits;
+  if (stream.visits <= spec.skip) return std::nullopt;
+  if (spec.times >= 0 && stream.fired >= spec.times) return std::nullopt;
+  // Visits past the skip window fire every `every`th time.
+  if ((stream.visits - spec.skip - 1) % spec.every != 0) return std::nullopt;
+  ++stream.fired;
+  return spec.arg;
+}
+
+namespace {
+
+std::int64_t parse_int_field(const std::string& field) {
+  char* parse_end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &parse_end, 10);
+  GEARSIM_REQUIRE(parse_end != nullptr && *parse_end == '\0' && !field.empty(),
+                  "malformed GEARSIM_FAILPOINTS field: " + field);
+  return v;
+}
+
+}  // namespace
+
+void Failpoints::arm_from_string(const std::string& text) {
+  // "name[@i1,i2,...][=skip[:times[:arg[:every]]]];..." — whitespace is
+  // not trimmed; names must match the call-site spelling exactly.  The
+  // optional @-list restricts an index-keyed failpoint to those caller
+  // indices ("throw on job N").
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+
+    FailpointSpec spec;
+    std::string name = item;
+    std::string fields;
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      name = item.substr(0, eq);
+      fields = item.substr(eq + 1);
+    }
+    const std::size_t at = name.find('@');
+    if (at != std::string::npos) {
+      const std::string list = name.substr(at + 1);
+      name = name.substr(0, at);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        spec.indices.push_back(parse_int_field(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    }
+    if (eq != std::string::npos) {
+      std::int64_t* const slots[] = {nullptr, &spec.times, &spec.arg, nullptr};
+      std::size_t f = 0;
+      std::size_t pos = 0;
+      while (pos <= fields.size() && f < 4) {
+        std::size_t colon = fields.find(':', pos);
+        if (colon == std::string::npos) colon = fields.size();
+        const std::string field = fields.substr(pos, colon - pos);
+        pos = colon + 1;
+        if (!field.empty()) {
+          const std::int64_t v = parse_int_field(field);
+          if (f == 0) {
+            GEARSIM_REQUIRE(v >= 0, "failpoint skip must be >= 0");
+            spec.skip = static_cast<std::uint64_t>(v);
+          } else if (f == 3) {
+            GEARSIM_REQUIRE(v >= 1, "failpoint 'every' must be >= 1");
+            spec.every = static_cast<std::uint64_t>(v);
+          } else {
+            *slots[f] = v;
+          }
+        }
+        ++f;
+      }
+    }
+    GEARSIM_REQUIRE(!name.empty(),
+                    "malformed GEARSIM_FAILPOINTS item: " + item);
+    arm(name, spec);
+  }
+}
+
+}  // namespace gearsim::util

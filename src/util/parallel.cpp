@@ -45,19 +45,28 @@ void parallel_for_ordered(int jobs, std::size_t n,
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs), n);
   std::atomic<std::size_t> next{0};
+  // Fail fast: once any item throws, workers stop claiming new items and
+  // drain what they already hold, so no thread is still writing into
+  // caller state when the exception surfaces below.
+  std::atomic<bool> stop{false};
   // First exception by *item index*, so the caller sees the same error a
-  // serial loop would have hit first, regardless of scheduling.
+  // serial loop would have hit first, regardless of scheduling.  Claim
+  // order is index order, so every index below the first thrower was
+  // claimed (and therefore runs) before `stop` could be set — the
+  // minimum recorded here is the true serial-first failure.
   std::mutex error_mutex;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
 
   auto worker = [&] {
     for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (i < error_index) {
           error_index = i;

@@ -29,9 +29,18 @@ int resolve_jobs(int jobs);
 /// claimed from an atomic counter, so completion order is arbitrary, but
 /// callers index their output arrays by `i`, which restores request
 /// order.  `jobs <= 1` (after resolve_jobs) runs everything inline on the
-/// calling thread in index order.  If any item throws, the exception from
-/// the lowest-index failing item is rethrown on the calling thread after
-/// all workers have drained.
+/// calling thread in index order.
+///
+/// Failure semantics: the first exception stops workers from *claiming*
+/// further items (already-claimed items run to completion), every worker
+/// is joined, and then the exception from the lowest-index failing item
+/// is rethrown on the calling thread.  Because items are claimed in
+/// index order, the rethrown exception is exactly the one a serial loop
+/// would have hit first; items above the failing range may be skipped.
+/// Nothing runs — and nothing writes into caller state — after the
+/// rethrow, so the caller may immediately reuse its buffers or call
+/// parallel_for_ordered again (per-job isolation with no abort lives a
+/// level up, in exec::SweepSupervisor).
 void parallel_for_ordered(int jobs, std::size_t n,
                           const std::function<void(std::size_t)>& fn);
 

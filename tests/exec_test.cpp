@@ -1,12 +1,16 @@
 // Tests for the parallel sweep executor: cache keys, the JSON result
-// codec, the two-tier ResultCache, and the determinism contract —
-// SweepRunner output is bit-identical (per to_json, which covers every
-// RunResult field) across job counts and cold/warm caches.
+// codec, the two-tier ResultCache (including store-v3 crash consistency:
+// torn writes, bit flips, legacy entries, stale temp files, quarantine),
+// and the determinism contract — SweepRunner output is bit-identical
+// (per to_json, which covers every RunResult field) across job counts
+// and cold/warm caches.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,7 +19,10 @@
 #include "exec/cache_key.hpp"
 #include "exec/result_cache.hpp"
 #include "exec/result_io.hpp"
+#include "exec/store.hpp"
 #include "exec/sweep_runner.hpp"
+#include "obs/metrics.hpp"
+#include "util/failpoint.hpp"
 #include "workloads/jacobi.hpp"
 #include "workloads/registry.hpp"
 
@@ -252,6 +259,247 @@ TEST(ResultCacheTest, CorruptDiskEntryReadsAsMiss) {
   ResultCache reader(options);
   EXPECT_FALSE(reader.lookup(k).has_value());
   EXPECT_EQ(reader.stats().misses, 1u);
+}
+
+// ---- store v3 crash consistency ---------------------------------------------
+
+std::string entry_path(const TempDir& dir, const CacheKey& k) {
+  return dir.path.string() + "/" + k.hex() + ".json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(StoreTest, TruncatedEntryIsQuarantinedAndRecomputed) {
+  const TempDir dir("truncated");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("torn-write");
+  {
+    ResultCache writer(options);
+    writer.insert(k, small_result(4));
+  }
+  const std::string path = entry_path(dir, k);
+  const std::string whole = read_file(path);
+  write_file(path, whole.substr(0, whole.size() / 2));  // Torn write.
+
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_EQ(reader.stats().quarantined, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+  // Quarantined out of the live directory, preserved for post-mortem.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / kQuarantineDir /
+                                      (k.hex() + ".json")));
+
+  // Recompute-and-reinsert replaces the entry byte-identically: the
+  // store's contents depend only on (key, result), never on history.
+  reader.insert(k, small_result(4));
+  EXPECT_EQ(read_file(path), whole);
+}
+
+TEST(StoreTest, BitFlipFailsChecksumAndQuarantines) {
+  const TempDir dir("bitflip");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("flipped");
+  {
+    ResultCache writer(options);
+    writer.insert(k, small_result(7));
+  }
+  const std::string path = entry_path(dir, k);
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 10] ^= 0x20;  // One flipped bit in the payload.
+  write_file(path, bytes);
+
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  const StoreValidation v = validate_store_bytes(bytes);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("checksum"), std::string::npos);
+}
+
+TEST(StoreTest, HeaderlessLegacyEntryIsQuarantined) {
+  const TempDir dir("legacy");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("old-format");
+  // A pre-v3 entry: bare payload, no integrity header.
+  write_file(entry_path(dir, k), "{\"key\":\"" + k.text +
+                                     "\",\"result\":{\"nodes\":1}}\n");
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_EQ(reader.stats().quarantined, 1u);
+}
+
+TEST(StoreTest, ValidChecksumUndecodableResultIsQuarantined) {
+  // A hand-edited entry whose header was dutifully recomputed: bytes are
+  // self-consistent but the result JSON no longer decodes.  The read
+  // path's std::exception net (not just ContractError) must catch it.
+  const TempDir dir("handedit");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("edited");
+  const std::string payload = "{\"format\":" + std::to_string(3) +
+                              ",\"key\":\"" + k.text +
+                              "\",\"result\":{\"nonsense\":true}}\n";
+  std::ostringstream entry;
+  entry << "gearsim-store v3 len=" << payload.size() << " fnv1a=" << std::hex
+        << std::setw(16) << std::setfill('0') << fnv1a(payload) << "\n"
+        << payload;
+  write_file(entry_path(dir, k), entry.str());
+
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_EQ(reader.stats().quarantined, 1u);
+}
+
+TEST(StoreTest, StaleTmpFileIsSweptNotServed) {
+  const TempDir dir("staletmp");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("interrupted");
+  // A writer died between write and rename: only the temp file exists.
+  const std::string tmp = entry_path(dir, k) + ".tmp.123.0";
+  write_file(tmp, render_store_entry(k.text, small_result(9)));
+
+  ResultCache reader(options);
+  EXPECT_EQ(reader.stats().stale_tmp_swept, 1u);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  EXPECT_FALSE(reader.lookup(k).has_value());  // Never served from tmp.
+  EXPECT_EQ(reader.stats().misses, 1u);
+}
+
+TEST(StoreTest, RenameFailpointLeavesOnlyTmpBehind) {
+  const TempDir dir("renamefail");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("never-renamed");
+  {
+    ResultCache writer(options);
+    const util::ScopedFailpoint fp("exec.store.rename.fail", {});
+    writer.insert(k, small_result(3));
+  }
+  EXPECT_FALSE(std::filesystem::exists(entry_path(dir, k)));
+
+  // The "crashed" writer's temp file is swept by the next construction,
+  // and the point reads as a plain miss (memory tier aside).
+  ResultCache reader(options);
+  EXPECT_EQ(reader.stats().stale_tmp_swept, 1u);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+}
+
+TEST(StoreTest, TruncateFailpointProducesDetectableCorruption) {
+  const TempDir dir("truncfp");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("torn-by-failpoint");
+  {
+    ResultCache writer(options);
+    util::FailpointSpec spec;
+    spec.arg = 40;  // Keep only the first 40 bytes.
+    const util::ScopedFailpoint fp("exec.store.write.truncate", spec);
+    writer.insert(k, small_result(6));
+  }
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+}
+
+TEST(StoreTest, VerifyAndScrubWalkTheStore) {
+  const TempDir dir("walk");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey good = key_of("good");
+  const CacheKey bad = key_of("bad");
+  {
+    ResultCache writer(options);
+    writer.insert(good, small_result(1));
+    writer.insert(bad, small_result(2));
+  }
+  const std::string bad_path = entry_path(dir, bad);
+  const std::string whole = read_file(bad_path);
+  write_file(bad_path, whole.substr(0, 30));
+  write_file(entry_path(dir, good) + ".tmp.99.1", "leftover");
+
+  const StoreReport verified = verify_store(dir.path.string());
+  EXPECT_EQ(verified.scanned, 2u);
+  EXPECT_EQ(verified.valid, 1u);
+  ASSERT_EQ(verified.corrupt.size(), 1u);
+  EXPECT_EQ(verified.corrupt[0], bad_path);
+  EXPECT_EQ(verified.stale_tmp.size(), 1u);
+  EXPECT_FALSE(verified.clean());
+  EXPECT_EQ(verified.quarantined, 0u);  // verify is read-only
+  EXPECT_TRUE(std::filesystem::exists(bad_path));
+
+  const StoreReport scrubbed = scrub_store(dir.path.string());
+  EXPECT_EQ(scrubbed.quarantined, 1u);
+  EXPECT_EQ(scrubbed.removed_tmp, 1u);
+  EXPECT_FALSE(std::filesystem::exists(bad_path));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / kQuarantineDir /
+                                      (bad.hex() + ".json")));
+
+  const StoreReport after = verify_store(dir.path.string());
+  EXPECT_TRUE(after.clean());
+  EXPECT_EQ(after.scanned, 1u);
+}
+
+TEST(StoreTest, QuarantineCollisionKeepsBothCopies) {
+  const TempDir dir("collide2");
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  const CacheKey k = key_of("twice-corrupt");
+  for (int round = 0; round < 2; ++round) {
+    {
+      ResultCache writer(options);
+      writer.insert(k, small_result(round + 1));
+    }
+    const std::string path = entry_path(dir, k);
+    write_file(path, read_file(path).substr(0, 25));
+    ResultCache reader(options);
+    EXPECT_FALSE(reader.lookup(k).has_value());
+    EXPECT_EQ(reader.stats().quarantined, 1u);
+  }
+  // Both corrupt generations survive under distinct quarantine names.
+  std::size_t quarantined = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(dir.path / kQuarantineDir)) {
+    if (e.is_regular_file()) ++quarantined;
+  }
+  EXPECT_EQ(quarantined, 2u);
+}
+
+TEST(StoreTest, CorruptionEventsReachMetrics) {
+  const TempDir dir("metrics");
+  obs::MetricsRegistry reg;
+  ResultCache::Options options;
+  options.disk_dir = dir.path.string();
+  options.metrics = &reg;
+  const CacheKey k = key_of("counted");
+  {
+    ResultCache writer(options);
+    writer.insert(k, small_result(2));
+  }
+  const std::string path = entry_path(dir, k);
+  write_file(path, read_file(path).substr(0, 20));
+
+  ResultCache reader(options);
+  EXPECT_FALSE(reader.lookup(k).has_value());
+  EXPECT_EQ(reg.counter("exec.store.corrupt").value(), 1u);
+  EXPECT_EQ(reg.counter("exec.store.quarantined").value(), 1u);
 }
 
 // ---- SweepRunner determinism ------------------------------------------------

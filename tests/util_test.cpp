@@ -1,14 +1,18 @@
 // Unit tests for src/util: units, statistics, RNG, tables, CSV quoting,
-// and the parallel-for worker pool.
+// the parallel-for worker pool (including clean drain and reusability
+// after a mid-sweep throw), and the failpoint registry.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 #include "util/statistics.hpp"
@@ -384,6 +388,138 @@ TEST(Parallel, ResolveJobsContract) {
   EXPECT_EQ(resolve_jobs(3), 3);
   EXPECT_GE(resolve_jobs(-1), 1);  // Hardware concurrency, at least 1.
   EXPECT_GE(resolve_jobs(0), 1);   // Env default (serial unless overridden).
+}
+
+TEST(Parallel, DrainsCleanlyAfterThrow) {
+  // On a mid-sweep throw every worker is joined before the rethrow: no
+  // detached thread may keep claiming indices (or touching caller state)
+  // after parallel_for_ordered returns.  A fail-fast stop also means most
+  // not-yet-claimed indices are skipped, not burned through.
+  std::atomic<std::size_t> executed{0};
+  try {
+    parallel_for_ordered(4, 1000, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("boom");
+      executed.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  const std::size_t at_return = executed.load();
+  EXPECT_LT(at_return, 1000u);  // Fail-fast: the tail never ran.
+  // If any worker survived the join it would still be incrementing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(executed.load(), at_return);
+}
+
+TEST(Parallel, ReusableAfterThrow) {
+  // The sweep cache keeps a caller alive across failures: after catching
+  // a mid-parallel exception, the very next parallel_for_ordered on the
+  // same thread (and the same buffers) must behave normally.
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    parallel_for_ordered(4, hits.size(), [&](std::size_t i) {
+      if (i >= 8) throw std::runtime_error("poisoned tail");
+      ++hits[i];
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (auto& h : hits) h.store(0);
+  parallel_for_ordered(4, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --- failpoints --------------------------------------------------------------
+
+TEST(Failpoint, DisarmedIsSilentAndCheap) {
+  util::Failpoints registry;
+  EXPECT_FALSE(registry.hit("nothing.armed").has_value());
+  EXPECT_EQ(registry.armed_count(), 0u);
+  EXPECT_FALSE(util::failpoint("tests.not.armed").has_value());
+}
+
+TEST(Failpoint, FiresOnceByDefaultAndReturnsArg) {
+  util::Failpoints registry;
+  util::FailpointSpec spec;
+  spec.arg = 42;
+  registry.arm("tests.once", spec);
+  EXPECT_TRUE(registry.armed("tests.once"));
+  const auto first = registry.hit("tests.once");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 42);
+  EXPECT_FALSE(registry.hit("tests.once").has_value());  // times=1 spent.
+  registry.disarm("tests.once");
+  EXPECT_FALSE(registry.armed("tests.once"));
+}
+
+TEST(Failpoint, SkipTimesAndEverySchedule) {
+  util::Failpoints registry;
+  util::FailpointSpec spec;
+  spec.skip = 2;   // Let visits 1-2 pass.
+  spec.times = 3;  // Fire at most 3 times.
+  spec.every = 2;  // ... on every 2nd eligible visit.
+  registry.arm("tests.sched", spec);
+  std::vector<bool> fired;
+  for (int visit = 1; visit <= 10; ++visit) {
+    fired.push_back(registry.hit("tests.sched").has_value());
+  }
+  // Visits:   1  2  3  4  5  6  7  8  9  10
+  // Eligible:       1  2  3  4  5  6  7  8   (every 2nd fires, 3 max)
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, true, false,
+                                      true, false, false, false}));
+}
+
+TEST(Failpoint, IndexStreamsCountIndependently) {
+  util::Failpoints registry;
+  util::FailpointSpec spec;
+  spec.indices = {3, 7};
+  registry.arm("tests.indexed", spec);
+  EXPECT_FALSE(registry.hit("tests.indexed", 0).has_value());
+  EXPECT_TRUE(registry.hit("tests.indexed", 3).has_value());
+  EXPECT_FALSE(registry.hit("tests.indexed", 3).has_value());  // Spent.
+  EXPECT_TRUE(registry.hit("tests.indexed", 7).has_value());   // Own budget.
+  EXPECT_FALSE(registry.hit("tests.indexed", 5).has_value());
+}
+
+TEST(Failpoint, ArmFromStringParsesFullGrammar) {
+  util::Failpoints registry;
+  registry.arm_from_string("tests.a;tests.b=1:2:99;tests.c@4,9=0:-1");
+  EXPECT_TRUE(registry.armed("tests.a"));
+  ASSERT_TRUE(registry.hit("tests.a").has_value());
+
+  EXPECT_FALSE(registry.hit("tests.b").has_value());  // skip=1
+  const auto b = registry.hit("tests.b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 99);                                  // arg
+  EXPECT_TRUE(registry.hit("tests.b").has_value());   // times=2
+  EXPECT_FALSE(registry.hit("tests.b").has_value());
+
+  EXPECT_FALSE(registry.hit("tests.c", 3).has_value());
+  EXPECT_TRUE(registry.hit("tests.c", 4).has_value());
+  EXPECT_TRUE(registry.hit("tests.c", 4).has_value());  // times=-1: unlimited
+  EXPECT_TRUE(registry.hit("tests.c", 9).has_value());
+
+  registry.clear();
+  EXPECT_EQ(registry.armed_count(), 0u);
+}
+
+TEST(Failpoint, ArmFromStringRejectsMalformedInput) {
+  util::Failpoints registry;
+  EXPECT_THROW(registry.arm_from_string("tests.bad=abc"), ContractError);
+  EXPECT_THROW(registry.arm_from_string("tests.bad=-1"), ContractError);
+  EXPECT_THROW(registry.arm_from_string("tests.bad=0:1:0:0"), ContractError);
+  EXPECT_THROW(registry.arm_from_string("tests.bad@x"), ContractError);
+  EXPECT_THROW(registry.arm_from_string("=1"), ContractError);
+}
+
+TEST(Failpoint, ScopedFailpointDisarmsOnExit) {
+  {
+    const util::ScopedFailpoint fp("tests.scoped", {});
+    EXPECT_TRUE(util::Failpoints::global().armed("tests.scoped"));
+  }
+  EXPECT_FALSE(util::Failpoints::global().armed("tests.scoped"));
+  EXPECT_FALSE(util::failpoint("tests.scoped").has_value());
 }
 
 // --- misc helpers ------------------------------------------------------------------

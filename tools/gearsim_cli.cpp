@@ -3,12 +3,14 @@
 //   gearsim list
 //   gearsim run   --workload CG --nodes 4 [--gear 2] [--cluster athlon]
 //   gearsim sweep --workload CG --nodes 4 [--jobs N] [--cache DIR]
-//                 [--repeat R] [--csv] [--cluster athlon]
+//                 [--repeat R] [--csv] [--keep-going] [--retries K]
+//                 [--watchdog S] [--cluster athlon]
 //   gearsim space --workload LU [--jobs N] [--cache DIR] [--csv]
 //   gearsim model --workload SP --target 64
 //   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
 //   gearsim policy --workload CG --nodes 8 [--jobs N] [--cache DIR]
 //                  [--svg FILE] [--cluster athlon]
+//   gearsim cache verify|scrub [--dir DIR]
 //
 // `run` executes one experiment and prints its full measurement record;
 // `sweep` prints one energy-time curve (optionally CSV for replotting);
@@ -22,7 +24,15 @@
 // `sweep` and `space` go through exec::SweepRunner: --jobs fans the
 // independent points over worker threads (bit-identical to serial),
 // --cache DIR skips points already simulated by any earlier invocation
-// (content-addressed; see docs/EXECUTOR.md).
+// (content-addressed; see docs/EXECUTOR.md).  `sweep --keep-going` runs
+// under exec::SweepSupervisor instead: one failing point no longer
+// aborts the sweep — completed gears print, failures are reported, and
+// the exit code is 1 (see docs/RESILIENCE.md).
+//
+// `cache verify` walks a result-store directory validating every entry
+// (header, length, FNV-1a checksum, JSON decode) read-only; `cache
+// scrub` additionally quarantines corrupt entries into .quarantine/ and
+// removes stale temp files.
 //
 // `run`, `sweep`, `space`, `faults`, and `policy` accept
 // --metrics PATH: write an obs::RunManifest (config/workload identity,
@@ -41,6 +51,8 @@
 #include "cluster/experiment.hpp"
 #include "exec/cache_key.hpp"
 #include "exec/result_cache.hpp"
+#include "exec/store.hpp"
+#include "exec/supervisor.hpp"
 #include "exec/sweep_runner.hpp"
 #include "model/analytic.hpp"
 #include "model/pipeline.hpp"
@@ -78,7 +90,13 @@ std::optional<Args> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  // `cache` takes one positional action (verify|scrub) before options.
+  if (args.command == "cache" && first < argc &&
+      std::string(argv[first]).rfind("--", 0) != 0) {
+    args.options["action"] = argv[first++];
+  }
+  for (int i = first; i < argc; ++i) {
     std::string token = argv[i];
     if (token.rfind("--", 0) != 0) return std::nullopt;
     token = token.substr(2);
@@ -304,7 +322,6 @@ int cmd_sweep(const Args& args) {
   exec::SweepOptions options;
   const auto cache = make_sweep_options(args, &options);
   options.metrics = sink.registry();
-  const exec::SweepRunner runner(config, options);
 
   // gears x repetitions as one flat point list, so cache hits and the
   // worker pool cover the repetitions too.
@@ -314,7 +331,25 @@ int cmd_sweep(const Args& args) {
       points.push_back(exec::SweepPoint{workload.get(), nodes, g, rep});
     }
   }
-  const auto runs = runner.run(points);
+
+  // --keep-going: supervised execution — failed points are reported and
+  // the rest of the curve still prints (exit 1 signals the partial).
+  const bool keep_going = args.has("keep-going");
+  std::vector<std::optional<cluster::RunResult>> runs;
+  exec::SweepOutcome outcome;
+  if (keep_going) {
+    exec::SupervisorOptions supervise;
+    supervise.max_attempts = args.get_int("retries", 3);
+    supervise.watchdog_seconds = std::stod(args.get("watchdog", "0"));
+    const exec::SweepSupervisor supervisor(config, options, supervise);
+    outcome = supervisor.run(points);
+    runs = outcome.results;
+  } else {
+    const exec::SweepRunner runner(config, options);
+    auto all = runner.run(points);
+    runs.reserve(all.size());
+    for (auto& r : all) runs.emplace_back(std::move(r));
+  }
 
   TextTable table(repeat > 1
                       ? std::vector<std::string>{"gear", "MHz", "time_s",
@@ -325,32 +360,74 @@ int cmd_sweep(const Args& args) {
   for (std::size_t g = 0; g < config.gears.size(); ++g) {
     RunningStats time_s;
     RunningStats energy_j;
+    int gear_label = 0;
     for (int rep = 0; rep < repeat; ++rep) {
       const auto& r = runs[g * static_cast<std::size_t>(repeat) +
                            static_cast<std::size_t>(rep)];
-      time_s.add(r.wall.value());
-      energy_j.add(r.energy.value());
+      if (!r.has_value()) continue;  // Supervised mode: failed rep.
+      time_s.add(r->wall.value());
+      energy_j.add(r->energy.value());
+      if (gear_label == 0) gear_label = r->gear_label;
     }
-    const auto& first = runs[g * static_cast<std::size_t>(repeat)];
-    std::vector<std::string> row{
-        std::to_string(first.gear_label),
-        fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
-        fmt_fixed(time_s.mean(), 3), fmt_fixed(energy_j.mean(), 1),
-        fmt_fixed(energy_j.mean() / time_s.mean(), 1)};
-    if (repeat > 1) {
-      const double cv =
-          time_s.mean() > 0.0 ? time_s.stddev() / time_s.mean() : 0.0;
-      row.push_back(fmt_fixed(cv, 5));
+    std::vector<std::string> row;
+    if (time_s.count() == 0) {
+      // Every rep of this gear failed; the failure report below says why.
+      row = {std::to_string(g + 1),
+             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
+             "failed", "failed", "failed"};
+      if (repeat > 1) row.push_back("failed");
+    } else {
+      row = {std::to_string(gear_label),
+             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
+             fmt_fixed(time_s.mean(), 3), fmt_fixed(energy_j.mean(), 1),
+             fmt_fixed(energy_j.mean() / time_s.mean(), 1)};
+      if (repeat > 1) {
+        const double cv =
+            time_s.mean() > 0.0 ? time_s.stddev() / time_s.mean() : 0.0;
+        row.push_back(fmt_fixed(cv, 5));
+      }
     }
     table.add_row(row);
   }
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
   print_cache_stats(options.cache);
+  if (keep_going && !outcome.ok()) {
+    std::cout << outcome.failures.size() << " of " << points.size()
+              << " job(s) failed (" << outcome.retries << " retr"
+              << (outcome.retries == 1 ? "y" : "ies") << "):\n"
+              << outcome.report();
+  }
+  for (std::size_t index : outcome.runaway) {
+    std::cout << "watchdog: job #" << index << " exceeded "
+              << fmt_fixed(std::stod(args.get("watchdog", "0")), 3)
+              << " s of wall time\n";
+  }
   sink.add_identity(config, *workload);
   sink.add_info("nodes", std::to_string(nodes));
   sink.add_info("repeat", std::to_string(repeat));
   sink.write(exec::kKeyFormatVersion);
-  return 0;
+  return keep_going && !outcome.ok() ? 1 : 0;
+}
+
+int cmd_cache(const Args& args) {
+  // Result-store integrity tooling over exec/store.hpp: `verify` is a
+  // read-only walk, `scrub` repairs by quarantine (corrupt entries move
+  // to .quarantine/ so the next sweep recomputes them) and removes temp
+  // leftovers.  verify exits 1 when anything is wrong, for CI gating.
+  const std::string action = args.get("action", "");
+  const std::string dir = args.get("dir", "out/cache");
+  if (action == "verify") {
+    const exec::StoreReport report = exec::verify_store(dir);
+    std::cout << "store " << dir << ": " << report.to_string();
+    return report.clean() ? 0 : 1;
+  }
+  if (action == "scrub") {
+    const exec::StoreReport report = exec::scrub_store(dir);
+    std::cout << "store " << dir << ": " << report.to_string();
+    return 0;
+  }
+  std::cerr << "gearsim cache: expected an action, verify or scrub\n";
+  return 2;
 }
 
 int cmd_space(const Args& args) {
@@ -560,7 +637,9 @@ int usage() {
       "  list                              available workloads\n"
       "  run    --workload W --nodes N [--gear G] [--cluster C]\n"
       "  sweep  --workload W --nodes N [--jobs J] [--cache DIR]\n"
-      "         [--repeat R] [--csv] [--cluster C]\n"
+      "         [--repeat R] [--csv] [--cluster C] [--keep-going]\n"
+      "         [--retries K] [--watchdog S]\n"
+      "  cache  verify|scrub [--dir DIR]      result-store integrity\n"
       "  space  --workload W [--jobs J] [--cache DIR] [--csv] [--cluster C]\n"
       "  model  --workload W [--target M] [--csv]\n"
       "  trace  --workload W --nodes N [--gear G] [--out STEM]\n"
@@ -586,6 +665,7 @@ int main(int argc, char** argv) {
     if (args->command == "list") return cmd_list();
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "cache") return cmd_cache(*args);
     if (args->command == "space") return cmd_space(*args);
     if (args->command == "model") return cmd_model(*args);
     if (args->command == "advise") return cmd_advise(*args);
