@@ -28,7 +28,12 @@ namespace gearsim::exec {
 /// results grew per-rank gear residency.
 /// v3: results grew event_order_hash (the dispatch-order determinism
 /// probe); older cached entries lack the field and must be re-run.
-inline constexpr int kKeyFormatVersion = 3;
+/// v4: results grew event_set_hash (the order-independent probe that
+/// the conservative parallel engine is verified against).  Engine mode
+/// itself deliberately stays OUT of the key: a run's identity is its
+/// physics, and the parallel path is held byte-equal to serial, so one
+/// cache serves both modes.
+inline constexpr int kKeyFormatVersion = 4;
 
 /// FNV-1a 64-bit hash of a byte string.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);

@@ -140,74 +140,113 @@ SweepOutcome SweepSupervisor::run(
 
   obs::MetricsRegistry* const reg = sweep.metrics;
 
+  // One job's attempt/retry loop.  Exceptions from the *simulation* are
+  // absorbed into the JobState here; anything thrown past this function
+  // (classify, allocation failure, the escape failpoint) is caught by
+  // the outer handler at the call site.
+  const auto run_one_job = [&](JobState& job, std::size_t i,
+                               std::int64_t job_index) {
+    // Failpoint modeling an exception that escapes the per-attempt
+    // handling — the class of bug the outer catch exists for.
+    if (util::failpoint("exec.supervisor.job.escape", job_index)) {
+      throw SimulationError("failpoint exec.supervisor.job.escape fired for job " +
+                            std::to_string(i));
+    }
+    for (int attempt = 1;; ++attempt) {
+      job.attempts = attempt;
+      const SteadyClock::time_point start = SteadyClock::now();
+      try {
+        // Failpoints (deterministic, keyed by job index; see
+        // docs/RESILIENCE.md).  job.slow's arg is a sleep in
+        // milliseconds — the watchdog test's runaway config.
+        if (util::failpoint("exec.supervisor.job.throw", job_index)) {
+          throw TransientError(
+              "failpoint exec.supervisor.job.throw fired for job " +
+              std::to_string(i));
+        }
+        if (util::failpoint("exec.supervisor.job.throw_permanent",
+                            job_index)) {
+          throw SimulationError(
+              "failpoint exec.supervisor.job.throw_permanent fired "
+              "for job " +
+              std::to_string(i));
+        }
+        if (const auto ms =
+                util::failpoint("exec.supervisor.job.slow", job_index)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+        }
+        std::unique_ptr<obs::MetricsRegistry> point_reg;
+        if (reg != nullptr) {
+          point_reg = std::make_unique<obs::MetricsRegistry>();
+        }
+        cluster::RunResult result =
+            runner_.simulate_point(points[i], point_reg.get());
+        job.wall_seconds += seconds_since(start);
+        if (sweep.cache != nullptr) {
+          sweep.cache->insert(keys[i], result);
+        }
+        if (point_reg != nullptr) job.snapshot = point_reg->snapshot();
+        outcome.results[i] = std::move(result);
+        job.completed = true;
+        return;
+      } catch (const std::exception& e) {
+        job.wall_seconds += seconds_since(start);
+        job.error = e.what();
+        job.eptr = std::current_exception();
+        job.kind = classify(e);
+      } catch (...) {
+        job.wall_seconds += seconds_since(start);
+        job.error = "unknown exception";
+        job.eptr = std::current_exception();
+        job.kind = FailureKind::kPermanent;
+      }
+      if (job.kind != FailureKind::kTransient ||
+          attempt >= sup.max_attempts) {
+        return;  // Terminal: permanent, or retry budget exhausted.
+      }
+      // Deterministic exponential backoff: attempt k waits
+      // base * 2^(k-2) seconds before running.
+      if (sup.backoff_base_seconds > 0.0) {
+        const double wait =
+            sup.backoff_base_seconds *
+            static_cast<double>(std::uint64_t{1} << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      }
+    }
+  };
+
   // Phase 2, worker pool: every pending job under exception isolation.
   // Nothing escapes the lambda, so parallel_for_ordered never aborts and
-  // every job gets its turn regardless of its neighbours' fate.
+  // every job gets its turn regardless of its neighbours' fate.  That
+  // guarantee must hold *unconditionally*: an escaped exception trips
+  // parallel_for_ordered's fail-fast stop flag, unclaimed jobs are
+  // silently skipped, and a job legitimately flagged slow while the pool
+  // drains would lose its phase-3 bookkeeping — runaway flag and
+  // JobFailure record — to the sweep-wide rethrow.  run_one_job's inner
+  // try does not cover everything, though: the user-supplied `classify`
+  // callback runs in the *catch* handler and may itself throw, as may
+  // the error-string copy.  The outer catch here turns any such escape
+  // into a recorded permanent failure for this job, so phase 3 always
+  // runs over every job.
   parallel_for_ordered(
       sweep.jobs, pending.size(), [&](std::size_t m) {
         const std::size_t i = pending[m];
-        const auto job_index = static_cast<std::int64_t>(i);
         JobState& job = jobs[i];
-        for (int attempt = 1;; ++attempt) {
-          job.attempts = attempt;
-          const SteadyClock::time_point start = SteadyClock::now();
+        try {
+          run_one_job(job, i, static_cast<std::int64_t>(i));
+        } catch (const std::exception& e) {
+          job.eptr = std::current_exception();
+          job.kind = FailureKind::kPermanent;
+          job.completed = false;
           try {
-            // Failpoints (deterministic, keyed by job index; see
-            // docs/RESILIENCE.md).  job.slow's arg is a sleep in
-            // milliseconds — the watchdog test's runaway config.
-            if (util::failpoint("exec.supervisor.job.throw", job_index)) {
-              throw TransientError(
-                  "failpoint exec.supervisor.job.throw fired for job " +
-                  std::to_string(i));
-            }
-            if (util::failpoint("exec.supervisor.job.throw_permanent",
-                                job_index)) {
-              throw SimulationError(
-                  "failpoint exec.supervisor.job.throw_permanent fired "
-                  "for job " +
-                  std::to_string(i));
-            }
-            if (const auto ms =
-                    util::failpoint("exec.supervisor.job.slow", job_index)) {
-              std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
-            }
-            std::unique_ptr<obs::MetricsRegistry> point_reg;
-            if (reg != nullptr) {
-              point_reg = std::make_unique<obs::MetricsRegistry>();
-            }
-            cluster::RunResult result =
-                runner_.simulate_point(points[i], point_reg.get());
-            job.wall_seconds += seconds_since(start);
-            if (sweep.cache != nullptr) {
-              sweep.cache->insert(keys[i], result);
-            }
-            if (point_reg != nullptr) job.snapshot = point_reg->snapshot();
-            outcome.results[i] = std::move(result);
-            job.completed = true;
-            return;
-          } catch (const std::exception& e) {
-            job.wall_seconds += seconds_since(start);
-            job.error = e.what();
-            job.eptr = std::current_exception();
-            job.kind = classify(e);
+            job.error = std::string("supervisor job escape: ") + e.what();
           } catch (...) {
-            job.wall_seconds += seconds_since(start);
-            job.error = "unknown exception";
-            job.eptr = std::current_exception();
-            job.kind = FailureKind::kPermanent;
+            job.error.clear();
           }
-          if (job.kind != FailureKind::kTransient ||
-              attempt >= sup.max_attempts) {
-            return;  // Terminal: permanent, or retry budget exhausted.
-          }
-          // Deterministic exponential backoff: attempt k waits
-          // base * 2^(k-2) seconds before running.
-          if (sup.backoff_base_seconds > 0.0) {
-            const double wait =
-                sup.backoff_base_seconds *
-                static_cast<double>(std::uint64_t{1} << (attempt - 1));
-            std::this_thread::sleep_for(std::chrono::duration<double>(wait));
-          }
+        } catch (...) {
+          job.eptr = std::current_exception();
+          job.kind = FailureKind::kPermanent;
+          job.completed = false;
         }
       });
 

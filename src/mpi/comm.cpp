@@ -52,10 +52,10 @@ Comm Comm::split(int color, int key) {
   const std::uint64_t split_id =
       (static_cast<std::uint64_t>(context_) << 32) |
       static_cast<std::uint32_t>(split_seq_++);
-  world_.split_table_[split_id][rank_] = World::SplitEntry{color, key};
+  world_.deposit_split(split_id, rank_, World::SplitEntry{color, key});
   barrier_impl();
 
-  const auto& entries = world_.split_table_[split_id];
+  const auto entries = world_.split_entries(split_id);
   GEARSIM_REQUIRE(entries.size() == static_cast<std::size_t>(size()),
                   "Comm::split must be called by every rank of the "
                   "communicator");
@@ -104,6 +104,18 @@ Request Comm::isend_impl(Rank dst, int tag, Bytes bytes) {
   detail::Envelope env{rank_, tag, bytes, context_, nullptr};
   Request req;
   if (bytes > world_.params().eager_threshold) {
+    // Rendezvous across partitions is unsupported in partitioned mode:
+    // the receiver's match would have to wake the sender with effectively
+    // zero lookahead (the ACK has no network delay in this model), which
+    // the conservative horizon cannot admit.  Same-partition rendezvous
+    // is fine — the wake stays partition-local.  The distinct exception
+    // type lets ExperimentRunner::run rerun the experiment serially.
+    if (world_.partitioned() && dst_world != world_rank_ &&
+        world_.partition_of(dst_world) != world_.partition_of(world_rank_)) {
+      throw sim::ParallelUnsupportedError(
+          "cross-partition rendezvous send (message above the eager "
+          "threshold) is not supported by the parallel engine; run serial");
+    }
     req.send_ = std::make_shared<detail::SendState>();
     env.send_state = req.send_;
   } else {
@@ -115,15 +127,21 @@ Request Comm::isend_impl(Rank dst, int tag, Bytes bytes) {
   // inside the rank's context) is gone — capture the World, which outlives
   // the whole engine run.
   World* world = &world_;
+  sim::Engine& engine = world_.engine_for(world_rank_);
   if (dst_world == world_rank_) {
     // Self-message: no network involvement; deliver at the current time.
-    world_.engine().schedule_at(
-        world_.engine().now(),
+    engine.schedule_at(
+        engine.now(),
         [world, dst_world, env] { world->deliver(dst_world, env); });
+  } else if (world_.partitioned()) {
+    // Defer the network reservation to the window barrier, where all
+    // partitions' transfers are applied serially in canonical order (see
+    // World::apply_deferred_transfers).  The delivery is posted there.
+    world_.defer_transfer(world_rank_, dst_world, bytes, engine.now(), env);
   } else {
     const Seconds arrival = world_.network().transfer(
-        world_rank_, dst_world, bytes, world_.engine().now());
-    world_.engine().schedule_at(
+        world_rank_, dst_world, bytes, engine.now());
+    engine.schedule_at(
         arrival, [world, dst_world, env] { world->deliver(dst_world, env); });
   }
   return req;

@@ -101,6 +101,20 @@ class Network {
   /// Pure lower-bound transfer time with no contention (for tests/docs).
   [[nodiscard]] Seconds uncontended_time(Bytes bytes) const;
 
+  /// Minimum cross-node interaction delay, for conservative parallel
+  /// engine synchronization (sim::ParallelEngine): every transfer's
+  /// arrival is >= its injection time + this bound.  With jitter off,
+  /// transfer() adds at least the wire latency on top of non-decreasing
+  /// reservations, and link-fault windows only ever *increase* it
+  /// (latency_factor is validated >= 1, retransmit penalties are
+  /// non-negative).  Multiplicative jitter can undercut the base latency,
+  /// so a jittered network returns zero — "no sound lookahead" — and
+  /// callers must fall back to serial execution.
+  [[nodiscard]] Seconds conservative_lookahead() const {
+    if (params_.latency_jitter > 0.0) return Seconds{};
+    return params_.latency;
+  }
+
   /// Total messages / bytes carried (for reports).
   [[nodiscard]] std::uint64_t messages_carried() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }

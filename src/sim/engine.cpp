@@ -111,13 +111,27 @@ void Engine::set_metrics(obs::MetricsRegistry* metrics) {
 }
 
 void Engine::terminate_processes() {
+  // Unwind the process threads first — their stack destructors may
+  // schedule or reference nothing, but they must not observe a
+  // half-destroyed queue — then destroy the dropped pending events while
+  // the objects their captures reference (world, meters, stack locals of
+  // the aborted run) are still alive.  Leaving them for ~Engine is the
+  // bug this ordering fixes: member destruction runs in reverse
+  // declaration order, so processes_ (and any later-declared stack
+  // objects the captures point at) would already be gone when the pooled
+  // callables finally died.
   for (auto& p : processes_) p->terminate();
+  queue_.clear();
 }
 
 void Engine::schedule_at(Seconds t, EventFn fn) {
   GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
   count_pool_path(fn.on_heap());
-  queue_.push(t, std::move(fn));
+  // The new event's pedigree: born now, by the event currently being
+  // dispatched, whose own birth and parent become the ancestor keys.
+  queue_.push(t, std::move(fn),
+              EventPedigree{now_, current_pedigree_.birth,
+                            current_pedigree_.parent});
   if (m_queue_high_water_ != nullptr) {
     m_queue_high_water_->set(static_cast<double>(queue_.size()));
   }
@@ -133,6 +147,12 @@ void Engine::schedule_batch(EventBatch& batch) {
     GEARSIM_REQUIRE(t >= now_, "event scheduled in the past");
     count_pool_path(on_heap);
   });
+  // Items without an explicit pedigree are being inserted *now*, by the
+  // event currently dispatching — stamp them so the (time, pedigree,
+  // seq) order sees their true insertion provenance (mailbox items from
+  // ParallelEngine carry their serial values already and keep them).
+  batch.fill_pedigrees(EventPedigree{now_, current_pedigree_.birth,
+                                     current_pedigree_.parent});
   queue_.push_batch(batch);
   if (m_queue_high_water_ != nullptr) {
     m_queue_high_water_->set(static_cast<double>(queue_.size()));
@@ -177,6 +197,7 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
 void Engine::dispatch_one() {
   EventQueue::Popped ev = queue_.pop();
   now_ = ev.time;
+  current_pedigree_ = ev.pedigree;
   ++events_executed_;
   // Dispatch-order fingerprint: the time identifies *when*, the insertion
   // seq identifies *which* of several simultaneous events ran — together
@@ -184,6 +205,11 @@ void Engine::dispatch_one() {
   order_hash_ = util::fnv1a_mix(order_hash_,
                                 std::bit_cast<std::uint64_t>(ev.time.value()));
   order_hash_ = util::fnv1a_mix(order_hash_, ev.seq);
+  // Order-independent companion: a commutative (wrapping-sum) fold over
+  // per-event time hashes, so repartitioning the same events across
+  // ParallelEngine partitions leaves it unchanged.
+  event_set_hash_ += util::fnv1a_mix(
+      util::kFnv1aOffset, std::bit_cast<std::uint64_t>(ev.time.value()));
   if (m_events_ != nullptr) m_events_->add();
   ev.fn();
 }
@@ -223,6 +249,19 @@ void Engine::run() {
   }
   running_ = false;
   check_deadlock();
+}
+
+std::uint64_t Engine::run_window(Seconds horizon) {
+  GEARSIM_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty() && queue_.next_time() < horizon) {
+    dispatch_one();
+    ++dispatched;
+    rethrow_process_error();
+  }
+  running_ = false;
+  return dispatched;
 }
 
 void Engine::run_until(Seconds t) {

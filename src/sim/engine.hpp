@@ -30,6 +30,7 @@
 namespace gearsim::sim {
 
 class Engine;
+class ParallelEngine;
 
 /// A cooperative simulation process.  Created via Engine::spawn; the body
 /// receives a reference to its Process and may call delay() / block().
@@ -103,6 +104,18 @@ class Engine {
 
   [[nodiscard]] Seconds now() const { return now_; }
 
+  /// Pedigree of the event currently being dispatched: the simulated
+  /// instant it was inserted into the queue, plus its parent's and
+  /// grandparent's births (all zero outside dispatch).  In a serial run
+  /// the global insertion sequence is monotone in the pedigree, so for
+  /// simultaneous events pedigree order *is* serial dispatch order — the
+  /// MPI layer records it for deferred cross-partition transfers so the
+  /// window barrier can replay the serial reservation order exactly
+  /// (see mpi::World::apply_deferred_transfers).
+  [[nodiscard]] const EventPedigree& current_event_pedigree() const {
+    return current_pedigree_;
+  }
+
   /// Schedule `fn` at absolute simulated time `t >= now()`.
   void schedule_at(Seconds t, EventFn fn);
   /// Schedule `fn` after a non-negative delay.
@@ -134,11 +147,32 @@ class Engine {
   /// times remain queued.
   void run_until(Seconds t);
 
+  /// Dispatch every pending event with time strictly below `horizon`;
+  /// later events stay queued and now() is left at the last dispatched
+  /// event.  This is one conservative time window: ParallelEngine runs
+  /// disjoint partitions' windows concurrently, with `horizon` chosen so
+  /// no partition can receive a cross-partition event below it.  Returns
+  /// the number of events dispatched.
+  std::uint64_t run_window(Seconds horizon);
+
+  /// True when events are pending; next_event_time() is the earliest
+  /// pending time (precondition: has_pending()).  May reorganize queue
+  /// internals, never the dispatch order.
+  [[nodiscard]] bool has_pending() const { return queue_.size() != 0; }
+  [[nodiscard]] Seconds next_event_time() { return queue_.next_time(); }
+  /// Pending (undispatched) events currently queued.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
   /// Cooperatively unwind every live process now (idempotent; the
   /// destructor calls it too).  When aborting a run, call this while the
   /// objects the process bodies reference are still alive — stack
   /// unwinding in the process threads runs destructors that may touch
-  /// them.
+  /// them, and the pending events dropped from the queue hold pooled
+  /// callables whose captures may too, so the queue is cleared here (at a
+  /// point where the referents are guaranteed alive) rather than at
+  /// ~Engine, which runs after members declared later — and, for a
+  /// stack-allocated engine, after every local declared below it — are
+  /// already gone.
   void terminate_processes();
 
   /// Number of processes spawned over the engine's lifetime.
@@ -152,6 +186,23 @@ class Engine {
   /// is the determinism contract queue changes are verified against
   /// (golden hashes in sim_test, cross-path checks in the sweep tests).
   [[nodiscard]] std::uint64_t order_hash() const { return order_hash_; }
+
+  /// Order-independent fingerprint of the dispatched-event *multiset*:
+  /// every executed event contributes fnv1a(time) by wrapping addition,
+  /// so the value is invariant under any reordering or repartitioning of
+  /// the same events.  A parallel run over P partitions and the serial
+  /// oracle execute the same physical events iff their set hashes match
+  /// (a probabilistic probe, like order_hash — collisions are possible
+  /// but never systematic).  Sequence numbers are deliberately excluded:
+  /// they are an artifact of per-queue insertion order, which legitimately
+  /// differs across partition counts.
+  [[nodiscard]] std::uint64_t event_set_hash() const {
+    return event_set_hash_;
+  }
+
+  /// Partition index when this engine is one partition of a
+  /// ParallelEngine; 0 for a standalone serial engine.
+  [[nodiscard]] std::size_t partition_id() const { return partition_id_; }
 
   /// Events whose capture fit EventFn's inline buffer (the fast path).
   [[nodiscard]] std::uint64_t pool_inline_events() const {
@@ -172,6 +223,7 @@ class Engine {
 
  private:
   friend class Process;
+  friend class ParallelEngine;
   void dispatch_one();
   void count_pool_path(bool on_heap);
   void check_deadlock() const;
@@ -179,9 +231,12 @@ class Engine {
 
   EventQueue queue_;
   Seconds now_{0.0};
+  EventPedigree current_pedigree_{};
   std::vector<std::unique_ptr<Process>> processes_;
   std::uint64_t events_executed_ = 0;
   std::uint64_t order_hash_ = util::kFnv1aOffset;
+  std::uint64_t event_set_hash_ = 0;
+  std::size_t partition_id_ = 0;
   std::uint64_t pool_inline_events_ = 0;
   std::uint64_t pool_fallback_allocs_ = 0;
   bool running_ = false;

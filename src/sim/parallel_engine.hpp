@@ -1,0 +1,160 @@
+// Conservative parallel discrete-event execution over engine partitions.
+//
+// ParallelEngine owns P ordinary Engines — one per partition of the
+// simulated actors — and drives them through synchronized time windows on
+// a persistent worker pool (util/parallel.hpp WorkerPool):
+//
+//   1. Barrier: compute T = min over partitions of the earliest pending
+//      event time, and the window horizon H = T + lookahead.
+//   2. Window: every partition dispatches its events with time < H
+//      concurrently.  Within a partition, execution is exactly the serial
+//      engine — one thread at a time, strict (time, seq) order.
+//   3. Drain: cross-partition events posted during the window land in
+//      per-(destination, source) mailbox lanes; the coordinating thread
+//      drains them into the destination queues in fixed lane order, then
+//      loops to 1.
+//
+// Conservative soundness: a cross-partition post must target a time
+// >= H (enforced), and every event a partition dispatches in the window
+// has time < H, so no partition can ever receive an event below a time
+// it has already passed — the per-partition (time, seq) order, and hence
+// the physics, is independent of thread count and scheduling.  The
+// lookahead comes from the minimum cross-partition interaction delay (for
+// the cluster layer, net::Network's minimum link latency — see
+// Network::conservative_lookahead).
+//
+// This is the classic time-window (barrier) variant of conservative PDES.
+// Null-message (CMB) synchronization — worth it only when lookahead is so
+// small that windows degenerate to single events — is deliberately not
+// implemented; the paper's cluster configs have >= 80us link latency
+// against ~15us MPI call overhead, so windows batch usefully.  See
+// docs/API.md "Engine internals".
+//
+// Determinism contract: each partition's dispatch is deterministic, so
+// Engine::order_hash is reproducible per partition; the *global*
+// interleaving across partitions is not a defined order, so the
+// cross-mode probe is Engine::event_set_hash (order-independent), summed
+// here over partitions.  A parallel run matches the serial oracle iff the
+// set hashes (and every physical result derived from the events) match.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/parallel.hpp"
+#include "util/units.hpp"
+
+namespace gearsim::sim {
+
+/// Thrown when a run discovers *mid-flight* that it needs an interaction
+/// the conservative parallel engine cannot reproduce (e.g. a
+/// cross-partition rendezvous send, whose zero-delay ACK has no sound
+/// lookahead).  Distinct from SimulationError so callers holding a serial
+/// oracle can catch it and rerun serially — the aborted parallel run has
+/// produced no observable output, so the fallback is silent and exact —
+/// while genuine simulation failures keep propagating.
+class ParallelUnsupportedError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+class ParallelEngine {
+ public:
+  /// `partitions >= 1` engines synchronized with `lookahead > 0`;
+  /// `threads` workers (0 = one per partition, negative = hardware
+  /// concurrency; clamped to the partition count).
+  ParallelEngine(std::size_t partitions, Seconds lookahead, int threads = 0);
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  [[nodiscard]] std::size_t partitions() const { return parts_.size(); }
+  [[nodiscard]] int threads() const { return pool_.threads(); }
+  [[nodiscard]] Seconds lookahead() const { return lookahead_; }
+
+  /// Partition `p`'s engine.  Spawn processes and schedule local events
+  /// directly on it; its schedule_* calls stay partition-local and must
+  /// only be made from that partition's execution context (or before
+  /// run(), from the setup thread).
+  [[nodiscard]] Engine& partition(std::size_t p);
+
+  /// Post a cross-partition event from partition-execution context:
+  /// `from` must be the partition engine the calling worker is currently
+  /// running, and `t` must respect the conservative bound (>= the current
+  /// window horizon — any interaction delayed by at least the lookahead
+  /// satisfies this).  Lock-free: lane (to, from) has exactly one writer.
+  /// The event is delivered into `to`'s queue at the window barrier,
+  /// carrying the pedigree its serial twin would have had (born at
+  /// from.now(), by the posting event) — so it dispatches in
+  /// serial-equivalent order among `to`'s simultaneous events (see
+  /// EventQueue's (time, pedigree, seq) contract).
+  void post(Engine& from, std::size_t to, Seconds t, EventFn fn);
+
+  /// Post from barrier-hook context (coordinating thread, between
+  /// windows).  Same conservative bound as post().  `pedigree` is the
+  /// insertion provenance the event's serial twin would have had (the
+  /// MPI layer passes a deferred transfer's inject time and the sending
+  /// event's births); when omitted it defaults to the barrier's virtual
+  /// time now().
+  void post_at_barrier(std::size_t to, Seconds t, EventFn fn);
+  void post_at_barrier(std::size_t to, Seconds t, EventFn fn,
+                       const EventPedigree& pedigree);
+
+  /// Hook run on the coordinating thread at every window barrier, after
+  /// the partitions drain and before mailboxes are delivered.  The
+  /// cluster layer applies deferred network transfers here, serially and
+  /// in canonical order (see mpi::World::apply_deferred_transfers).
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  /// Run windows until every partition's queue drains.  Throws
+  /// SimulationError on global deadlock (blocked processes with no
+  /// pending events anywhere) and rethrows the error of the
+  /// lowest-indexed failing partition — deterministic for any thread
+  /// count, since partition contents are.
+  void run();
+
+  /// Cooperatively unwind every partition's processes and drop pending
+  /// events — including undelivered mailbox posts — while the objects
+  /// their captures reference are still alive.  Idempotent; the
+  /// destructor calls it too.
+  void terminate_processes();
+
+  /// Virtual-time lower bound: the start of the last window run.
+  [[nodiscard]] Seconds now() const { return now_; }
+  /// Synchronization windows executed.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Totals over partitions.
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::uint64_t event_set_hash() const;
+  [[nodiscard]] std::uint64_t pool_inline_events() const;
+  [[nodiscard]] std::uint64_t pool_fallback_allocs() const;
+
+ private:
+  [[nodiscard]] EventBatch& lane(std::size_t to, std::size_t from) {
+    return lanes_[to * (parts_.size() + 1) + from];
+  }
+  void drain_mailboxes();
+
+  std::vector<std::unique_ptr<Engine>> parts_;
+  /// P x (P+1) mailbox lanes: lane (to, from) is written only by the
+  /// worker running partition `from`; lane (to, P) only by the
+  /// coordinating thread (barrier hook).  Drained single-threaded at the
+  /// barrier in fixed lane order, so delivery seq assignment — and with
+  /// it each partition's dispatch order — is deterministic.
+  std::vector<EventBatch> lanes_;
+  Seconds lookahead_;
+  Seconds now_{0.0};
+  Seconds horizon_{0.0};
+  std::uint64_t windows_ = 0;
+  bool running_ = false;
+  std::function<void()> barrier_hook_;
+  WorkerPool pool_;
+};
+
+}  // namespace gearsim::sim

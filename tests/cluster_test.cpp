@@ -2,8 +2,15 @@
 // accounting identities, determinism, and gear-sweep structure.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "cluster/dvfs.hpp"
 #include "cluster/experiment.hpp"
+#include "exec/result_io.hpp"
+#include "faults/fault_plan.hpp"
 #include "model/gear_data.hpp"
 #include "workloads/jacobi.hpp"
 #include "workloads/registry.hpp"
@@ -273,6 +280,155 @@ TEST(Runner, PolicyModalTieBreaksTowardFasterGear) {
   EXPECT_EQ(r.gear_index, 2u);  // 2 and 4 tie; the faster (lower) wins.
   EXPECT_EQ(r.gear_min_index, 2u);
   EXPECT_EQ(r.gear_max_index, 4u);
+}
+
+// --- conservative parallel engine: serial-oracle equivalence -----------------
+
+/// Every physical field of a parallel run must equal the serial oracle's
+/// exactly (the parallel path is an optimization, not a model change).
+/// event_order_hash is serial-only by contract; event_set_hash is the
+/// cross-mode probe.
+void expect_matches_serial(const RunResult& serial, const RunResult& parallel,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(serial.wall.value(), parallel.wall.value());
+  EXPECT_EQ(serial.energy.value(), parallel.energy.value());
+  EXPECT_EQ(serial.active_energy.value(), parallel.active_energy.value());
+  EXPECT_EQ(serial.idle_energy.value(), parallel.idle_energy.value());
+  EXPECT_EQ(serial.mpi_calls, parallel.mpi_calls);
+  EXPECT_EQ(serial.messages, parallel.messages);
+  EXPECT_EQ(serial.net_bytes, parallel.net_bytes);
+  EXPECT_EQ(serial.event_set_hash, parallel.event_set_hash);
+  EXPECT_NE(serial.event_order_hash, 0u);
+  EXPECT_EQ(parallel.event_order_hash, 0u);
+  EXPECT_EQ(serial.engine_partitions, 0u);
+  // A fallback-to-serial run would pass the equalities vacuously; require
+  // that the partitioned path actually executed.
+  EXPECT_GE(parallel.engine_partitions, 2u);
+  EXPECT_GE(parallel.engine_windows, 1u);
+  ASSERT_EQ(serial.node_energy.size(), parallel.node_energy.size());
+  for (std::size_t i = 0; i < serial.node_energy.size(); ++i) {
+    EXPECT_EQ(serial.node_energy[i].total.value(),
+              parallel.node_energy[i].total.value());
+  }
+}
+
+TEST(Runner, ParallelEngineMatrixMatchesSerialOracle) {
+  // Workloads x fault plans x engine threads {1, 2, 8}: the full
+  // determinism matrix from the engine's acceptance contract.  Fault
+  // plans cover the parallel-eligible space: fault-free, deterministic
+  // straggler windows, and a compose-mode crash + checkpointing plan
+  // (abort-mode crashes and link-fault plans fall back to serial and are
+  // covered by ParallelEngineFallsBackToSerialWhenUnsound below).
+  const ExperimentRunner runner(athlon_cluster());
+
+  faults::FaultPlan stragglers;
+  stragglers.straggle(0, seconds(0.0), seconds(1e9), 4)
+      .straggle(2, seconds(1.0), seconds(3.0), 5);
+
+  faults::FaultPlan compose;
+  faults::CheckpointConfig ckpt;
+  ckpt.interval = seconds(2.0);
+  compose.with_checkpointing(ckpt).crash(1, seconds(3.0));
+
+  const std::vector<std::pair<std::string, const faults::FaultPlan*>> plans =
+      {{"faults=none", nullptr},
+       {"faults=stragglers", &stragglers},
+       {"faults=compose", &compose}};
+
+  for (const char* const name : {"Jacobi", "CG", "EP", "LU", "BT"}) {
+    const auto workload = workloads::make_workload(name);
+    for (const auto& [plan_label, plan] : plans) {
+      RunOptions options;
+      options.gear_index = 2;
+      options.faults = plan;
+      options.engine_threads = 1;
+      const RunResult serial = runner.run(*workload, 4, options);
+      for (const int threads : {2, 8}) {
+        options.engine_threads = threads;
+        const RunResult parallel = runner.run(*workload, 4, options);
+        expect_matches_serial(serial, parallel,
+                              std::string(name) + " " + plan_label +
+                                  " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(Runner, ParallelEngineMatchesSerialAt256Ranks) {
+  // The acceptance-scale case: >= 4 worker threads over >= 256 simulated
+  // ranks reproduce the serial oracle exactly.  A trimmed Jacobi keeps
+  // 257 runs of physics inside the test budget.
+  ClusterConfig config = athlon_cluster();
+  config.max_nodes = 256;
+  const ExperimentRunner runner(config);
+  workloads::Jacobi::Params params;
+  params.iterations = 4;
+  const workloads::Jacobi jacobi(params);
+
+  RunOptions options;
+  options.engine_threads = 1;
+  const RunResult serial = runner.run(jacobi, 256, options);
+  options.engine_threads = 4;
+  const RunResult parallel = runner.run(jacobi, 256, options);
+  expect_matches_serial(serial, parallel, "Jacobi 256 ranks, 4 threads");
+  EXPECT_EQ(parallel.engine_partitions, 4u);
+}
+
+TEST(Runner, ParallelEngineFallsBackToSerialWhenUnsound) {
+  // Configurations the parallel engine cannot reproduce exactly must run
+  // serial (engine_partitions == 0, order hash reported) even when
+  // engine_threads asks for partitioning.
+  const workloads::Jacobi jacobi;
+
+  // Link-fault plans: the loss RNG is consumed in transfer-call order.
+  {
+    const ExperimentRunner runner(athlon_cluster());
+    faults::FaultPlan links;
+    net::LinkFaultWindow w;
+    w.from = seconds(0.0);
+    w.until = seconds(1.0);
+    w.loss_probability = 0.2;
+    links.degrade_link(w);
+    RunOptions options;
+    options.engine_threads = 8;
+    options.faults = &links;
+    const RunResult r = runner.run(jacobi, 4, options);
+    EXPECT_EQ(r.engine_partitions, 0u);
+    EXPECT_NE(r.event_order_hash, 0u);
+  }
+  // Jittered networks: no sound lookahead.
+  {
+    const ExperimentRunner runner(xeon_cluster());
+    RunOptions options;
+    options.engine_threads = 8;
+    const RunResult r = runner.run(jacobi, 4, options);
+    EXPECT_EQ(r.engine_partitions, 0u);
+  }
+  // Single node: nothing to partition.
+  {
+    const ExperimentRunner runner(athlon_cluster());
+    RunOptions options;
+    options.engine_threads = 8;
+    const RunResult r = runner.run(jacobi, 1, options);
+    EXPECT_EQ(r.engine_partitions, 0u);
+  }
+  // Cross-partition rendezvous sends are only discoverable mid-run: the
+  // parallel attempt aborts with ParallelUnsupportedError and the runner
+  // reruns serially, so the result still matches a serial-pinned run
+  // field for field.
+  {
+    ClusterConfig config = athlon_cluster();
+    config.mpi.eager_threshold = 0;  // Every message goes rendezvous.
+    const ExperimentRunner runner(config);
+    RunOptions options;
+    options.engine_threads = 1;
+    const RunResult serial = runner.run(jacobi, 4, options);
+    options.engine_threads = 8;
+    const RunResult fallback = runner.run(jacobi, 4, options);
+    EXPECT_EQ(fallback.engine_partitions, 0u);
+    EXPECT_EQ(exec::to_json(serial), exec::to_json(fallback));
+  }
 }
 
 TEST(Runner, SpeedupRejectsDegenerateDenominator) {

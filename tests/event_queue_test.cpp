@@ -137,11 +137,56 @@ TEST(EventQueue, BatchSubmissionMatchesIndividualPushOrder) {
   EXPECT_EQ(batched, individual);
 }
 
-TEST(EventQueue, BatchValidationRejectsBadTimes) {
+// --- unified finite-time guard across every insertion path ---------------
+// validate_event_time is the single gate: each path must reject a NaN /
+// infinite / negative time at its *own* entry point, so the bug is
+// reported where the time was produced — not after the batch has been
+// carried across a wake or crash-arm path.
+
+TEST(EventQueue, BatchAddRejectsBadTimesAtInsertion) {
+  EventBatch b;
+  EXPECT_THROW(b.add(seconds(std::numeric_limits<double>::quiet_NaN()), [] {}),
+               ContractError);
+  EXPECT_THROW(b.add(seconds(std::numeric_limits<double>::infinity()), [] {}),
+               ContractError);
+  EXPECT_THROW(b.add(seconds(-1.0), [] {}), ContractError);
+  EXPECT_TRUE(b.empty());  // Nothing half-inserted.
+  b.add(seconds(0.0), [] {});
+  EXPECT_EQ(b.size(), 1U);
+}
+
+TEST(EventQueue, ScheduleAtRejectsNonFiniteTimes) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(seconds(std::numeric_limits<double>::quiet_NaN()),
+                             [] {}),
+               ContractError);
+  EXPECT_THROW(e.schedule_at(seconds(std::numeric_limits<double>::infinity()),
+                             [] {}),
+               ContractError);
+  EXPECT_THROW(e.schedule_at(seconds(-1.0), [] {}), ContractError);
+}
+
+TEST(EventQueue, ScheduleAfterRejectsNonFiniteDelays) {
+  Engine e;
+  EXPECT_THROW(
+      e.schedule_after(seconds(std::numeric_limits<double>::quiet_NaN()),
+                       [] {}),
+      ContractError);
+  EXPECT_THROW(e.schedule_after(
+                   seconds(std::numeric_limits<double>::infinity()), [] {}),
+               ContractError);
+  EXPECT_THROW(e.schedule_after(seconds(-1.0), [] {}), ContractError);
+}
+
+TEST(EventQueue, PushBatchRevalidatesMovedBatches) {
+  // Even a batch built elsewhere is re-checked at submission (the queue
+  // cannot trust every producer forever) — and a valid one drains.
   Engine e;
   EventBatch b;
-  b.add(seconds(std::numeric_limits<double>::quiet_NaN()), [] {});
-  EXPECT_THROW(e.schedule_batch(b), ContractError);
+  b.add(seconds(1.0), [] {});
+  e.schedule_batch(b);
+  EXPECT_TRUE(b.empty());
+  e.run();
 }
 
 TEST(EventQueue, PoolSlotsAreReusedUnderChurn) {

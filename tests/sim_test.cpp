@@ -277,6 +277,29 @@ TEST(Engine, TerminateProcessesUnwindsEarlyAndIsIdempotent) {
   e.terminate_processes();  // Idempotent.
 }
 
+TEST(Engine, TerminateProcessesDestroysPendingEventCaptures) {
+  // Regression test (run under ASAN in CI): terminate_processes must also
+  // destroy the *pending events* — their pooled captures can reference
+  // objects (worlds, meters, rank state) that the caller tears down right
+  // after the early unwind, so destroying them any later than this is a
+  // use-after-free.  The shared_ptr canary pins the destruction point.
+  Engine e;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  e.spawn("parked", [](Process& p) { p.block(); });
+  e.schedule_at(seconds(100.0), [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // The queue owns the capture.
+  e.terminate_processes();
+  EXPECT_TRUE(watch.expired());  // Destroyed at the defined point.
+  // The engine is reusable afterwards: the cleared queue must accept and
+  // run fresh events (pool and bands were reset, not just emptied).
+  int fired = 0;
+  e.schedule_at(e.now() + seconds(1.0), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Process, StateTransitions) {
   Engine e;
   Process& p = e.spawn("p", [](Process& self) { self.delay(seconds(1.0)); });
@@ -313,6 +336,19 @@ std::unique_ptr<cluster::Workload> make_nas(const std::string& name) {
   return std::make_unique<workloads::NasBt>();
 }
 
+/// A serial-engine run at `gear`: the golden order hashes fingerprint
+/// the global dispatch order, which only the serial engine defines, so
+/// these tests pin engine_threads = 1 against any GEARSIM_ENGINE_THREADS
+/// ambient setting (the CI engine-threads matrix leg runs with 4).
+cluster::RunResult run_serial(const cluster::ExperimentRunner& runner,
+                              const cluster::Workload& wl, int nodes,
+                              std::size_t gear) {
+  cluster::RunOptions options;
+  options.gear_index = gear;
+  options.engine_threads = 1;
+  return runner.run(wl, nodes, options);
+}
+
 TEST(EngineDeterminism, GoldenEventOrderHashes) {
   const cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const std::vector<GoldenCase> goldens = {
@@ -327,7 +363,7 @@ TEST(EngineDeterminism, GoldenEventOrderHashes) {
   };
   for (const GoldenCase& g : goldens) {
     const auto wl = make_nas(g.name);
-    const cluster::RunResult r = runner.run(*wl, g.nodes, g.gear);
+    const cluster::RunResult r = run_serial(runner, *wl, g.nodes, g.gear);
     EXPECT_EQ(r.event_order_hash, g.hash)
         << g.name << " nodes=" << g.nodes << " gear=" << g.gear;
     EXPECT_NE(r.event_order_hash, 0U);
@@ -337,13 +373,13 @@ TEST(EngineDeterminism, GoldenEventOrderHashes) {
 TEST(EngineDeterminism, RepeatedRunsHashIdentically) {
   const cluster::ExperimentRunner runner(cluster::athlon_cluster());
   const workloads::NasCg cg;
-  const cluster::RunResult a = runner.run(cg, 8, 0);
-  const cluster::RunResult b = runner.run(cg, 8, 0);
+  const cluster::RunResult a = run_serial(runner, cg, 8, 0);
+  const cluster::RunResult b = run_serial(runner, cg, 8, 0);
   EXPECT_EQ(a.event_order_hash, b.event_order_hash);
   EXPECT_EQ(a.wall.value(), b.wall.value());
   // Different inputs must fingerprint differently (sanity that the hash
   // actually observes the schedule).
-  const cluster::RunResult c = runner.run(cg, 8, 2);
+  const cluster::RunResult c = run_serial(runner, cg, 8, 2);
   EXPECT_NE(a.event_order_hash, c.event_order_hash);
 }
 
@@ -353,11 +389,12 @@ TEST(EngineDeterminism, SweepWorkersDoNotPerturbEventOrder) {
   // whole simulation, so worker scheduling can never leak into it.
   const workloads::NasCg cg;
   const cluster::ExperimentRunner direct(cluster::athlon_cluster());
-  const cluster::RunResult serial0 = direct.run(cg, 8, 0);
-  const cluster::RunResult serial2 = direct.run(cg, 8, 2);
+  const cluster::RunResult serial0 = run_serial(direct, cg, 8, 0);
+  const cluster::RunResult serial2 = run_serial(direct, cg, 8, 2);
 
   exec::SweepOptions options;
   options.jobs = 2;
+  options.engine_threads = 1;
   const exec::SweepRunner sweep(cluster::athlon_cluster(), options);
   const std::vector<exec::SweepPoint> points = {
       {&cg, 8, 0, 0, nullptr},

@@ -177,6 +177,41 @@ TEST(SweepSupervisorTest, DefaultClassification) {
 
 // ---- validation, strict mode, watchdog --------------------------------------
 
+TEST(SweepSupervisorTest, EscapedJobExceptionIsContainedAndBookkept) {
+  // Regression for the watchdog-vs-fail-fast race: an exception escaping
+  // the per-attempt retry loop (classification, allocation, the escape
+  // failpoint itself) used to propagate into parallel_for_ordered, whose
+  // fail-fast stop abandoned not-yet-claimed jobs and skipped the
+  // watchdog bookkeeping for in-flight ones.  The outer catch now turns
+  // any escape into a permanent JobFailure, so every other job still
+  // runs and every completed job still gets its watchdog check.
+  const workloads::Jacobi jacobi = tiny_jacobi();
+  const auto points = make_points(jacobi, 6);
+  SweepOptions sweep;
+  sweep.jobs = 2;
+  SupervisorOptions sup;
+  // A watchdog threshold of ~zero flags every completed job: proves the
+  // flagging pass ran for all of them despite the escape.
+  sup.watchdog_seconds = 1e-9;
+  const SweepSupervisor supervisor(cluster::athlon_cluster(), sweep, sup);
+  const ScopedFailpoint fp("exec.supervisor.job.escape", at_indices({3}));
+
+  const SweepOutcome outcome = supervisor.run(points);
+  EXPECT_EQ(outcome.completed(), 5u);  // No abandoned tail.
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  const JobFailure& f = outcome.failures[0];
+  EXPECT_EQ(f.index, 3u);
+  EXPECT_EQ(f.kind, FailureKind::kPermanent);
+  EXPECT_NE(f.error.find("supervisor job escape:"), std::string::npos);
+  EXPECT_NE(f.error.find("exec.supervisor.job.escape"), std::string::npos);
+  // Watchdog flags every *completed* job (5 of 6) — the escaped job never
+  // finished an attempt, so it is not in the runaway list, and the list
+  // stays sorted by job index.
+  EXPECT_EQ(outcome.runaway.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(outcome.runaway.begin(), outcome.runaway.end()));
+  for (const std::size_t idx : outcome.runaway) EXPECT_NE(idx, 3u);
+}
+
 TEST(SweepSupervisorTest, ValidationFailureIsIsolated) {
   const workloads::Jacobi jacobi = tiny_jacobi();
   std::vector<SweepPoint> points = make_points(jacobi, 3);
