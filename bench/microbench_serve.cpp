@@ -1,0 +1,157 @@
+// Microbenchmark: what-if service throughput across cache temperatures.
+//
+// Exercises the serve stack the way a daemon session does — one Jacobi
+// sweep query (6 points) asked many ways against one serve::Service over
+// a sharded disk store:
+//
+//   cold       first query: every point simulates, store fills
+//   coalesced  8 concurrent identical queries while the cache is hot
+//   hot        200 sequential queries answered from the memory LRU
+//   preload    daemon restart with --preload, then one query from the
+//              warm-started memory tier (no disk reads on the query path)
+//
+// The deterministic gate (tools/bench_compare) holds the service to its
+// contracts: every response byte-identical to the cold one, exactly one
+// simulation per unique point no matter how many clients asked, the
+// whole store preloaded on restart, and the admission gate's
+// deterministic reject.  Latencies land in the (never-compared) wall
+// section of BENCH_microbench_serve.json.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+using namespace gearsim;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int run(bench::BenchContext& ctx) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::filesystem::path store =
+      std::filesystem::temp_directory_path() / "gearsim_bench_serve_store";
+  std::filesystem::remove_all(store);
+
+  serve::Request query;
+  query.type = "sweep";
+  query.workload = "Jacobi";
+  query.nodes = 2;
+  const std::string line = serve::render_request(query);
+
+  serve::ServiceOptions options;
+  options.cache.disk_dir = store.string();
+  options.cache.shard_digits = 2;
+  options.jobs = static_cast<int>(cores);
+
+  bool byte_identical = true;
+  std::string expected;
+  double t_cold = 0.0;
+  double t_coalesced = 0.0;
+  double t_hot = 0.0;
+  std::uint64_t simulations = 0;
+  const int kHotQueries = 200;
+  const std::size_t kClients = 8;
+  {
+    serve::Service service(options);
+    auto start = std::chrono::steady_clock::now();
+    expected = service.handle_line(line);
+    t_cold = seconds_since(start);
+    std::cout << "cold query (6 simulations):   " << t_cold << " s\n";
+
+    // Concurrent identical queries: dedup + the hot cache must absorb
+    // them all without a single extra simulation.
+    std::vector<std::string> responses(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back(
+          [&, t] { responses[t] = service.handle_line(line); });
+    }
+    for (std::thread& t : clients) t.join();
+    t_coalesced = seconds_since(start);
+    for (const std::string& r : responses) {
+      byte_identical = byte_identical && r == expected;
+    }
+    std::cout << kClients << " concurrent clients:        " << t_coalesced
+              << " s\n";
+
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kHotQueries; ++i) {
+      byte_identical = byte_identical && service.handle_line(line) == expected;
+    }
+    t_hot = seconds_since(start);
+    std::cout << kHotQueries << " hot queries:             " << t_hot
+              << " s (" << static_cast<double>(kHotQueries) / t_hot
+              << " q/s)\n";
+    simulations = service.simulations();
+  }
+
+  // Daemon restart with --preload: the store warm-starts the memory
+  // tier, so the first query of the new process is already a memory hit.
+  serve::ServiceOptions warm_options = options;
+  warm_options.preload = true;
+  auto start = std::chrono::steady_clock::now();
+  serve::Service warm(warm_options);
+  const double t_preload = seconds_since(start);
+  const std::uint64_t preloaded = warm.cache().stats().preloaded;
+  start = std::chrono::steady_clock::now();
+  byte_identical = byte_identical && warm.handle_line(line) == expected;
+  const double t_warm_query = seconds_since(start);
+  const bool warm_from_memory = warm.simulations() == 0 &&
+                                warm.cache().stats().disk_hits == 0;
+  std::cout << "preload (" << preloaded << " entries):         " << t_preload
+            << " s, first warm query " << t_warm_query << " s\n";
+
+  // Deterministic backpressure: a 2-unit batch cannot queue behind a
+  // 1-slot queue, so the reject is timing-free.
+  serve::AdmissionGate gate({/*admit=*/2, /*queue=*/1});
+  const bool reject_ok = gate.acquire(2) && !gate.acquire(2) &&
+                         gate.stats().rejected == 1;
+
+  if (!byte_identical) {
+    std::cerr << "FAIL: served responses diverged from the cold bytes\n";
+  }
+  std::cout << "bit-identity: "
+            << (byte_identical ? "OK (cold/coalesced/hot/preload byte-equal)"
+                               : "FAILED")
+            << "\n"
+            << "exactly-once: " << simulations << " simulation(s) for 6 "
+            << "unique points across " << 1 + kClients + kHotQueries
+            << " queries\n";
+
+  ctx.info("workload", "Jacobi");
+  ctx.metric("points", 6.0);
+  ctx.metric("unique_simulations", static_cast<double>(simulations));
+  ctx.metric("byte_identical", byte_identical ? 1.0 : 0.0);
+  ctx.metric("preloaded", static_cast<double>(preloaded));
+  ctx.metric("preload_from_memory", warm_from_memory ? 1.0 : 0.0);
+  ctx.metric("deterministic_reject", reject_ok ? 1.0 : 0.0);
+  ctx.wall_metric("cores", static_cast<double>(cores));
+  ctx.wall_metric("cold_s", t_cold);
+  ctx.wall_metric("coalesced_clients_s", t_coalesced);
+  ctx.wall_metric("hot_queries_s", t_hot);
+  ctx.wall_metric("hot_queries_per_s",
+                  static_cast<double>(kHotQueries) / t_hot);
+  ctx.wall_metric("preload_s", t_preload);
+  ctx.wall_metric("warm_query_s", t_warm_query);
+
+  std::filesystem::remove_all(store);
+  return byte_identical && simulations == 6 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "microbench_serve", run);
+}

@@ -126,11 +126,11 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
   //   * abort-mode crash plans: NodeFailure must unwind at one globally
   //     ordered instant (compose-mode plans are fine — crashes are folded
   //     analytically after a solid run);
-  //   * link-fault plans: Network draws the loss RNG sequentially per
-  //     transfer, so the realization depends on the global transfer-call
-  //     order — the barrier's (inject, src, seq) sort can legally differ
-  //     from serial dispatch order for same-time sends;
   //   * jittered (or zero-latency) networks: no sound lookahead.
+  // Lossy-link plans are eligible: Network keys each transfer's loss
+  // draws by (src, per-source ordinal), and the barrier replay preserves
+  // per-source transfer order, so the parallel realization is identical
+  // to serial even when the global interleaving differs.
   // One ineligibility is only discoverable mid-run: a rendezvous send
   // (message above the eager threshold) crossing a partition boundary.
   // The parallel run aborts with ParallelUnsupportedError before any
@@ -142,11 +142,8 @@ RunResult ExperimentRunner::run(const Workload& workload, int nodes,
     const bool abort_mode_crashes = any_faults &&
                                     !fault_plan->checkpointing().has_value() &&
                                     !fault_plan->crashes().empty();
-    const bool order_sensitive_faults =
-        any_faults && !fault_plan->link_faults().empty();
     if (engine_threads >= 2 && nodes >= 2 && !config_.sample_power &&
         options.metrics == nullptr && !abort_mode_crashes &&
-        !order_sensitive_faults &&
         config_.network.latency_jitter == 0.0 &&
         config_.network.latency.value() > 0.0) {
       try {

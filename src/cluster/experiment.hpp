@@ -149,7 +149,7 @@ struct RunOptions {
   /// negative = hardware concurrency.  The parallel path is an
   /// *optimization with a verification oracle*, never a semantic switch:
   /// runs that it cannot reproduce exactly (policy runs, sampled power,
-  /// abort-mode crash plans, link-fault plans, jittered networks,
+  /// abort-mode crash plans, jittered networks,
   /// attached metrics) fall back to serial silently, and every physical result field is
   /// identical either way (event_order_hash, reported only by serial, is
   /// the sole exception).

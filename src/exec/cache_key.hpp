@@ -33,7 +33,10 @@ namespace gearsim::exec {
 /// itself deliberately stays OUT of the key: a run's identity is its
 /// physics, and the parallel path is held byte-equal to serial, so one
 /// cache serves both modes.
-inline constexpr int kKeyFormatVersion = 4;
+/// v5: lossy-link loss draws are keyed by transfer identity (src,
+/// per-source ordinal) instead of global consumption order — link-fault
+/// results changed, so every pre-v5 entry must be recomputed.
+inline constexpr int kKeyFormatVersion = 5;
 
 /// FNV-1a 64-bit hash of a byte string.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);

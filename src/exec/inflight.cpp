@@ -1,0 +1,100 @@
+#include "exec/inflight.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+namespace gearsim::exec {
+
+/// Shared state of one dedup round.  Claimants hold it via shared_ptr,
+/// so a slot outlives its table entry: followers woken after settlement
+/// read the outcome from the slot even though the key is long gone.
+struct InflightSlot {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool settled = false;
+  InflightTable::Outcome outcome = InflightTable::Outcome::kAbandoned;
+  std::optional<cluster::RunResult> result;
+  std::string error;
+};
+
+InflightTable::Ticket InflightTable::claim(const std::string& key_text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = open_.find(key_text);
+  if (it != open_.end()) {
+    ++stats_.coalesced;
+    return Ticket{false, it->second};
+  }
+  auto slot = std::make_shared<InflightSlot>();
+  open_.emplace(key_text, slot);
+  ++stats_.leaders;
+  return Ticket{true, std::move(slot)};
+}
+
+void InflightTable::settle(const std::string& key_text, const Ticket& ticket,
+                           Outcome outcome,
+                           std::optional<cluster::RunResult> result,
+                           std::string error) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Erase only our own round: a racing claim may already have opened
+    // the key's *next* round (after an abandon), which must survive.
+    const auto it = open_.find(key_text);
+    if (it != open_.end() && it->second == ticket.slot) open_.erase(it);
+    switch (outcome) {
+      case Outcome::kReady:
+        ++stats_.published;
+        break;
+      case Outcome::kFailed:
+        ++stats_.failed;
+        break;
+      case Outcome::kAbandoned:
+        ++stats_.abandoned;
+        break;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(ticket.slot->mutex);
+    ticket.slot->settled = true;
+    ticket.slot->outcome = outcome;
+    ticket.slot->result = std::move(result);
+    ticket.slot->error = std::move(error);
+  }
+  ticket.slot->cv.notify_all();
+}
+
+void InflightTable::publish(const std::string& key_text, const Ticket& ticket,
+                            const cluster::RunResult& result) {
+  settle(key_text, ticket, Outcome::kReady, result, {});
+}
+
+void InflightTable::fail(const std::string& key_text, const Ticket& ticket,
+                         std::string error) {
+  settle(key_text, ticket, Outcome::kFailed, std::nullopt, std::move(error));
+}
+
+void InflightTable::abandon(const std::string& key_text,
+                            const Ticket& ticket) {
+  settle(key_text, ticket, Outcome::kAbandoned, std::nullopt, {});
+}
+
+InflightTable::WaitResult InflightTable::wait(const Ticket& ticket) const {
+  std::unique_lock<std::mutex> lock(ticket.slot->mutex);
+  ticket.slot->cv.wait(lock, [&] { return ticket.slot->settled; });
+  WaitResult out;
+  out.outcome = ticket.slot->outcome;
+  out.result = ticket.slot->result;
+  out.error = ticket.slot->error;
+  return out;
+}
+
+InflightTable::Stats InflightTable::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t InflightTable::open() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+}  // namespace gearsim::exec

@@ -1,0 +1,96 @@
+// In-flight request deduplication for the what-if service.
+//
+// N concurrent queries for the same cache key must cost ONE simulation:
+// the first claimant of a key becomes its *leader* (it will simulate and
+// publish), every later claimant while the key is open becomes a
+// *follower* and blocks in wait() until the leader settles the slot —
+// with the result (publish), an error (fail), or nothing (abandon, e.g.
+// the leader was rejected by admission control and its followers must
+// re-enter the race themselves).  Settling removes the key from the
+// table, so the next claimant after a failure starts a fresh round
+// rather than being poisoned by a stale slot.
+//
+// The table guards *identity*, not results: leaders are expected to
+// publish through ResultCache first, so a follower woken by publish and
+// a cache hit read the same bytes.  See docs/SERVICE.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/experiment.hpp"
+
+namespace gearsim::exec {
+
+struct InflightSlot;  // internal (inflight.cpp)
+
+class InflightTable {
+ public:
+  /// One claimant's handle on a key.  `leader == true` obliges the
+  /// holder to settle the slot exactly once (publish / fail / abandon);
+  /// followers call wait().
+  struct Ticket {
+    bool leader = false;
+    std::shared_ptr<InflightSlot> slot;
+  };
+
+  /// How a wait ended.
+  enum class Outcome {
+    kReady,      ///< Leader published; `result` is set.
+    kFailed,     ///< Leader's simulation threw; `error` says why.
+    kAbandoned,  ///< Leader gave up without an answer; claim again.
+  };
+
+  struct WaitResult {
+    Outcome outcome = Outcome::kAbandoned;
+    std::optional<cluster::RunResult> result;  ///< kReady only.
+    std::string error;                         ///< kFailed only.
+  };
+
+  /// Dedup accounting, readable any time via stats().
+  struct Stats {
+    std::uint64_t leaders = 0;    ///< Claims that opened a key.
+    std::uint64_t coalesced = 0;  ///< Claims folded onto an open key.
+    std::uint64_t published = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t abandoned = 0;
+  };
+
+  InflightTable() = default;
+  InflightTable(const InflightTable&) = delete;
+  InflightTable& operator=(const InflightTable&) = delete;
+
+  /// Join (or open) the in-flight round for `key_text`.
+  [[nodiscard]] Ticket claim(const std::string& key_text);
+
+  /// Leader-only: settle the round.  Each removes the key from the
+  /// table first, so claims racing with settlement either joined this
+  /// round (and get woken) or start the next one — never both.
+  void publish(const std::string& key_text, const Ticket& ticket,
+               const cluster::RunResult& result);
+  void fail(const std::string& key_text, const Ticket& ticket,
+            std::string error);
+  void abandon(const std::string& key_text, const Ticket& ticket);
+
+  /// Follower: block until the round settles.
+  [[nodiscard]] WaitResult wait(const Ticket& ticket) const;
+
+  [[nodiscard]] Stats stats() const;
+  /// Keys currently open (leaders that have not settled yet).
+  [[nodiscard]] std::size_t open() const;
+
+ private:
+  void settle(const std::string& key_text, const Ticket& ticket,
+              Outcome outcome, std::optional<cluster::RunResult> result,
+              std::string error);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InflightSlot>> open_;
+  Stats stats_;
+};
+
+}  // namespace gearsim::exec

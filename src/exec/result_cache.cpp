@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "exec/result_io.hpp"
 #include "exec/store.hpp"
@@ -60,20 +61,121 @@ bool write_durable(const std::string& path, std::string_view bytes) {
 #endif
 }
 
+/// Every entry file under a store (root + one level of shard
+/// subdirectories, quarantine excluded), lexicographically sorted so
+/// every pass over a store is deterministic.
+std::vector<std::filesystem::path> collect_entry_paths(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> dirs{fs::path(dir)};
+  std::error_code ec;
+  const fs::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      if (entry.is_directory() && entry.path().filename() != kQuarantineDir) {
+        dirs.push_back(entry.path());
+      }
+    }
+  }
+  std::vector<fs::path> paths;
+  for (const fs::path& d : dirs) {
+    std::error_code dir_ec;
+    const fs::directory_iterator files(d, dir_ec);
+    if (dir_ec) continue;
+    for (const auto& entry : files) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".json") continue;
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos) {
+        continue;
+      }
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
 }  // namespace
 
 ResultCache::ResultCache(Options options) : options_(std::move(options)) {
   GEARSIM_REQUIRE(options_.capacity > 0, "cache capacity must be positive");
+  options_.shard_digits = std::clamp(options_.shard_digits, 0, 16);
   if (!options_.disk_dir.empty()) {
     // Hygiene: a writer killed between write and rename leaves a `.tmp.`
     // file behind.  Lookups never read temp names, so these can only
     // waste space — sweep them now.
     stats_.stale_tmp_swept = sweep_stale_tmp(options_.disk_dir);
+    if (options_.shard_entry_budget > 0) seed_shard_state();
   }
 }
 
+std::string ResultCache::shard_name(const CacheKey& key) const {
+  if (options_.shard_digits == 0) return ".";
+  return key.hex().substr(0, static_cast<std::size_t>(options_.shard_digits));
+}
+
+std::string ResultCache::shard_dir(const std::string& shard) const {
+  return shard == "." ? options_.disk_dir : options_.disk_dir + "/" + shard;
+}
+
 std::string ResultCache::disk_path(const CacheKey& key) const {
-  return options_.disk_dir + "/" + key.hex() + ".json";
+  return shard_dir(shard_name(key)) + "/" + key.hex() + ".json";
+}
+
+void ResultCache::seed_shard_state() {
+  // Deterministic seeding: a lexicographic scan assigns ascending touch
+  // clocks, so which entries a later overflow evicts depends only on the
+  // store's contents (oldest-by-name first), never on directory
+  // enumeration order.
+  namespace fs = std::filesystem;
+  for (const fs::path& path : collect_entry_paths(options_.disk_dir)) {
+    const fs::path parent = path.parent_path();
+    const std::string shard = parent == fs::path(options_.disk_dir)
+                                  ? "."
+                                  : parent.filename().string();
+    ShardState& state = shards_[shard];
+    if (state.touch.empty()) {
+      state.evictions = read_eviction_ledger(parent.string());
+    }
+    state.touch[path.filename().string()] = ++touch_clock_;
+  }
+}
+
+void ResultCache::touch_disk_entry(const CacheKey& key) {
+  if (options_.shard_entry_budget == 0) return;
+  const std::string shard = shard_name(key);
+  const auto [it, inserted] = shards_.try_emplace(shard);
+  if (inserted) {
+    // First sighting of this shard since construction (another process
+    // may have evicted here before): pick up the persisted total.
+    it->second.evictions = read_eviction_ledger(shard_dir(shard));
+  }
+  it->second.touch[key.hex() + ".json"] = ++touch_clock_;
+}
+
+void ResultCache::enforce_shard_budget(const CacheKey& key) {
+  if (options_.shard_entry_budget == 0) return;
+  const std::string shard = shard_name(key);
+  ShardState& state = shards_[shard];
+  const std::string dir = shard_dir(shard);
+  bool evicted = false;
+  while (state.touch.size() > options_.shard_entry_budget) {
+    auto victim = state.touch.begin();
+    for (auto it = state.touch.begin(); it != state.touch.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    std::error_code ec;
+    std::filesystem::remove(dir + "/" + victim->first, ec);
+    state.touch.erase(victim);
+    ++state.evictions;
+    ++stats_.disk_evictions;
+    evicted = true;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("exec.store.evicted").add(1);
+    }
+  }
+  if (evicted) write_eviction_ledger(dir, state.evictions);
 }
 
 void ResultCache::note_corrupt(const std::string& path,
@@ -132,6 +234,23 @@ std::optional<cluster::RunResult> ResultCache::disk_lookup(
   }
 }
 
+void ResultCache::promote_locked(const std::string& key_text,
+                                 const cluster::RunResult& result) {
+  const auto it = index_.find(key_text);
+  if (it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key_text, result});
+  index_[key_text] = lru_.begin();
+  if (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key_text);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
 std::optional<cluster::RunResult> ResultCache::lookup(const CacheKey& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key.text);
@@ -142,18 +261,33 @@ std::optional<cluster::RunResult> ResultCache::lookup(const CacheKey& key) {
   }
   if (auto from_disk = disk_lookup(key)) {
     ++stats_.disk_hits;
-    // Promote into memory (without re-writing the disk file).
-    lru_.push_front(Entry{key.text, *from_disk});
-    index_[key.text] = lru_.begin();
-    if (lru_.size() > options_.capacity) {
-      index_.erase(lru_.back().key_text);
-      lru_.pop_back();
-      ++stats_.evictions;
-    }
+    // Promote into memory (without re-writing the disk file) and renew
+    // the entry's disk-LRU standing — a hot entry must not be the next
+    // budget eviction.
+    promote_locked(key.text, *from_disk);
+    touch_disk_entry(key);
     return from_disk;
   }
   ++stats_.misses;
   return std::nullopt;
+}
+
+std::size_t ResultCache::preload() {
+  if (options_.disk_dir.empty()) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t loaded = 0;
+  for (const std::filesystem::path& path :
+       collect_entry_paths(options_.disk_dir)) {
+    const LoadedEntry entry = load_store_entry(path.string());
+    if (!entry.ok) {
+      note_corrupt(path.string(), entry.error);
+      continue;
+    }
+    promote_locked(entry.key_text, entry.result);
+    ++loaded;
+  }
+  stats_.preloaded += loaded;
+  return loaded;
 }
 
 void ResultCache::insert(const CacheKey& key,
@@ -175,7 +309,7 @@ void ResultCache::insert(const CacheKey& key,
   }
   if (!options_.disk_dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(options_.disk_dir, ec);
+    std::filesystem::create_directories(shard_dir(shard_name(key)), ec);
     // Write to a unique temp name, fsync, then rename: a reader (or a
     // crash) can never observe a half-written entry under the final
     // name, and a torn temp write is caught by the header on read.
@@ -198,7 +332,14 @@ void ResultCache::insert(const CacheKey& key,
     // never appears, only a stale temp file (swept on the next start).
     if (util::failpoint("exec.store.rename.fail")) return;
     std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) std::filesystem::remove(tmp_path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+    // The entry landed: it is now the shard's most-recent file, and the
+    // shard may have overflowed its budget.
+    touch_disk_entry(key);
+    enforce_shard_budget(key);
   }
 }
 

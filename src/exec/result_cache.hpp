@@ -9,6 +9,17 @@
 //    a length+checksum header over a {"key", "result"} JSON payload) —
 //    warm across processes (bench reruns, CLI invocations, model refits).
 //
+// The disk tier can be *sharded*: with `shard_digits = N > 0` entries
+// live in `<dir>/<first N hex digits>/<hash-hex>.json`, and an optional
+// per-shard entry budget evicts the least-recently-touched file when a
+// shard overflows (lifetime totals persist in each shard's `.evicted`
+// ledger).  Budgets are enforced against the entries this process has
+// observed — seeded by a deterministic lexicographic scan at
+// construction, then tracked through its own lookups and inserts — so
+// concurrent writers may transiently overshoot; the budget is a bound on
+// growth, not a hard quota.  `preload()` warm-starts the memory tier
+// from disk at daemon boot.  See docs/SERVICE.md.
+//
 // On every lookup the stored key text is compared against the probe's:
 // a 64-bit hash collision therefore degrades to a miss, never a wrong
 // result.  Disk entries are validated before being trusted: a truncated,
@@ -46,6 +57,8 @@ struct CacheStats {
   std::uint64_t misses = 0;      ///< Neither tier had it (simulate!).
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;   ///< LRU capacity evictions (disk keeps them).
+  std::uint64_t disk_evictions = 0;  ///< Shard-budget evictions (this run).
+  std::uint64_t preloaded = 0;   ///< Entries warm-started via preload().
   std::uint64_t corrupt = 0;     ///< Disk entries that failed validation.
   std::uint64_t quarantined = 0; ///< Corrupt entries moved to .quarantine/.
   std::uint64_t stale_tmp_swept = 0;  ///< Temp leftovers removed at startup.
@@ -68,6 +81,17 @@ class ResultCache {
     /// exec.store.quarantined — and only when they occur, so a clean
     /// store leaves the registry untouched (bit-identical manifests).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Hex digits of the key hash that name a shard subdirectory
+    /// (clamped to [0, 16]).  0 = the flat legacy layout, byte-identical
+    /// to pre-shard stores.  Both layouts read interchangeably — a probe
+    /// only looks under its own shard path, so switching digits on an
+    /// existing store makes old entries invisible (recomputed), never
+    /// wrong.
+    int shard_digits = 0;
+    /// Max on-disk entries per shard before least-recently-touched
+    /// eviction (0 = unbounded).  With shard_digits == 0 the store root
+    /// is the single shard.
+    std::size_t shard_entry_budget = 0;
   };
 
   ResultCache() : ResultCache(Options{}) {}
@@ -86,6 +110,13 @@ class ResultCache {
   /// atomic rename).
   void insert(const CacheKey& key, const cluster::RunResult& result);
 
+  /// Warm-start: decode every readable disk entry (lexicographic path
+  /// order, so the resulting LRU order is deterministic) into the memory
+  /// tier, newest-position-last capped by `capacity`.  Corrupt entries
+  /// are quarantined exactly as a lookup would.  Returns how many
+  /// entries were loaded.  No-op without a disk_dir.
+  std::size_t preload();
+
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const Options& options() const { return options_; }
@@ -97,17 +128,34 @@ class ResultCache {
   };
   using LruList = std::list<Entry>;
 
+  /// Disk-tier bookkeeping for one shard (budget enforcement): the
+  /// touch clock of every known entry file plus the lifetime eviction
+  /// total mirrored in the shard's `.evicted` ledger.
+  struct ShardState {
+    std::unordered_map<std::string, std::uint64_t> touch;  // filename → clock
+    std::uint64_t evictions = 0;  // lifetime (ledger-backed)
+  };
+
+  [[nodiscard]] std::string shard_name(const CacheKey& key) const;
+  [[nodiscard]] std::string shard_dir(const std::string& shard) const;
   [[nodiscard]] std::string disk_path(const CacheKey& key) const;
   [[nodiscard]] std::optional<cluster::RunResult> disk_lookup(
       const CacheKey& key);  // caller holds mutex_
   void note_corrupt(const std::string& path, const std::string& reason);
   // caller holds mutex_
+  void seed_shard_state();  // construction only
+  void touch_disk_entry(const CacheKey& key);      // caller holds mutex_
+  void enforce_shard_budget(const CacheKey& key);  // caller holds mutex_
+  void promote_locked(const std::string& key_text,
+                      const cluster::RunResult& result);  // caller holds mutex_
 
   Options options_;
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recent
   std::unordered_map<std::string, LruList::iterator> index_;
   std::unordered_set<std::string> warned_paths_;  // warn once per offender
+  std::unordered_map<std::string, ShardState> shards_;  // budget > 0 only
+  std::uint64_t touch_clock_ = 0;
   CacheStats stats_;
 };
 

@@ -125,29 +125,51 @@ bool is_tmp_name(const std::string& name) {
   return name.find(".tmp.") != std::string::npos;
 }
 
+/// Visit every store directory: the root plus its one level of shard
+/// subdirectories (quarantine excluded — quarantined entries are out of
+/// service by definition).  Both layouts reduce to this walk: a flat
+/// store simply has no subdirectories.
+template <typename Fn>
+void for_each_store_dir(const std::string& dir, Fn&& fn) {
+  std::error_code ec;
+  fn(std::filesystem::path(dir));
+  const std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_directory()) continue;
+    if (entry.path().filename() == kQuarantineDir) continue;
+    fn(entry.path());
+  }
+}
+
 StoreReport walk_store(const std::string& dir) {
   StoreReport report;
-  std::error_code ec;
-  const std::filesystem::directory_iterator it(dir, ec);
-  if (ec) return report;  // Missing/unreadable store: nothing to report.
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
-    if (is_tmp_name(name)) {
-      report.stale_tmp.push_back(entry.path().string());
-      continue;
+  std::error_code root_ec;
+  const std::filesystem::directory_iterator probe(dir, root_ec);
+  if (root_ec) return report;  // Missing/unreadable store: nothing there.
+  for_each_store_dir(dir, [&report](const std::filesystem::path& d) {
+    std::error_code ec;
+    const std::filesystem::directory_iterator it(d, ec);
+    if (ec) return;
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (is_tmp_name(name)) {
+        report.stale_tmp.push_back(entry.path().string());
+        continue;
+      }
+      if (entry.path().extension() != ".json") continue;
+      ++report.scanned;
+      bool read_ok = false;
+      const std::string bytes = read_file(entry.path(), &read_ok);
+      std::string error;
+      if (read_ok && deep_validate(bytes, &error)) {
+        ++report.valid;
+      } else {
+        report.corrupt.push_back(entry.path().string());
+      }
     }
-    if (entry.path().extension() != ".json") continue;
-    ++report.scanned;
-    bool read_ok = false;
-    const std::string bytes = read_file(entry.path(), &read_ok);
-    std::string error;
-    if (read_ok && deep_validate(bytes, &error)) {
-      ++report.valid;
-    } else {
-      report.corrupt.push_back(entry.path().string());
-    }
-  }
+  });
   // Directory iteration order is filesystem-dependent: sort so reports
   // (and quarantine order) are stable for tests and operators alike.
   std::sort(report.corrupt.begin(), report.corrupt.end());
@@ -243,15 +265,17 @@ std::string quarantine_entry(const std::string& path) {
 
 std::uint64_t sweep_stale_tmp(const std::string& dir) {
   namespace fs = std::filesystem;
-  std::error_code ec;
-  const fs::directory_iterator it(dir, ec);
-  if (ec) return 0;
   std::uint64_t removed = 0;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file()) continue;
-    if (!is_tmp_name(entry.path().filename().string())) continue;
-    if (fs::remove(entry.path(), ec) && !ec) ++removed;
-  }
+  for_each_store_dir(dir, [&removed](const fs::path& d) {
+    std::error_code ec;
+    const fs::directory_iterator it(d, ec);
+    if (ec) return;
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file()) continue;
+      if (!is_tmp_name(entry.path().filename().string())) continue;
+      if (fs::remove(entry.path(), ec) && !ec) ++removed;
+    }
+  });
   return removed;
 }
 
@@ -285,6 +309,140 @@ StoreReport scrub_store(const std::string& dir) {
     if (std::filesystem::remove(path, ec) && !ec) ++report.removed_tmp;
   }
   return report;
+}
+
+std::uint64_t read_eviction_ledger(const std::string& shard_dir) {
+  bool ok = false;
+  const std::string bytes = read_file(
+      std::filesystem::path(shard_dir) / kEvictionLedger, &ok);
+  if (!ok) return 0;
+  std::uint64_t total = 0;
+  bool any = false;
+  for (const char c : bytes) {
+    if (c == '\n') break;
+    if (c < '0' || c > '9') return 0;  // Corrupt ledger reads as zero.
+    total = total * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  return any ? total : 0;
+}
+
+void write_eviction_ledger(const std::string& shard_dir, std::uint64_t total) {
+  std::ofstream out(std::filesystem::path(shard_dir) / kEvictionLedger,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  out << total << '\n';
+}
+
+LoadedEntry load_store_entry(const std::string& path) {
+  LoadedEntry out;
+  bool read_ok = false;
+  const std::string bytes = read_file(path, &read_ok);
+  if (!read_ok) {
+    out.error = "unreadable file";
+    return out;
+  }
+  const StoreValidation v = validate_store_bytes(bytes);
+  if (!v.ok) {
+    out.error = v.error;
+    return out;
+  }
+  // Locate the stored key by its markers (same technique as verify's
+  // deep validation — preloads have no probe key to compare against).
+  constexpr std::string_view key_marker = "\"key\":\"";
+  constexpr std::string_view result_marker = "\",\"result\":";
+  const std::size_t key_at = v.payload.find(key_marker);
+  const std::size_t result_at =
+      key_at == std::string::npos ? std::string::npos
+                                  : v.payload.find(result_marker, key_at);
+  if (key_at == std::string::npos || result_at == std::string::npos) {
+    out.error = "payload missing key/result fields";
+    return out;
+  }
+  out.key_text = v.payload.substr(key_at + key_marker.size(),
+                                  result_at - key_at - key_marker.size());
+  const auto json = payload_result_json(v.payload, out.key_text);
+  if (!json.has_value()) {
+    out.error = "payload key/result structure mismatch";
+    return out;
+  }
+  try {
+    out.result = result_from_json(*json);
+  } catch (const std::exception& e) {
+    out.error = std::string("result decode failed: ") + e.what();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::uint64_t StoreStats::total_entries() const {
+  std::uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.entries;
+  return n;
+}
+
+std::uint64_t StoreStats::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.bytes;
+  return n;
+}
+
+std::uint64_t StoreStats::total_quarantined() const {
+  std::uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.quarantined;
+  return n;
+}
+
+std::uint64_t StoreStats::total_evictions() const {
+  std::uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.evictions;
+  return n;
+}
+
+StoreStats store_stats(const std::string& dir) {
+  namespace fs = std::filesystem;
+  StoreStats stats;
+  std::error_code root_ec;
+  const fs::directory_iterator probe(dir, root_ec);
+  if (root_ec) return stats;
+  const fs::path root(dir);
+  for_each_store_dir(dir, [&](const fs::path& d) {
+    ShardStats shard;
+    shard.name = d == root ? "." : d.filename().string();
+    std::error_code ec;
+    const fs::directory_iterator it(d, ec);
+    if (!ec) {
+      for (const auto& entry : it) {
+        if (!entry.is_regular_file()) continue;
+        if (entry.path().extension() != ".json") continue;
+        if (is_tmp_name(entry.path().filename().string())) continue;
+        ++shard.entries;
+        std::error_code size_ec;
+        const std::uintmax_t size = entry.file_size(size_ec);
+        if (!size_ec) shard.bytes += size;
+      }
+    }
+    const fs::directory_iterator qit(d / kQuarantineDir, ec);
+    if (!ec) {
+      for (const auto& q : qit) {
+        if (q.is_regular_file()) ++shard.quarantined;
+      }
+    }
+    shard.evictions = read_eviction_ledger(d.string());
+    // The root row is elided when empty (a purely-sharded store has no
+    // flat entries); shard directories always appear — an all-evicted
+    // shard with only a ledger is still worth reporting.
+    if (shard.entries > 0 || shard.quarantined > 0 || shard.evictions > 0 ||
+        shard.name != ".") {
+      stats.shards.push_back(std::move(shard));
+    }
+  });
+  std::sort(stats.shards.begin(), stats.shards.end(),
+            [](const ShardStats& a, const ShardStats& b) {
+              return a.name < b.name;
+            });
+  return stats;
 }
 
 }  // namespace gearsim::exec

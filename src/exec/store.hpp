@@ -16,10 +16,20 @@
 // a killed process are swept on the next ResultCache construction or by
 // `gearsim cache scrub`.
 //
+// Sharded layout: ResultCache can spread entries over subdirectories
+// named by the first `shard_digits` hex digits of the key hash
+// (`<dir>/<prefix>/<hash>.json`), so per-shard LRU eviction budgets and
+// warm-start preloads touch one directory at a time.  The flat layout is
+// the degenerate zero-digit case; every walk below (verify, scrub, tmp
+// sweep, stats) handles both by descending one level into shard
+// subdirectories.  Each shard keeps a `.evicted` ledger file — a decimal
+// total of budget evictions — so `gearsim cache stats` can report
+// lifetime eviction counts across processes.
+//
 // `verify_store` / `scrub_store` walk a whole store directory — behind
 // the `gearsim cache verify|scrub` CLI — reporting (and, for scrub,
 // repairing-by-quarantine) corrupt entries and stale temp files.
-// See docs/RESILIENCE.md.
+// See docs/RESILIENCE.md and docs/SERVICE.md.
 #pragma once
 
 #include <cstdint>
@@ -89,11 +99,58 @@ struct StoreReport {
 };
 
 /// Walk every entry under `dir` (quarantine excluded), fully validating
-/// each (header, length, checksum, and a result-JSON decode).  Read-only.
+/// each (header, length, checksum, and a result-JSON decode).  Covers
+/// both the flat and the sharded layout.  Read-only.
 [[nodiscard]] StoreReport verify_store(const std::string& dir);
 
 /// verify_store plus repair: corrupt entries are quarantined (so the
 /// next sweep recomputes them) and stale temp files removed.
 StoreReport scrub_store(const std::string& dir);
+
+/// Name of a shard's persistent eviction ledger file.
+inline constexpr const char* kEvictionLedger = ".evicted";
+
+/// Read a shard directory's eviction ledger (0 when absent/corrupt).
+[[nodiscard]] std::uint64_t read_eviction_ledger(const std::string& shard_dir);
+/// Overwrite the ledger with `total` (best-effort; a lost ledger only
+/// under-reports lifetime evictions, it never affects correctness).
+void write_eviction_ledger(const std::string& shard_dir, std::uint64_t total);
+
+/// One fully-decoded store entry, for the warm-start preload pass.
+struct LoadedEntry {
+  bool ok = false;
+  std::string error;     ///< First failure, empty when ok.
+  std::string key_text;  ///< The stored canonical key.
+  cluster::RunResult result;
+};
+
+/// Read + validate + decode one entry file (any layout).  Never throws:
+/// failures come back as `ok == false` with the reason.
+[[nodiscard]] LoadedEntry load_store_entry(const std::string& path);
+
+/// Per-shard usage figures for `gearsim cache stats` and the daemon's
+/// stats query.  `name` is the shard directory name ("." for entries in
+/// the store root, i.e. the flat layout).
+struct ShardStats {
+  std::string name;
+  std::uint64_t entries = 0;      ///< `.json` entry files.
+  std::uint64_t bytes = 0;        ///< Their on-disk bytes.
+  std::uint64_t quarantined = 0;  ///< Files in the shard's .quarantine/.
+  std::uint64_t evictions = 0;    ///< Lifetime ledger total.
+};
+
+struct StoreStats {
+  std::vector<ShardStats> shards;  ///< Name-sorted.
+
+  [[nodiscard]] std::uint64_t total_entries() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_quarantined() const;
+  [[nodiscard]] std::uint64_t total_evictions() const;
+};
+
+/// Usage walk (counts and sizes only — no validation; `verify` is the
+/// integrity tool).  Shards with no entries but a ledger or quarantine
+/// still appear.
+[[nodiscard]] StoreStats store_stats(const std::string& dir);
 
 }  // namespace gearsim::exec

@@ -81,7 +81,8 @@ void Network::set_link_faults(std::vector<LinkFaultWindow> windows,
                     "latency spike factor must be >= 1");
   }
   link_faults_ = std::move(windows);
-  fault_rng_.reseed(seed);
+  fault_seed_ = seed;
+  fault_seq_.assign(num_nodes(), 0);
   retransmissions_ = 0;
 }
 
@@ -112,8 +113,18 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
   if (!link_faults_.empty()) {
     // Degraded-link realization: each loss costs one timeout, doubling
     // (by `backoff`) per further loss; spikes multiply the wire latency.
-    // Draws happen only for matching windows, so runs without active
-    // windows stay bit-identical to the fault-free model.
+    // Draws come from a stream keyed by this transfer's identity — the
+    // (src, per-source ordinal) pair — so the realization is independent
+    // of how transfers from different sources interleave: the serial
+    // dispatch order and the parallel engine's barrier replay (which
+    // preserves per-source order only) produce identical losses.  The
+    // ordinal advances for every transfer while windows are installed,
+    // matched or not, keeping the identity a pure function of the
+    // per-source call sequence.
+    const std::uint64_t ordinal = fault_seq_[src]++;
+    Rng draw(fault_seed_ ^
+             (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1)) ^
+             (0xd1342543de82ef95ULL * (ordinal + 1)));
     double spike = 1.0;
     int losses = 0;
     Seconds penalty{};
@@ -122,7 +133,7 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
       spike = std::max(spike, w.latency_factor);
       Seconds timeout = w.retransmit_timeout;
       while (losses < w.max_retries &&
-             fault_rng_.uniform() < w.loss_probability) {
+             draw.uniform() < w.loss_probability) {
         penalty += timeout;
         timeout *= w.backoff;
         ++losses;

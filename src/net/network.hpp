@@ -18,7 +18,13 @@
 // on matching links are lost with some probability and retransmitted after
 // a timeout with exponential backoff, and/or see a transient latency
 // spike.  With no windows installed the transfer path is byte-identical to
-// the fault-free model (the fault RNG is never consumed).
+// the fault-free model (no fault RNG is ever constructed).  Loss draws are
+// keyed by *transfer identity* — (src, per-source transfer ordinal) forks
+// an independent stream off the plan seed — so a message's realization
+// does not depend on how transfers from other sources interleave.  That
+// makes lossy-link plans safe for the conservative parallel engine, whose
+// barrier replay preserves per-source transfer order but not the global
+// one (see cluster/experiment.cpp's eligibility gate).
 #pragma once
 
 #include <cstddef>
@@ -119,11 +125,12 @@ class Network {
   [[nodiscard]] std::uint64_t messages_carried() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
 
-  /// Install fault windows; losses are drawn from an RNG seeded with
-  /// `seed`, independent of the latency-jitter stream.  Validates every
-  /// window (endpoint bounds, probability in [0,1], timeout/backoff/
-  /// latency-factor sanity).  An empty vector restores the exact
-  /// fault-free behavior.
+  /// Install fault windows; losses are drawn from per-transfer RNG
+  /// streams forked off `seed` by (src, per-source transfer ordinal),
+  /// independent of the latency-jitter stream and of the global transfer
+  /// interleaving.  Validates every window (endpoint bounds, probability
+  /// in [0,1], timeout/backoff/latency-factor sanity).  An empty vector
+  /// restores the exact fault-free behavior.
   void set_link_faults(std::vector<LinkFaultWindow> windows,
                        std::uint64_t seed);
   [[nodiscard]] const std::vector<LinkFaultWindow>& link_faults() const {
@@ -153,7 +160,12 @@ class Network {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<LinkFaultWindow> link_faults_;
-  Rng fault_rng_;
+  std::uint64_t fault_seed_ = 0;
+  /// Per-source transfer ordinals while fault windows are installed: the
+  /// (src, ordinal) pair is a transfer's loss-stream identity.  Counted
+  /// for *every* transfer (matching a window or not) so the identity is a
+  /// pure function of the per-source call sequence.
+  std::vector<std::uint64_t> fault_seq_;
   std::uint64_t retransmissions_ = 0;
   RetransmitHook on_retransmit_;
   obs::Counter* m_messages_ = nullptr;

@@ -64,61 +64,91 @@ std::vector<double> slowdown_ladder(
   return ladder;
 }
 
+std::vector<RosterEntry> policy_roster(
+    const cluster::ClusterConfig& config,
+    const std::vector<cluster::RunResult>& static_runs,
+    const PolicyEvaluator::Options& options) {
+  const std::vector<double> ladder = slowdown_ladder(static_runs);
+  const std::size_t slowest = config.gears.size() - 1;
+
+  // Factories (not instances) because adaptive controllers carry per-run
+  // state — the sweep runner instantiates one per point.
+  std::vector<RosterEntry> roster;
+  const cluster::PerRankGear planned = cluster::plan_node_bottleneck(
+      static_runs.front(), ladder, options.safety);
+  roster.push_back(
+      {"node-bottleneck",
+       std::make_unique<cluster::PerRankGearFactory>(planned.gears())});
+  roster.push_back(
+      {"comm-downshift",
+       std::make_unique<cluster::CommDownshiftFactory>(0, slowest)});
+  TimeoutDownshift::Params tp;
+  tp.park_gear = slowest;
+  tp.timeout = options.timeout;
+  roster.push_back(
+      {"timeout-downshift", std::make_unique<TimeoutDownshiftFactory>(tp)});
+  SlackReclaimer::Params sp;
+  sp.gear_slowdowns = ladder;
+  sp.perf_budget = options.perf_budget;
+  sp.safety = options.safety;
+  sp.park_timeout = options.timeout;
+  roster.push_back(
+      {"slack-reclaimer", std::make_unique<SlackReclaimerFactory>(sp)});
+  return roster;
+}
+
+Evaluation assemble_evaluation(std::string workload_name, int nodes,
+                               std::vector<cluster::RunResult> static_runs,
+                               std::vector<PolicyRun> policy_runs) {
+  Evaluation eval;
+  eval.workload = std::move(workload_name);
+  eval.nodes = nodes;
+  eval.static_runs = std::move(static_runs);
+  eval.gear_slowdowns = slowdown_ladder(eval.static_runs);
+
+  const cluster::RunResult& fastest = eval.static_runs.front();
+  GEARSIM_ENSURE(fastest.wall.value() > 0.0 && fastest.energy.value() > 0.0,
+                 "degenerate gear-0 baseline");
+  for (PolicyRun& run : policy_runs) {
+    PolicyRow row;
+    row.name = std::move(run.name);
+    row.signature = std::move(run.signature);
+    row.time_delta = run.result.wall / fastest.wall - 1.0;
+    row.energy_delta =
+        run.result.energy.value() / fastest.energy.value() - 1.0;
+    row.on_frontier = !dominated_by_static(run.result, eval.static_runs);
+    row.result = std::move(run.result);
+    eval.policies.push_back(std::move(row));
+  }
+  return eval;
+}
+
 Evaluation PolicyEvaluator::evaluate(const cluster::Workload& workload,
                                      int nodes) const {
   exec::SweepRunner runner(config_, {options_.jobs, options_.cache,
                                      options_.faults, options_.metrics});
 
-  Evaluation eval;
-  eval.workload = workload.name();
-  eval.nodes = nodes;
-  eval.static_runs = runner.gear_sweep(workload, nodes);
-  eval.gear_slowdowns = slowdown_ladder(eval.static_runs);
-
-  const std::size_t slowest = config_.gears.size() - 1;
-
-  // The roster.  Factories (not instances) because adaptive controllers
-  // carry per-run state — the sweep runner instantiates one per point.
-  std::vector<std::unique_ptr<cluster::PolicyFactory>> roster;
-  const cluster::PerRankGear planned = cluster::plan_node_bottleneck(
-      eval.static_runs.front(), eval.gear_slowdowns, options_.safety);
-  roster.push_back(
-      std::make_unique<cluster::PerRankGearFactory>(planned.gears()));
-  roster.push_back(std::make_unique<cluster::CommDownshiftFactory>(0, slowest));
-  TimeoutDownshift::Params tp;
-  tp.park_gear = slowest;
-  tp.timeout = options_.timeout;
-  roster.push_back(std::make_unique<TimeoutDownshiftFactory>(tp));
-  SlackReclaimer::Params sp;
-  sp.gear_slowdowns = eval.gear_slowdowns;
-  sp.perf_budget = options_.perf_budget;
-  sp.safety = options_.safety;
-  sp.park_timeout = options_.timeout;
-  roster.push_back(std::make_unique<SlackReclaimerFactory>(sp));
-  const char* names[] = {"node-bottleneck", "comm-downshift",
-                         "timeout-downshift", "slack-reclaimer"};
+  std::vector<cluster::RunResult> static_runs =
+      runner.gear_sweep(workload, nodes);
+  const std::vector<RosterEntry> roster =
+      policy_roster(config_, static_runs, options_);
 
   std::vector<exec::SweepPoint> points;
   points.reserve(roster.size());
-  for (const auto& factory : roster) {
-    points.push_back(exec::SweepPoint{&workload, nodes, 0, 0, factory.get()});
+  for (const RosterEntry& entry : roster) {
+    points.push_back(
+        exec::SweepPoint{&workload, nodes, 0, 0, entry.factory.get()});
   }
   const std::vector<cluster::RunResult> runs = runner.run(points);
 
-  const cluster::RunResult& fastest = eval.static_runs.front();
-  GEARSIM_ENSURE(fastest.wall.value() > 0.0 && fastest.energy.value() > 0.0,
-                 "degenerate gear-0 baseline");
+  std::vector<PolicyRun> policy_runs;
+  policy_runs.reserve(runs.size());
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    PolicyRow row;
-    row.name = names[i];
-    row.signature = roster[i]->signature();
-    row.result = runs[i];
-    row.time_delta = runs[i].wall / fastest.wall - 1.0;
-    row.energy_delta = runs[i].energy.value() / fastest.energy.value() - 1.0;
-    row.on_frontier = !dominated_by_static(runs[i], eval.static_runs);
-    eval.policies.push_back(std::move(row));
+    policy_runs.push_back(
+        PolicyRun{roster[i].name, roster[i].factory->signature(), runs[i]});
   }
-  return eval;
+  return assemble_evaluation(workload.name(), nodes, std::move(static_runs),
+                             std::move(policy_runs));
 }
 
 std::string policy_table(const Evaluation& eval) {

@@ -11,10 +11,12 @@
 // the adaptive points overlaid on the static curve.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/config.hpp"
+#include "cluster/dvfs.hpp"
 #include "cluster/experiment.hpp"
 #include "exec/result_cache.hpp"
 #include "obs/metrics.hpp"
@@ -85,6 +87,39 @@ class PolicyEvaluator {
   cluster::ClusterConfig config_;
   Options options_;
 };
+
+/// One roster member: a display name plus the factory that builds its
+/// per-run policy instances.
+struct RosterEntry {
+  std::string name;
+  std::unique_ptr<cluster::PolicyFactory> factory;
+};
+
+/// The adaptive lineup evaluate() races, derived from the static sweep
+/// (the bottleneck planner and the slack reclaimer consume its slowdown
+/// ladder).  Exposed so other executors — the what-if service's race
+/// queries — field the exact same roster and stay result-identical to
+/// `gearsim policy`.
+[[nodiscard]] std::vector<RosterEntry> policy_roster(
+    const cluster::ClusterConfig& config,
+    const std::vector<cluster::RunResult>& static_runs,
+    const PolicyEvaluator::Options& options);
+
+/// One raced policy's raw measurement, before delta/frontier annotation.
+struct PolicyRun {
+  std::string name;
+  std::string signature;
+  cluster::RunResult result;
+};
+
+/// Assemble the Evaluation record from raw runs: derives the slowdown
+/// ladder, the time/energy deltas vs the fastest static gear, and the
+/// frontier markers.  Shared by evaluate() and by clients reassembling a
+/// remote race response, so both annotate identically.
+[[nodiscard]] Evaluation assemble_evaluation(
+    std::string workload_name, int nodes,
+    std::vector<cluster::RunResult> static_runs,
+    std::vector<PolicyRun> policy_runs);
 
 /// Per-gear slowdown ladder from a static gear sweep: S_g is the ratio
 /// of the critical rank's active time at gear g to gear 0 (clamped

@@ -1,0 +1,32 @@
+// Minimal blocking client for the gearsim daemon's line protocol.
+//
+// One connection per request(): connect, write the request line, read
+// the response line, close.  The daemon dedupes and caches server-side,
+// so connection reuse buys nothing at simulation timescales and a
+// fresh connect keeps the client trivially thread-safe (no shared fd).
+// Unix-only, like the daemon; request() throws elsewhere.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gearsim::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path);
+
+  /// Send one request line (no trailing newline needed) and return the
+  /// response line.  Throws ContractError when the daemon is
+  /// unreachable or the connection drops mid-exchange.
+  [[nodiscard]] std::string request(std::string_view line) const;
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace gearsim::serve

@@ -275,4 +275,27 @@ std::string jstr(std::string_view s) {
   return out;
 }
 
+std::string render(const Value& v) {
+  if (v.is_null()) return "null";
+  if (std::holds_alternative<bool>(v.v)) {
+    return std::get<bool>(v.v) ? "true" : "false";
+  }
+  if (v.is_number()) return std::get<std::string>(v.v);  // raw token
+  if (v.is_string()) return jstr(v.as_string());
+  if (v.is_array()) {
+    std::string out = "[";
+    for (const Value& item : v.as_array()) {
+      if (out.size() > 1) out += ',';
+      out += render(item);
+    }
+    return out + "]";
+  }
+  std::string out = "{";
+  for (const auto& [key, value] : v.as_object()) {
+    if (out.size() > 1) out += ',';
+    out += jstr(key) + ":" + render(value);
+  }
+  return out + "}";
+}
+
 }  // namespace gearsim::json

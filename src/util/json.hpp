@@ -63,4 +63,11 @@ struct Value {
 /// Quote + escape a string for JSON emission.
 [[nodiscard]] std::string jstr(std::string_view s);
 
+/// Canonical single-line serialization of a parsed tree: numbers re-emit
+/// their raw token (so a parse/render round trip is byte-exact), objects
+/// serialize in sorted key order.  render(parse(text)) == text for any
+/// canonical document — the property the serve protocol leans on to
+/// extract embedded result objects without perturbing a byte.
+[[nodiscard]] std::string render(const Value& v);
+
 }  // namespace gearsim::json

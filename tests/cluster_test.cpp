@@ -317,9 +317,11 @@ TEST(Runner, ParallelEngineMatrixMatchesSerialOracle) {
   // Workloads x fault plans x engine threads {1, 2, 8}: the full
   // determinism matrix from the engine's acceptance contract.  Fault
   // plans cover the parallel-eligible space: fault-free, deterministic
-  // straggler windows, and a compose-mode crash + checkpointing plan
-  // (abort-mode crashes and link-fault plans fall back to serial and are
-  // covered by ParallelEngineFallsBackToSerialWhenUnsound below).
+  // straggler windows, a compose-mode crash + checkpointing plan, and a
+  // lossy-link plan — loss draws are keyed by transfer identity, so the
+  // barrier replay realizes the same losses as serial dispatch.
+  // (Abort-mode crashes still fall back to serial; see
+  // ParallelEngineFallsBackToSerialWhenUnsound below.)
   const ExperimentRunner runner(athlon_cluster());
 
   faults::FaultPlan stragglers;
@@ -331,10 +333,18 @@ TEST(Runner, ParallelEngineMatrixMatchesSerialOracle) {
   ckpt.interval = seconds(2.0);
   compose.with_checkpointing(ckpt).crash(1, seconds(3.0));
 
+  faults::FaultPlan links(11);
+  net::LinkFaultWindow lossy;
+  lossy.from = seconds(0.0);
+  lossy.until = seconds(5.0);
+  lossy.loss_probability = 0.3;
+  links.degrade_link(lossy);
+
   const std::vector<std::pair<std::string, const faults::FaultPlan*>> plans =
       {{"faults=none", nullptr},
        {"faults=stragglers", &stragglers},
-       {"faults=compose", &compose}};
+       {"faults=compose", &compose},
+       {"faults=links", &links}};
 
   for (const char* const name : {"Jacobi", "CG", "EP", "LU", "BT"}) {
     const auto workload = workloads::make_workload(name);
@@ -381,21 +391,26 @@ TEST(Runner, ParallelEngineFallsBackToSerialWhenUnsound) {
   // engine_threads asks for partitioning.
   const workloads::Jacobi jacobi;
 
-  // Link-fault plans: the loss RNG is consumed in transfer-call order.
+  // Lossy-link plans no longer force a fallback: loss draws are keyed
+  // by (src, per-source ordinal), so the partitioned path both engages
+  // and reproduces the serial realization (with actual retransmissions).
   {
     const ExperimentRunner runner(athlon_cluster());
-    faults::FaultPlan links;
+    faults::FaultPlan links(17);
     net::LinkFaultWindow w;
     w.from = seconds(0.0);
     w.until = seconds(1.0);
-    w.loss_probability = 0.2;
+    w.loss_probability = 0.5;
     links.degrade_link(w);
     RunOptions options;
-    options.engine_threads = 8;
+    options.engine_threads = 1;
     options.faults = &links;
-    const RunResult r = runner.run(jacobi, 4, options);
-    EXPECT_EQ(r.engine_partitions, 0u);
-    EXPECT_NE(r.event_order_hash, 0u);
+    const RunResult serial = runner.run(jacobi, 4, options);
+    options.engine_threads = 8;
+    const RunResult parallel = runner.run(jacobi, 4, options);
+    EXPECT_GT(serial.retransmissions, 0u);
+    EXPECT_EQ(serial.retransmissions, parallel.retransmissions);
+    expect_matches_serial(serial, parallel, "lossy links, 8 threads");
   }
   // Jittered networks: no sound lookahead.
   {

@@ -10,7 +10,9 @@
 //   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
 //   gearsim policy --workload CG --nodes 8 [--jobs N] [--cache DIR]
 //                  [--svg FILE] [--cluster athlon]
-//   gearsim cache verify|scrub [--dir DIR]
+//   gearsim cache verify|scrub|stats [--dir DIR]
+//   gearsim serve [--socket PATH] [--cache DIR] [--preload] ...
+//   gearsim query [--socket PATH] [--type sweep] [--workload CG] ...
 //
 // `run` executes one experiment and prints its full measurement record;
 // `sweep` prints one energy-time curve (optionally CSV for replotting);
@@ -32,7 +34,14 @@
 // `cache verify` walks a result-store directory validating every entry
 // (header, length, FNV-1a checksum, JSON decode) read-only; `cache
 // scrub` additionally quarantines corrupt entries into .quarantine/ and
-// removes stale temp files.
+// removes stale temp files; `cache stats` prints per-shard occupancy
+// (entries, bytes, quarantine backlog, lifetime evictions).
+//
+// `serve` runs the what-if query daemon: a shared (optionally sharded)
+// result cache behind an AF_UNIX socket, with identical-query
+// coalescing and bounded admission; `query` is its client — the tables
+// it prints are byte-identical to the corresponding local command's.
+// See docs/SERVICE.md.
 //
 // `run`, `sweep`, `space`, `faults`, and `policy` accept
 // --metrics PATH: write an obs::RunManifest (config/workload identity,
@@ -60,6 +69,11 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "policy/evaluator.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
@@ -312,6 +326,54 @@ void print_cache_stats(const exec::ResultCache* cache) {
             << " disk hit(s), " << s.misses << " miss(es)\n";
 }
 
+/// The energy-time curve table shared by `sweep` and `query --type
+/// sweep`: one row per gear, repetitions averaged, so a daemon-served
+/// sweep prints byte-identically to a cold local one.  `runs` is the
+/// flat gears x repeat point list in sweep order; a missing entry is a
+/// failed rep (supervised mode).
+TextTable sweep_table(const cluster::ClusterConfig& config, int repeat,
+                      const std::vector<std::optional<cluster::RunResult>>& runs) {
+  TextTable table(repeat > 1
+                      ? std::vector<std::string>{"gear", "MHz", "time_s",
+                                                 "energy_J", "mean_power_W",
+                                                 "time_cv"}
+                      : std::vector<std::string>{"gear", "MHz", "time_s",
+                                                 "energy_J", "mean_power_W"});
+  for (std::size_t g = 0; g < config.gears.size(); ++g) {
+    RunningStats time_s;
+    RunningStats energy_j;
+    int gear_label = 0;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const auto& r = runs[g * static_cast<std::size_t>(repeat) +
+                           static_cast<std::size_t>(rep)];
+      if (!r.has_value()) continue;  // Supervised mode: failed rep.
+      time_s.add(r->wall.value());
+      energy_j.add(r->energy.value());
+      if (gear_label == 0) gear_label = r->gear_label;
+    }
+    std::vector<std::string> row;
+    if (time_s.count() == 0) {
+      // Every rep of this gear failed; the failure report below says why.
+      row = {std::to_string(g + 1),
+             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
+             "failed", "failed", "failed"};
+      if (repeat > 1) row.push_back("failed");
+    } else {
+      row = {std::to_string(gear_label),
+             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
+             fmt_fixed(time_s.mean(), 3), fmt_fixed(energy_j.mean(), 1),
+             fmt_fixed(energy_j.mean() / time_s.mean(), 1)};
+      if (repeat > 1) {
+        const double cv =
+            time_s.mean() > 0.0 ? time_s.stddev() / time_s.mean() : 0.0;
+        row.push_back(fmt_fixed(cv, 5));
+      }
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
 int cmd_sweep(const Args& args) {
   const cluster::ClusterConfig config =
       cluster_by_name(args.get("cluster", "athlon"));
@@ -351,44 +413,7 @@ int cmd_sweep(const Args& args) {
     for (auto& r : all) runs.emplace_back(std::move(r));
   }
 
-  TextTable table(repeat > 1
-                      ? std::vector<std::string>{"gear", "MHz", "time_s",
-                                                 "energy_J", "mean_power_W",
-                                                 "time_cv"}
-                      : std::vector<std::string>{"gear", "MHz", "time_s",
-                                                 "energy_J", "mean_power_W"});
-  for (std::size_t g = 0; g < config.gears.size(); ++g) {
-    RunningStats time_s;
-    RunningStats energy_j;
-    int gear_label = 0;
-    for (int rep = 0; rep < repeat; ++rep) {
-      const auto& r = runs[g * static_cast<std::size_t>(repeat) +
-                           static_cast<std::size_t>(rep)];
-      if (!r.has_value()) continue;  // Supervised mode: failed rep.
-      time_s.add(r->wall.value());
-      energy_j.add(r->energy.value());
-      if (gear_label == 0) gear_label = r->gear_label;
-    }
-    std::vector<std::string> row;
-    if (time_s.count() == 0) {
-      // Every rep of this gear failed; the failure report below says why.
-      row = {std::to_string(g + 1),
-             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
-             "failed", "failed", "failed"};
-      if (repeat > 1) row.push_back("failed");
-    } else {
-      row = {std::to_string(gear_label),
-             fmt_fixed(config.gears.gear(g).frequency.value() / 1e6, 0),
-             fmt_fixed(time_s.mean(), 3), fmt_fixed(energy_j.mean(), 1),
-             fmt_fixed(energy_j.mean() / time_s.mean(), 1)};
-      if (repeat > 1) {
-        const double cv =
-            time_s.mean() > 0.0 ? time_s.stddev() / time_s.mean() : 0.0;
-        row.push_back(fmt_fixed(cv, 5));
-      }
-    }
-    table.add_row(row);
-  }
+  const TextTable table = sweep_table(config, repeat, runs);
   std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
   print_cache_stats(options.cache);
   if (keep_going && !outcome.ok()) {
@@ -426,7 +451,27 @@ int cmd_cache(const Args& args) {
     std::cout << "store " << dir << ": " << report.to_string();
     return 0;
   }
-  std::cerr << "gearsim cache: expected an action, verify or scrub\n";
+  if (action == "stats") {
+    // Per-shard occupancy of a (possibly sharded) store: entry and byte
+    // counts, quarantine backlog, and the lifetime eviction total from
+    // each shard's .evicted ledger.  Read-only.
+    const exec::StoreStats stats = exec::store_stats(dir);
+    TextTable table({"shard", "entries", "bytes", "quarantined", "evictions"});
+    for (const exec::ShardStats& s : stats.shards) {
+      table.add_row({s.name, std::to_string(s.entries),
+                     std::to_string(s.bytes), std::to_string(s.quarantined),
+                     std::to_string(s.evictions)});
+    }
+    table.add_row({"total", std::to_string(stats.total_entries()),
+                   std::to_string(stats.total_bytes()),
+                   std::to_string(stats.total_quarantined()),
+                   std::to_string(stats.total_evictions())});
+    std::cout << "store " << dir << " (" << stats.shards.size()
+              << " shard(s)):\n"
+              << table.to_string();
+    return 0;
+  }
+  std::cerr << "gearsim cache: expected an action, verify, scrub or stats\n";
   return 2;
 }
 
@@ -631,6 +676,116 @@ int cmd_advise(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  // The what-if daemon: one shared sharded result cache behind an
+  // AF_UNIX socket, answering run/sweep/race/stats queries until a
+  // shutdown request arrives.  See docs/SERVICE.md.
+  serve::ServiceOptions options;
+  options.cache.disk_dir = args.get("cache", "");
+  options.cache.capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 4096));
+  options.cache.shard_digits = args.get_int("shard-digits", 2);
+  options.cache.shard_entry_budget =
+      static_cast<std::size_t>(args.get_int("shard-budget", 0));
+  options.preload = args.has("preload");
+  options.jobs = args.get_int("jobs", 0);
+  options.retries = args.get_int("retries", 0);
+  options.admission.admit =
+      static_cast<std::size_t>(args.get_int("admit", 64));
+  options.admission.queue =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  options.retry_after_ms = args.get_int("retry-after-ms", 250);
+  options.wall_profile = args.has("wall-profile");
+
+  serve::Service service(std::move(options));
+  serve::Daemon::Options daemon_options;
+  daemon_options.socket_path = args.get("socket", "gearsim.sock");
+  serve::Daemon daemon(service, daemon_options);
+  daemon.start();
+  std::cout << "gearsim serve: listening on " << daemon.socket_path()
+            << (service.cache().stats().preloaded > 0
+                    ? " (" +
+                          std::to_string(service.cache().stats().preloaded) +
+                          " entr" +
+                          (service.cache().stats().preloaded == 1 ? "y"
+                                                                  : "ies") +
+                          " preloaded)"
+                    : std::string())
+            << std::endl;
+  daemon.wait();
+  daemon.stop();
+  const exec::CacheStats cache = service.cache().stats();
+  const serve::AdmissionGate::Stats gate = service.admission_stats();
+  std::cout << "gearsim serve: " << service.simulations()
+            << " simulation(s), " << cache.hits + cache.disk_hits
+            << " cache hit(s), " << gate.rejected << " rejected\n";
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  // One query against a running daemon.  --json sends a raw request
+  // line; otherwise the request is assembled from the same flags the
+  // local commands take.  --raw prints the response line instead of the
+  // rendered table (tables are byte-identical to the local command's).
+  const serve::Client client(args.get("socket", "gearsim.sock"));
+  std::string line;
+  if (args.has("json")) {
+    line = args.get("json", "");
+  } else {
+    serve::Request request;
+    request.type = args.get("type", "sweep");
+    request.cluster = args.get("cluster", request.cluster);
+    request.workload = args.get("workload", request.workload);
+    request.nodes = args.get_int("nodes", request.nodes);
+    request.gear = args.get_int("gear", request.gear);
+    request.rep = args.get_int("rep", request.rep);
+    request.repeat = args.get_int("repeat", request.repeat);
+    line = serve::render_request(request);
+  }
+  const std::string response_line = client.request(line);
+  if (args.has("raw")) {
+    std::cout << response_line << '\n';
+    return 0;
+  }
+
+  const json::Value response = json::parse(response_line);
+  const json::Object& obj = response.as_object();
+  const std::string status = json::field(obj, "status").as_string();
+  if (status == "rejected") {
+    // Deterministic backpressure, not an error: exit 3 so callers can
+    // distinguish "retry later" from a failed query.
+    std::cerr << "gearsim query: rejected, retry after "
+              << json::field(obj, "retry_after_ms").as_int() << " ms\n";
+    return 3;
+  }
+  if (status == "error") {
+    std::cerr << "gearsim query: " << json::field(obj, "error").as_string()
+              << '\n';
+    return 1;
+  }
+
+  const std::string type = json::field(obj, "type").as_string();
+  if (type == "run") {
+    print_run(serve::results_from_response(response).at(0));
+  } else if (type == "sweep") {
+    const cluster::ClusterConfig config =
+        cluster_by_name(json::field(obj, "cluster").as_string());
+    const int repeat = json::field(obj, "repeat").as_int();
+    std::vector<std::optional<cluster::RunResult>> runs;
+    for (auto& r : serve::results_from_response(response)) {
+      runs.emplace_back(std::move(r));
+    }
+    const TextTable table = sweep_table(config, repeat, runs);
+    std::cout << (args.has("csv") ? table.to_csv() : table.to_string());
+  } else if (type == "race") {
+    std::cout << policy_table(serve::evaluation_from_response(response));
+  } else {
+    // stats / shutdown acknowledgements are already canonical JSON.
+    std::cout << response_line << '\n';
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: gearsim <command> [options]\n"
@@ -639,7 +794,7 @@ int usage() {
       "  sweep  --workload W --nodes N [--jobs J] [--cache DIR]\n"
       "         [--repeat R] [--csv] [--cluster C] [--keep-going]\n"
       "         [--retries K] [--watchdog S]\n"
-      "  cache  verify|scrub [--dir DIR]      result-store integrity\n"
+      "  cache  verify|scrub|stats [--dir DIR]  result-store integrity\n"
       "  space  --workload W [--jobs J] [--cache DIR] [--csv] [--cluster C]\n"
       "  model  --workload W [--target M] [--csv]\n"
       "  trace  --workload W --nodes N [--gear G] [--out STEM]\n"
@@ -649,6 +804,13 @@ int usage() {
       "         [--no-restart] [--cluster C]\n"
       "  policy --workload W --nodes N [--jobs J] [--cache DIR]\n"
       "         [--svg FILE] [--cluster C]\n"
+      "  serve  [--socket PATH] [--cache DIR] [--shard-digits D]\n"
+      "         [--shard-budget B] [--capacity N] [--preload] [--jobs J]\n"
+      "         [--admit A] [--queue Q] [--retry-after-ms MS] [--retries K]\n"
+      "         [--wall-profile]                what-if query daemon\n"
+      "  query  [--socket PATH] [--type run|sweep|race|stats|shutdown]\n"
+      "         [--workload W] [--nodes N] [--gear G] [--rep R]\n"
+      "         [--repeat R] [--cluster C] [--json LINE] [--raw] [--csv]\n"
       "run/sweep/space/faults/policy also take --metrics PATH (write an\n"
       "observability manifest there) and --wall-profile (include\n"
       "wall-clock profiling metrics in it); see docs/OBSERVABILITY.md\n"
@@ -672,6 +834,8 @@ int main(int argc, char** argv) {
     if (args->command == "trace") return cmd_trace(*args);
     if (args->command == "faults") return cmd_faults(*args);
     if (args->command == "policy") return cmd_policy(*args);
+    if (args->command == "serve") return cmd_serve(*args);
+    if (args->command == "query") return cmd_query(*args);
   } catch (const std::exception& e) {
     std::cerr << "gearsim: " << e.what() << '\n';
     return 1;
