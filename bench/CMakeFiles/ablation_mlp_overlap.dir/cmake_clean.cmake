@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mlp_overlap.dir/ablation_mlp_overlap.cpp.o"
+  "CMakeFiles/ablation_mlp_overlap.dir/ablation_mlp_overlap.cpp.o.d"
+  "ablation_mlp_overlap"
+  "ablation_mlp_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mlp_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refined_model.dir/ablation_refined_model.cpp.o"
+  "CMakeFiles/ablation_refined_model.dir/ablation_refined_model.cpp.o.d"
+  "ablation_refined_model"
+  "ablation_refined_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refined_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

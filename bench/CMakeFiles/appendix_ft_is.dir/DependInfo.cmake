@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/appendix_ft_is.cpp" "bench/CMakeFiles/appendix_ft_is.dir/appendix_ft_is.cpp.o" "gcc" "bench/CMakeFiles/appendix_ft_is.dir/appendix_ft_is.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/report/CMakeFiles/gearsim_report.dir/DependInfo.cmake"
+  "/root/repo/src/sched/CMakeFiles/gearsim_sched.dir/DependInfo.cmake"
+  "/root/repo/src/model/CMakeFiles/gearsim_model.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/gearsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/exec/CMakeFiles/gearsim_exec.dir/DependInfo.cmake"
+  "/root/repo/src/cluster/CMakeFiles/gearsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/src/faults/CMakeFiles/gearsim_faults.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/gearsim_trace.dir/DependInfo.cmake"
+  "/root/repo/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/gearsim_power.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/gearsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  "/root/repo/bench/CMakeFiles/gearsim_bench_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

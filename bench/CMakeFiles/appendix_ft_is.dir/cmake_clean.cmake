@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_ft_is.dir/appendix_ft_is.cpp.o"
+  "CMakeFiles/appendix_ft_is.dir/appendix_ft_is.cpp.o.d"
+  "appendix_ft_is"
+  "appendix_ft_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_ft_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

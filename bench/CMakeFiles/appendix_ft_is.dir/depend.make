@@ -1,0 +1,2 @@
+# Empty dependencies file for appendix_ft_is.
+# This may be replaced when dependencies are built.

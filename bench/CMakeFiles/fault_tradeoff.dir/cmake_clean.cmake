@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tradeoff.dir/fault_tradeoff.cpp.o"
+  "CMakeFiles/fault_tradeoff.dir/fault_tradeoff.cpp.o.d"
+  "fault_tradeoff"
+  "fault_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

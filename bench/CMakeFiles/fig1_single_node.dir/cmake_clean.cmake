@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_single_node.dir/fig1_single_node.cpp.o"
+  "CMakeFiles/fig1_single_node.dir/fig1_single_node.cpp.o.d"
+  "fig1_single_node"
+  "fig1_single_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_multinode.dir/fig2_multinode.cpp.o"
+  "CMakeFiles/fig2_multinode.dir/fig2_multinode.cpp.o.d"
+  "fig2_multinode"
+  "fig2_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

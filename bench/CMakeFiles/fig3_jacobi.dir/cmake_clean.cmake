@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_jacobi.dir/fig3_jacobi.cpp.o"
+  "CMakeFiles/fig3_jacobi.dir/fig3_jacobi.cpp.o.d"
+  "fig3_jacobi"
+  "fig3_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

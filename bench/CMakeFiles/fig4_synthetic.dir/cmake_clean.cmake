@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_synthetic.dir/fig4_synthetic.cpp.o"
+  "CMakeFiles/fig4_synthetic.dir/fig4_synthetic.cpp.o.d"
+  "fig4_synthetic"
+  "fig4_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/gearsim_bench_harness.dir/harness.cpp.o.d"
+  "libgearsim_bench_harness.a"
+  "libgearsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_kernel.dir/microbench_kernel.cpp.o"
+  "CMakeFiles/microbench_kernel.dir/microbench_kernel.cpp.o.d"
+  "microbench_kernel"
+  "microbench_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_serve.dir/microbench_serve.cpp.o"
+  "CMakeFiles/microbench_serve.dir/microbench_serve.cpp.o.d"
+  "microbench_serve"
+  "microbench_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_sweep.dir/microbench_sweep.cpp.o"
+  "CMakeFiles/microbench_sweep.dir/microbench_sweep.cpp.o.d"
+  "microbench_sweep"
+  "microbench_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tradeoff.dir/policy_tradeoff.cpp.o"
+  "CMakeFiles/policy_tradeoff.dir/policy_tradeoff.cpp.o.d"
+  "policy_tradeoff"
+  "policy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

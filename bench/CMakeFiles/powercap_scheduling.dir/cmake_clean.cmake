@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_scheduling.dir/powercap_scheduling.cpp.o"
+  "CMakeFiles/powercap_scheduling.dir/powercap_scheduling.cpp.o.d"
+  "powercap_scheduling"
+  "powercap_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

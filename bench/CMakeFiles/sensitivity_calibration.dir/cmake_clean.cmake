@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_calibration.dir/sensitivity_calibration.cpp.o"
+  "CMakeFiles/sensitivity_calibration.dir/sensitivity_calibration.cpp.o.d"
+  "sensitivity_calibration"
+  "sensitivity_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

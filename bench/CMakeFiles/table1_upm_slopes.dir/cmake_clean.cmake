@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_upm_slopes.dir/table1_upm_slopes.cpp.o"
+  "CMakeFiles/table1_upm_slopes.dir/table1_upm_slopes.cpp.o.d"
+  "table1_upm_slopes"
+  "table1_upm_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_upm_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

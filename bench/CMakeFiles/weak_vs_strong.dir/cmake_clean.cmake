@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_vs_strong.dir/weak_vs_strong.cpp.o"
+  "CMakeFiles/weak_vs_strong.dir/weak_vs_strong.cpp.o.d"
+  "weak_vs_strong"
+  "weak_vs_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_vs_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for weak_vs_strong.
+# This may be replaced when dependencies are built.

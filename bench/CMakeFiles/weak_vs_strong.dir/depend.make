@@ -1,0 +1,2 @@
+# Empty dependencies file for weak_vs_strong.
+# This may be replaced when dependencies are built.

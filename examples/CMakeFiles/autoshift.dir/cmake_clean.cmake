@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoshift.dir/autoshift.cpp.o"
+  "CMakeFiles/autoshift.dir/autoshift.cpp.o.d"
+  "autoshift"
+  "autoshift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for autoshift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_explorer.dir/gear_explorer.cpp.o"
+  "CMakeFiles/gear_explorer.dir/gear_explorer.cpp.o.d"
+  "gear_explorer"
+  "gear_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gear_explorer.
+# This may be replaced when dependencies are built.

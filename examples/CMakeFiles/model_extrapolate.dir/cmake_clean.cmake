@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_extrapolate.dir/model_extrapolate.cpp.o"
+  "CMakeFiles/model_extrapolate.dir/model_extrapolate.cpp.o.d"
+  "model_extrapolate"
+  "model_extrapolate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_extrapolate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("sim")
+subdirs("cpu")
+subdirs("power")
+subdirs("net")
+subdirs("mpi")
+subdirs("trace")
+subdirs("faults")
+subdirs("cluster")
+subdirs("exec")
+subdirs("workloads")
+subdirs("model")
+subdirs("sched")
+subdirs("report")
+subdirs("policy")
+subdirs("serve")

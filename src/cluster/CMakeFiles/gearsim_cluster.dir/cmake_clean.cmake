@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_cluster.dir/config.cpp.o"
+  "CMakeFiles/gearsim_cluster.dir/config.cpp.o.d"
+  "CMakeFiles/gearsim_cluster.dir/dvfs.cpp.o"
+  "CMakeFiles/gearsim_cluster.dir/dvfs.cpp.o.d"
+  "CMakeFiles/gearsim_cluster.dir/experiment.cpp.o"
+  "CMakeFiles/gearsim_cluster.dir/experiment.cpp.o.d"
+  "CMakeFiles/gearsim_cluster.dir/workload.cpp.o"
+  "CMakeFiles/gearsim_cluster.dir/workload.cpp.o.d"
+  "libgearsim_cluster.a"
+  "libgearsim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/gearsim_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/gearsim_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/cpu_model.cpp" "src/cpu/CMakeFiles/gearsim_cpu.dir/cpu_model.cpp.o" "gcc" "src/cpu/CMakeFiles/gearsim_cpu.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/cpu/power_model.cpp" "src/cpu/CMakeFiles/gearsim_cpu.dir/power_model.cpp.o" "gcc" "src/cpu/CMakeFiles/gearsim_cpu.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

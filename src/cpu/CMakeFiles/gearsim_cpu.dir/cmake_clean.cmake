@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_cpu.dir/cache.cpp.o"
+  "CMakeFiles/gearsim_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/gearsim_cpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/gearsim_cpu.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/gearsim_cpu.dir/power_model.cpp.o"
+  "CMakeFiles/gearsim_cpu.dir/power_model.cpp.o.d"
+  "libgearsim_cpu.a"
+  "libgearsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cache_key.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/cache_key.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/cache_key.cpp.o.d"
+  "/root/repo/src/exec/inflight.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/inflight.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/inflight.cpp.o.d"
+  "/root/repo/src/exec/result_cache.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/result_cache.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/result_cache.cpp.o.d"
+  "/root/repo/src/exec/result_io.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/result_io.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/result_io.cpp.o.d"
+  "/root/repo/src/exec/store.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/store.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/store.cpp.o.d"
+  "/root/repo/src/exec/supervisor.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/supervisor.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/supervisor.cpp.o.d"
+  "/root/repo/src/exec/sweep_runner.cpp" "src/exec/CMakeFiles/gearsim_exec.dir/sweep_runner.cpp.o" "gcc" "src/exec/CMakeFiles/gearsim_exec.dir/sweep_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/cluster/CMakeFiles/gearsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/gearsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/faults/CMakeFiles/gearsim_faults.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/gearsim_power.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/gearsim_trace.dir/DependInfo.cmake"
+  "/root/repo/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

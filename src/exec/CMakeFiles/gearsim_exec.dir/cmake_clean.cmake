@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_exec.dir/cache_key.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/cache_key.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/inflight.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/inflight.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/result_cache.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/result_cache.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/result_io.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/result_io.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/store.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/store.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/supervisor.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/supervisor.cpp.o.d"
+  "CMakeFiles/gearsim_exec.dir/sweep_runner.cpp.o"
+  "CMakeFiles/gearsim_exec.dir/sweep_runner.cpp.o.d"
+  "libgearsim_exec.a"
+  "libgearsim_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

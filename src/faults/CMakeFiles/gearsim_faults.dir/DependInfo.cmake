@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault_plan.cpp" "src/faults/CMakeFiles/gearsim_faults.dir/fault_plan.cpp.o" "gcc" "src/faults/CMakeFiles/gearsim_faults.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/faults/injector.cpp" "src/faults/CMakeFiles/gearsim_faults.dir/injector.cpp.o" "gcc" "src/faults/CMakeFiles/gearsim_faults.dir/injector.cpp.o.d"
+  "/root/repo/src/faults/restart_model.cpp" "src/faults/CMakeFiles/gearsim_faults.dir/restart_model.cpp.o" "gcc" "src/faults/CMakeFiles/gearsim_faults.dir/restart_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/gearsim_power.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/gearsim_trace.dir/DependInfo.cmake"
+  "/root/repo/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

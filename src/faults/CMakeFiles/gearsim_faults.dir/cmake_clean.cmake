@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_faults.dir/fault_plan.cpp.o"
+  "CMakeFiles/gearsim_faults.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/gearsim_faults.dir/injector.cpp.o"
+  "CMakeFiles/gearsim_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/gearsim_faults.dir/restart_model.cpp.o"
+  "CMakeFiles/gearsim_faults.dir/restart_model.cpp.o.d"
+  "libgearsim_faults.a"
+  "libgearsim_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

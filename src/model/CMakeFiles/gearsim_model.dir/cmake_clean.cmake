@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_model.dir/amdahl.cpp.o"
+  "CMakeFiles/gearsim_model.dir/amdahl.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/analytic.cpp.o"
+  "CMakeFiles/gearsim_model.dir/analytic.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/comm_model.cpp.o"
+  "CMakeFiles/gearsim_model.dir/comm_model.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/gear_data.cpp.o"
+  "CMakeFiles/gearsim_model.dir/gear_data.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/pipeline.cpp.o"
+  "CMakeFiles/gearsim_model.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/predictor.cpp.o"
+  "CMakeFiles/gearsim_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/gearsim_model.dir/tradeoff.cpp.o"
+  "CMakeFiles/gearsim_model.dir/tradeoff.cpp.o.d"
+  "libgearsim_model.a"
+  "libgearsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/gearsim_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/gearsim_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/gearsim_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/gearsim_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_mpi.dir/comm.cpp.o"
+  "CMakeFiles/gearsim_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/gearsim_mpi.dir/world.cpp.o"
+  "CMakeFiles/gearsim_mpi.dir/world.cpp.o.d"
+  "libgearsim_mpi.a"
+  "libgearsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_net.dir/network.cpp.o"
+  "CMakeFiles/gearsim_net.dir/network.cpp.o.d"
+  "libgearsim_net.a"
+  "libgearsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

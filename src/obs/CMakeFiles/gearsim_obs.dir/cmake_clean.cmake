@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_obs.dir/compare.cpp.o"
+  "CMakeFiles/gearsim_obs.dir/compare.cpp.o.d"
+  "CMakeFiles/gearsim_obs.dir/manifest.cpp.o"
+  "CMakeFiles/gearsim_obs.dir/manifest.cpp.o.d"
+  "CMakeFiles/gearsim_obs.dir/metrics.cpp.o"
+  "CMakeFiles/gearsim_obs.dir/metrics.cpp.o.d"
+  "libgearsim_obs.a"
+  "libgearsim_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

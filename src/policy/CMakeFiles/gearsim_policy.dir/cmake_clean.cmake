@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_policy.dir/controller.cpp.o"
+  "CMakeFiles/gearsim_policy.dir/controller.cpp.o.d"
+  "CMakeFiles/gearsim_policy.dir/evaluator.cpp.o"
+  "CMakeFiles/gearsim_policy.dir/evaluator.cpp.o.d"
+  "CMakeFiles/gearsim_policy.dir/slack_reclaimer.cpp.o"
+  "CMakeFiles/gearsim_policy.dir/slack_reclaimer.cpp.o.d"
+  "CMakeFiles/gearsim_policy.dir/timeout_downshift.cpp.o"
+  "CMakeFiles/gearsim_policy.dir/timeout_downshift.cpp.o.d"
+  "libgearsim_policy.a"
+  "libgearsim_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_power.dir/energy_meter.cpp.o"
+  "CMakeFiles/gearsim_power.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/gearsim_power.dir/multimeter.cpp.o"
+  "CMakeFiles/gearsim_power.dir/multimeter.cpp.o.d"
+  "libgearsim_power.a"
+  "libgearsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_report.dir/figures.cpp.o"
+  "CMakeFiles/gearsim_report.dir/figures.cpp.o.d"
+  "CMakeFiles/gearsim_report.dir/svg_plot.cpp.o"
+  "CMakeFiles/gearsim_report.dir/svg_plot.cpp.o.d"
+  "libgearsim_report.a"
+  "libgearsim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

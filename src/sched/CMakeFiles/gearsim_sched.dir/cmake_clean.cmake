@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_sched.dir/profile.cpp.o"
+  "CMakeFiles/gearsim_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/gearsim_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/gearsim_sched.dir/scheduler.cpp.o.d"
+  "libgearsim_sched.a"
+  "libgearsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_serve.dir/client.cpp.o"
+  "CMakeFiles/gearsim_serve.dir/client.cpp.o.d"
+  "CMakeFiles/gearsim_serve.dir/daemon.cpp.o"
+  "CMakeFiles/gearsim_serve.dir/daemon.cpp.o.d"
+  "CMakeFiles/gearsim_serve.dir/protocol.cpp.o"
+  "CMakeFiles/gearsim_serve.dir/protocol.cpp.o.d"
+  "CMakeFiles/gearsim_serve.dir/service.cpp.o"
+  "CMakeFiles/gearsim_serve.dir/service.cpp.o.d"
+  "libgearsim_serve.a"
+  "libgearsim_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

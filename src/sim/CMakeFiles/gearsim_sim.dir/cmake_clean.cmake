@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/gearsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gearsim_sim.dir/parallel_engine.cpp.o"
+  "CMakeFiles/gearsim_sim.dir/parallel_engine.cpp.o.d"
+  "libgearsim_sim.a"
+  "libgearsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

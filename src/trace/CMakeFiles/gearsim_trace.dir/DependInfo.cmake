@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/gearsim_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/gearsim_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/gearsim_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/gearsim_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/iteration.cpp" "src/trace/CMakeFiles/gearsim_trace.dir/iteration.cpp.o" "gcc" "src/trace/CMakeFiles/gearsim_trace.dir/iteration.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/gearsim_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/gearsim_trace.dir/timeline.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/gearsim_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/gearsim_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  "/root/repo/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

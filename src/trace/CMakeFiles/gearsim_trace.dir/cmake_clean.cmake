@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_trace.dir/analysis.cpp.o"
+  "CMakeFiles/gearsim_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/gearsim_trace.dir/export.cpp.o"
+  "CMakeFiles/gearsim_trace.dir/export.cpp.o.d"
+  "CMakeFiles/gearsim_trace.dir/iteration.cpp.o"
+  "CMakeFiles/gearsim_trace.dir/iteration.cpp.o.d"
+  "CMakeFiles/gearsim_trace.dir/timeline.cpp.o"
+  "CMakeFiles/gearsim_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/gearsim_trace.dir/tracer.cpp.o"
+  "CMakeFiles/gearsim_trace.dir/tracer.cpp.o.d"
+  "libgearsim_trace.a"
+  "libgearsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

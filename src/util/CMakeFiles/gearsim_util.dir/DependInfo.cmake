@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/gearsim_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/failpoint.cpp" "src/util/CMakeFiles/gearsim_util.dir/failpoint.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/failpoint.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/gearsim_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/gearsim_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/util/CMakeFiles/gearsim_util.dir/parallel.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/parallel.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/gearsim_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/gearsim_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/gearsim_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

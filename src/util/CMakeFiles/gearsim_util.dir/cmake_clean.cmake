@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_util.dir/csv.cpp.o"
+  "CMakeFiles/gearsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/failpoint.cpp.o"
+  "CMakeFiles/gearsim_util.dir/failpoint.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/json.cpp.o"
+  "CMakeFiles/gearsim_util.dir/json.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/log.cpp.o"
+  "CMakeFiles/gearsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/parallel.cpp.o"
+  "CMakeFiles/gearsim_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/statistics.cpp.o"
+  "CMakeFiles/gearsim_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/gearsim_util.dir/table.cpp.o"
+  "CMakeFiles/gearsim_util.dir/table.cpp.o.d"
+  "libgearsim_util.a"
+  "libgearsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/jacobi.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/jacobi.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/jacobi.cpp.o.d"
+  "/root/repo/src/workloads/nas.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/nas.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/nas.cpp.o.d"
+  "/root/repo/src/workloads/nas_extra.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/nas_extra.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/nas_extra.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/patterns.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/gearsim_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/gearsim_workloads.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/cluster/CMakeFiles/gearsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/gearsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/faults/CMakeFiles/gearsim_faults.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/gearsim_power.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/gearsim_trace.dir/DependInfo.cmake"
+  "/root/repo/src/mpi/CMakeFiles/gearsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/gearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/gearsim_net.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/gearsim_obs.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/gearsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim_workloads.dir/jacobi.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/jacobi.cpp.o.d"
+  "CMakeFiles/gearsim_workloads.dir/nas.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/nas.cpp.o.d"
+  "CMakeFiles/gearsim_workloads.dir/nas_extra.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/nas_extra.cpp.o.d"
+  "CMakeFiles/gearsim_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/gearsim_workloads.dir/registry.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/gearsim_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/gearsim_workloads.dir/synthetic.cpp.o.d"
+  "libgearsim_workloads.a"
+  "libgearsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_test.dir/dvfs_test.cpp.o"
+  "CMakeFiles/dvfs_test.dir/dvfs_test.cpp.o.d"
+  "dvfs_test"
+  "dvfs_test.pdb"
+  "dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knobs_test.dir/knobs_test.cpp.o"
+  "CMakeFiles/knobs_test.dir/knobs_test.cpp.o.d"
+  "knobs_test"
+  "knobs_test.pdb"
+  "knobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

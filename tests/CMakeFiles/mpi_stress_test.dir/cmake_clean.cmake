@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_stress_test.dir/mpi_stress_test.cpp.o"
+  "CMakeFiles/mpi_stress_test.dir/mpi_stress_test.cpp.o.d"
+  "mpi_stress_test"
+  "mpi_stress_test.pdb"
+  "mpi_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_extra_test.dir/nas_extra_test.cpp.o"
+  "CMakeFiles/nas_extra_test.dir/nas_extra_test.cpp.o.d"
+  "nas_extra_test"
+  "nas_extra_test.pdb"
+  "nas_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervisor_test.dir/supervisor_test.cpp.o"
+  "CMakeFiles/supervisor_test.dir/supervisor_test.cpp.o.d"
+  "supervisor_test"
+  "supervisor_test.pdb"
+  "supervisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

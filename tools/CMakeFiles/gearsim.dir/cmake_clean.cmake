@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearsim.dir/gearsim_cli.cpp.o"
+  "CMakeFiles/gearsim.dir/gearsim_cli.cpp.o.d"
+  "gearsim"
+  "gearsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
