@@ -11,11 +11,13 @@
 // Ends with the paper's quoted LU 4->8 numbers.
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "net/topology.hpp"
 #include "exec/result_cache.hpp"
 #include "exec/sweep_runner.hpp"
 #include "harness.hpp"
@@ -24,6 +26,7 @@
 #include "model/tradeoff.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
 
 using namespace gearsim;
 
@@ -110,6 +113,58 @@ int run(bench::BenchContext& ctx) {
     ctx.metric("lu.energy_8v4_delta", f8.energy / f4.energy - 1.0);
     ctx.metric("lu.gear4at8_energy_delta", g4on8.energy / f4.energy - 1.0);
     ctx.metric("lu.gear4at8_speedup", f4.time / g4on8.time);
+  }
+  // Topology contention at scale: the SHIFT congestion probe on 256
+  // ranks under an ideal flat crossbar, a genuinely non-blocking fat
+  // tree, a 2:1-oversubscribed fat tree, and a 16x16 torus (see
+  // docs/NETWORK.md).  Compute is identical across the four, so the
+  // extra wall time and the larger idle-energy share under the
+  // contended fabrics are congestion-induced slack — the slack class
+  // the paper's 10-node cluster could not produce, and the one
+  // COUNTDOWN-style DVFS policies exploit (`gearsim policy --workload
+  // SHIFT --topology ...` races the roster on it).
+  {
+    std::cout << "=== Topology contention: SHIFT probe on 256 ranks ===\n";
+    const workloads::ShiftExchange shift;
+    // The non-blocking fat tree is the slack baseline: same routing and
+    // fair-share model, zero oversubscription, so any wall-time growth
+    // over it is pure link contention.  The flat crossbar is shown for
+    // context (its aggregate-backplane FIFO is a different serialization
+    // model, so it is not the congestion reference).
+    const std::vector<std::pair<std::string, std::string>> fabrics = {
+        {"fat_tree_full", "fat-tree:16,16:1,1:1,16"},
+        {"flat", "flat"},
+        {"fat_tree_2to1", "fat-tree:16,16:1,2:1,4"},
+        {"torus", "torus:16x16"},
+    };
+    TextTable topo({"fabric", "time [s]", "energy [kJ]", "idle share",
+                    "congestion slack"});
+    double base_wall = 0.0;
+    for (const auto& [key, spec] : fabrics) {
+      cluster::ClusterConfig config = cluster::athlon_cluster();
+      config.max_nodes = 256;
+      // The flat row gets an ideal crossbar, so it is not bottlenecked
+      // by the 10-node cluster's 12-port switch being 25x undersized.
+      config.network.backplane_bandwidth =
+          256 * config.network.link_bandwidth;
+      cluster::install_topology(&config, net::parse_topology(spec));
+      const cluster::ExperimentRunner topo_runner(config);
+      const cluster::RunResult r =
+          topo_runner.run(shift, 256, cluster::RunOptions{});
+      if (key == "fat_tree_full") base_wall = r.wall.value();
+      const double idle_share = r.idle_energy / r.energy;
+      const double slack = r.wall.value() / base_wall - 1.0;
+      topo.add_row({key, fmt_fixed(r.wall.value(), 2),
+                    fmt_fixed(r.energy.value() / 1e3, 1),
+                    fmt_percent(idle_share),
+                    key == "fat_tree_full" ? "-" : fmt_percent(slack)});
+      ctx.metric("topo256." + key + ".time", r.wall.value());
+      ctx.metric("topo256." + key + ".idle_share", idle_share);
+      if (key != "fat_tree_full") {
+        ctx.metric("topo256." + key + ".slack", slack);
+      }
+    }
+    std::cout << topo.to_string() << '\n';
   }
   // Deterministic simulation-volume metrics from the executor: a change
   // in any of these means the sweep simulated different work.

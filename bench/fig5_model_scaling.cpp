@@ -23,15 +23,19 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include <string>
 
 #include "cluster/experiment.hpp"
 #include "harness.hpp"
+#include "net/topology.hpp"
 #include "report/figures.hpp"
 #include "model/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
 
 using namespace gearsim;
 
@@ -192,6 +196,69 @@ int run(bench::BenchContext& ctx) {
             << "  (max " << fmt_percent(time_err.max(), 1) << ")\n"
             << "mean |energy error| = " << fmt_percent(energy_err.mean(), 1)
             << "  (max " << fmt_percent(energy_err.max(), 1) << ")\n";
+  // Topology scaling sweep: the SHIFT congestion probe (see
+  // workloads/synthetic.hpp and docs/NETWORK.md) from 256 to 2048 ranks.
+  // The slack baseline at each scale is the non-blocking fat tree — same
+  // routing and fair-share model, zero oversubscription — so the slack
+  // column isolates link contention.  The contended fabrics keep their
+  // shape as they grow (fat trees 2:1 oversubscribed at the spine, tori
+  // square-ish), showing how congestion-induced slack grows with scale —
+  // the regime the paper's 10-node cluster never reached.  The flat
+  // crossbar rows are context only (different serialization model).
+  {
+    std::cout << "=== Topology scaling: SHIFT probe, 256-2048 ranks ===\n";
+    const workloads::ShiftExchange probe;
+    struct ScaleCase {
+      int ranks;
+      const char* full_tree;
+      const char* fat_tree;
+      const char* torus;
+    };
+    const std::vector<ScaleCase> scales = {
+        {256, "fat-tree:16,16:1,1:1,16", "fat-tree:16,16:1,2:1,4",
+         "torus:16x16"},
+        {1024, "fat-tree:32,32:1,1:1,32", "fat-tree:32,32:1,2:1,8",
+         "torus:32x32"},
+        {2048, "fat-tree:32,64:1,1:1,32", "fat-tree:32,64:1,2:1,8",
+         "torus:32x64"},
+    };
+    TextTable topo({"ranks", "fabric", "time [s]", "idle share",
+                    "congestion slack"});
+    for (const auto& scale : scales) {
+      double base_wall = 0.0;
+      const std::vector<std::pair<std::string, std::string>> fabrics = {
+          {"fat_tree_full", scale.full_tree},
+          {"flat", "flat"},
+          {"fat_tree", scale.fat_tree},
+          {"torus", scale.torus},
+      };
+      bool first = true;
+      for (const auto& [key, spec] : fabrics) {
+        cluster::ClusterConfig config = cluster::athlon_cluster();
+        config.max_nodes = scale.ranks;
+        config.network.backplane_bandwidth =
+            scale.ranks * config.network.link_bandwidth;
+        cluster::install_topology(&config, net::parse_topology(spec));
+        const cluster::ExperimentRunner topo_runner(config);
+        const cluster::RunResult r =
+            topo_runner.run(probe, scale.ranks, cluster::RunOptions{});
+        if (key == "fat_tree_full") base_wall = r.wall.value();
+        const double idle_share = r.idle_energy / r.energy;
+        const double slack = r.wall.value() / base_wall - 1.0;
+        topo.add_row({first ? std::to_string(scale.ranks) : "", key,
+                      fmt_fixed(r.wall.value(), 2), fmt_percent(idle_share),
+                      key == "fat_tree_full" ? "-" : fmt_percent(slack)});
+        first = false;
+        const std::string stem =
+            "topo.scale" + std::to_string(scale.ranks) + "." + key;
+        ctx.metric(stem + ".time", r.wall.value());
+        if (key != "fat_tree_full") ctx.metric(stem + ".slack", slack);
+      }
+      topo.add_rule();
+    }
+    std::cout << topo.to_string() << '\n';
+  }
+
   ctx.metric("model.time_error.mean", time_err.mean());
   ctx.metric("model.time_error.max", time_err.max());
   ctx.metric("model.energy_error.mean", energy_err.mean());

@@ -22,7 +22,7 @@ ctest --test-dir "$ROOT/build" 2>&1 | tee "$OUT/test_output.txt"
 : > "$OUT/bench_output.txt"
 # Every bench speaks the bench/harness CLI, so one invocation fits all.
 for b in "$ROOT"/build/bench/*; do
-  [ -x "$b" ] || continue
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $(basename "$b") =====" | tee -a "$OUT/bench_output.txt"
   "$b" --svg "$OUT/figures" --json "$OUT/bench" | tee -a "$OUT/bench_output.txt"
   echo | tee -a "$OUT/bench_output.txt"

@@ -40,4 +40,16 @@ ClusterConfig xeon_cluster() {
   return c;
 }
 
+void install_topology(ClusterConfig* config,
+                      const net::TopologyParams& topology) {
+  config->network.topology = topology;
+  if (topology.flat()) return;
+  // Validate the shape now (a bad spec should fail the command/query,
+  // not the first simulation) and learn its host capacity.
+  const auto shape =
+      net::Topology::make(topology, 1, config->network.link_bandwidth);
+  const auto seats = static_cast<int>(shape->num_hosts());
+  if (seats > config->max_nodes) config->max_nodes = seats;
+}
+
 }  // namespace gearsim::cluster

@@ -51,4 +51,14 @@ ClusterConfig sun_cluster();
 /// The discarded shared-network machine.
 ClusterConfig xeon_cluster();
 
+/// Install a routing topology (see net/topology.hpp) on a preset:
+/// sets network.topology and raises max_nodes to the shape's host
+/// capacity when it seats more than the preset allows, so e.g. a
+/// 256-host fat-tree on the athlon preset can actually run 256 ranks.
+/// The CLI's --topology and the serve protocol's "topology" field both
+/// go through here, so a served query and the local command build the
+/// same canonical config (and thus the same cache keys).
+void install_topology(ClusterConfig* config,
+                      const net::TopologyParams& topology);
+
 }  // namespace gearsim::cluster

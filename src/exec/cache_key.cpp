@@ -60,7 +60,8 @@ std::string canonical_config(const cluster::ClusterConfig& c) {
        ",link=" + num(c.network.link_bandwidth) +
        ",backplane=" + num(c.network.backplane_bandwidth) +
        ",jitter=" + num(c.network.latency_jitter) +
-       ",jitter_seed=" + num(c.network.jitter_seed) + "}";
+       ",jitter_seed=" + num(c.network.jitter_seed) +
+       ",topology=" + net::to_spec(c.network.topology) + "}";
   s += ",mpi{eager=" + num(std::uint64_t(c.mpi.eager_threshold)) +
        ",overhead=" + num(c.mpi.call_overhead.value()) + "}";
   s += ",imbalance=" + num(c.load_imbalance);

@@ -36,7 +36,10 @@ namespace gearsim::exec {
 /// v5: lossy-link loss draws are keyed by transfer identity (src,
 /// per-source ordinal) instead of global consumption order — link-fault
 /// results changed, so every pre-v5 entry must be recomputed.
-inline constexpr int kKeyFormatVersion = 5;
+/// v6: net{...} grew topology=<spec> (flat / fat-tree / torus routing —
+/// see net/topology.hpp).  Flat runs are byte-identical to v5, but the
+/// key text changed shape, so the version retires old entries wholesale.
+inline constexpr int kKeyFormatVersion = 6;
 
 /// FNV-1a 64-bit hash of a byte string.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace gearsim::net {
 
@@ -42,6 +43,17 @@ Network::Network(NetworkParams params, std::size_t num_nodes)
   GEARSIM_REQUIRE(std::isfinite(params_.latency_jitter) &&
                       params_.latency_jitter >= 0.0,
                   "negative or non-finite jitter");
+  topology_ =
+      Topology::make(params_.topology, num_nodes, params_.link_bandwidth);
+  if (topology_ == nullptr) {
+    min_path_latency_ = params_.latency;
+  } else {
+    link_sched_.resize(topology_->link_count());
+    min_path_latency_ =
+        params_.latency +
+        params_.topology.hop_latency *
+            static_cast<double>(topology_->min_path_links() - 1);
+  }
 }
 
 void Network::set_metrics(obs::MetricsRegistry* metrics) {
@@ -86,26 +98,9 @@ void Network::set_link_faults(std::vector<LinkFaultWindow> windows,
   retransmissions_ = 0;
 }
 
-Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
-                          Seconds now) {
-  GEARSIM_REQUIRE(src < tx_free_.size() && dst < rx_free_.size(),
-                  "endpoint out of range");
-  GEARSIM_REQUIRE(src != dst, "self-transfer does not use the network");
-  ++messages_;
-  bytes_ += bytes;
-  if (m_messages_ != nullptr) m_messages_->add();
-  if (m_bytes_ != nullptr) m_bytes_->add(bytes);
-
-  const double b = static_cast<double>(bytes);
-  const Seconds wire = seconds(b / params_.link_bandwidth);
-  const Seconds fabric = seconds(b / params_.backplane_bandwidth);
-
-  // Sender NIC: FIFO serialization, gated by the shared fabric.
-  const Seconds start = std::max({now, tx_free_[src], backplane_free_});
-  tx_free_[src] = start + wire;
-  backplane_free_ = start + fabric;
-
-  Seconds lat = params_.latency;
+Seconds Network::latency_realization(std::size_t src, std::size_t dst,
+                                     Seconds now, Seconds base) {
+  Seconds lat = base;
   if (params_.latency_jitter > 0.0) {
     lat *= std::max(0.1, 1.0 + jitter_rng_.normal(0.0, params_.latency_jitter));
   }
@@ -148,6 +143,31 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
     }
     lat = lat * spike + penalty;
   }
+  return lat;
+}
+
+Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
+                          Seconds now) {
+  GEARSIM_REQUIRE(src < tx_free_.size() && dst < rx_free_.size(),
+                  "endpoint out of range");
+  GEARSIM_REQUIRE(src != dst, "self-transfer does not use the network");
+  ++messages_;
+  bytes_ += bytes;
+  if (m_messages_ != nullptr) m_messages_->add();
+  if (m_bytes_ != nullptr) m_bytes_->add(bytes);
+
+  if (topology_ != nullptr) return routed_transfer(src, dst, bytes, now);
+
+  const double b = static_cast<double>(bytes);
+  const Seconds wire = seconds(b / params_.link_bandwidth);
+  const Seconds fabric = seconds(b / params_.backplane_bandwidth);
+
+  // Sender NIC: FIFO serialization, gated by the shared fabric.
+  const Seconds start = std::max({now, tx_free_[src], backplane_free_});
+  tx_free_[src] = start + wire;
+  backplane_free_ = start + fabric;
+
+  const Seconds lat = latency_realization(src, dst, now, params_.latency);
 
   // Receiver NIC: the message occupies the RX link for its wire time,
   // FIFO among all senders targeting this node (incast contention).
@@ -155,6 +175,96 @@ Seconds Network::transfer(std::size_t src, std::size_t dst, Bytes bytes,
   const Seconds arrival = rx_start + wire;
   rx_free_[dst] = arrival;
   return arrival;
+}
+
+Seconds Network::routed_transfer(std::size_t src, std::size_t dst, Bytes bytes,
+                                 Seconds now) {
+  path_scratch_.clear();
+  topology_->route(src, dst, &path_scratch_);
+  GEARSIM_ENSURE(!path_scratch_.empty(), "routed path has no links");
+
+  // Fold past count changes into each link's baseline.  transfer() calls
+  // arrive with non-decreasing `now` — serial dispatch is time-ordered
+  // and the parallel engine's barrier replay is sorted by inject time —
+  // so events at or before `now` can never matter again.
+  const std::size_t links = path_scratch_.size();
+  cursor_scratch_.assign(links, 0);
+  count_scratch_.resize(links);
+  for (std::size_t i = 0; i < links; ++i) {
+    LinkSchedule& sched = link_sched_[path_scratch_[i]];
+    std::size_t done = 0;
+    while (done < sched.events.size() && sched.events[done].time <= now) {
+      sched.active += sched.events[done].delta;
+      ++done;
+    }
+    if (done > 0) {
+      sched.events.erase(sched.events.begin(),
+                         sched.events.begin() +
+                             static_cast<std::ptrdiff_t>(done));
+    }
+    count_scratch_[i] = sched.active;
+  }
+
+  // Fluid fair share: this flow's rate at any instant is the tightest
+  // link's capacity split among the flows committed there plus itself.
+  // Integrate across the committed count-change boundaries until the
+  // payload is through.  Committed flows' own finish times are frozen
+  // (their arrivals were already returned), so this is causal and a pure
+  // function of the transfer call sequence.  Routed paths never repeat a
+  // link (climb/descend visits distinct trunks; dimension-ordered hops
+  // depart distinct nodes), so the per-position counts stay independent.
+  const double payload = static_cast<double>(bytes);
+  double sent = 0.0;
+  Seconds t = now;
+  for (;;) {
+    double rate = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links; ++i) {
+      rate = std::min(rate, topology_->link_capacity(path_scratch_[i]) /
+                                static_cast<double>(count_scratch_[i] + 1));
+    }
+    Seconds boundary = seconds(std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < links; ++i) {
+      const LinkSchedule& sched = link_sched_[path_scratch_[i]];
+      if (cursor_scratch_[i] < sched.events.size()) {
+        boundary = std::min(boundary, sched.events[cursor_scratch_[i]].time);
+      }
+    }
+    const Seconds done_at = t + seconds((payload - sent) / rate);
+    if (done_at <= boundary) {
+      t = done_at;
+      break;
+    }
+    sent += rate * (boundary - t).value();
+    t = boundary;
+    for (std::size_t i = 0; i < links; ++i) {
+      const LinkSchedule& sched = link_sched_[path_scratch_[i]];
+      while (cursor_scratch_[i] < sched.events.size() &&
+             sched.events[cursor_scratch_[i]].time == boundary) {
+        count_scratch_[i] += sched.events[cursor_scratch_[i]].delta;
+        ++cursor_scratch_[i];
+      }
+    }
+  }
+
+  // Commit this flow's [now, t) occupancy on every crossed link.
+  for (std::size_t i = 0; i < links; ++i) {
+    std::vector<LinkFlowEvent>& events = link_sched_[path_scratch_[i]].events;
+    const auto insert_at = [&events](Seconds time, int delta) {
+      const auto pos = std::upper_bound(
+          events.begin(), events.end(), time,
+          [](Seconds v, const LinkFlowEvent& e) { return v < e.time; });
+      events.insert(pos, LinkFlowEvent{time, delta});
+    };
+    insert_at(now, +1);
+    insert_at(t, -1);
+  }
+
+  // Per-switch hop latency on top of the wire latency; jitter and fault
+  // windows realize against the whole path latency.
+  const Seconds base =
+      params_.latency +
+      params_.topology.hop_latency * static_cast<double>(links - 1);
+  return t + latency_realization(src, dst, now, base);
 }
 
 }  // namespace gearsim::net

@@ -25,14 +25,30 @@
 // makes lossy-link plans safe for the conservative parallel engine, whose
 // barrier replay preserves per-source transfer order but not the global
 // one (see cluster/experiment.cpp's eligibility gate).
+//
+// Topology mode: when NetworkParams::topology is not flat, the
+// NIC/backplane reservations above are replaced by per-link fair
+// bandwidth sharing along the routed path (fat-tree or torus — see
+// net/topology.hpp and docs/NETWORK.md).  A transfer's duration is the
+// fluid-flow time to push its bytes through the path when every crossed
+// link splits its capacity evenly among the flows committed on it; the
+// flow then commits its own [inject, finish) interval so later transfers
+// see the contention it created.  Arrivals already returned are never
+// revised (re-sharing is applied to flows that arrive *after*, keeping
+// transfer() causal and its result a pure function of the call sequence
+// — the property the parallel engine's barrier replay relies on).  The
+// flat topology does not touch any of this code: it keeps the original
+// reservation model byte for byte.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/random.hpp"
@@ -52,6 +68,10 @@ struct NetworkParams {
   /// Multiplicative jitter stddev applied to latency (0 = deterministic).
   double latency_jitter = 0.0;
   std::uint64_t jitter_seed = 7;
+  /// Routing structure.  kFlat (the default) keeps the NIC/backplane
+  /// reservation model above; fat-tree / torus switch to routed paths
+  /// with per-link fair sharing and per-switch hop latency.
+  TopologyParams topology;
 };
 
 /// 100 Mb/s switched Ethernet of the paper's Athlon-64 cluster.
@@ -113,13 +133,19 @@ class Network {
   /// transfer() adds at least the wire latency on top of non-decreasing
   /// reservations, and link-fault windows only ever *increase* it
   /// (latency_factor is validated >= 1, retransmit penalties are
-  /// non-negative).  Multiplicative jitter can undercut the base latency,
-  /// so a jittered network returns zero — "no sound lookahead" — and
-  /// callers must fall back to serial execution.
+  /// non-negative).  In topology mode the bound is the minimum over all
+  /// routed paths: latency + hop_latency * (min path links - 1) —
+  /// fair-share transfer durations are non-negative, so every arrival
+  /// still clears it.  Multiplicative jitter can undercut the base
+  /// latency, so a jittered network returns zero — "no sound lookahead"
+  /// — and callers must fall back to serial execution.
   [[nodiscard]] Seconds conservative_lookahead() const {
     if (params_.latency_jitter > 0.0) return Seconds{};
-    return params_.latency;
+    return min_path_latency_;
   }
+
+  /// The routing structure, nullptr in flat mode (for tests/reports).
+  [[nodiscard]] const Topology* topology() const { return topology_.get(); }
 
   /// Total messages / bytes carried (for reports).
   [[nodiscard]] std::uint64_t messages_carried() const { return messages_; }
@@ -152,11 +178,38 @@ class Network {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
+  /// One committed flow-count change on a link (+1 arrival, -1 finish).
+  struct LinkFlowEvent {
+    Seconds time{};
+    int delta = 0;
+  };
+  /// Per-link fair-share state: `active` flows as of the last prune,
+  /// plus the committed future count changes, sorted by time.
+  struct LinkSchedule {
+    int active = 0;
+    std::vector<LinkFlowEvent> events;
+  };
+
+  /// The jitter / fault-window latency realization shared by the flat
+  /// and routed paths (advances the jitter and loss RNG streams).
+  Seconds latency_realization(std::size_t src, std::size_t dst, Seconds now,
+                              Seconds base);
+  /// Topology-mode transfer: route, integrate the fair-share rate over
+  /// committed link schedules, commit this flow's interval.
+  Seconds routed_transfer(std::size_t src, std::size_t dst, Bytes bytes,
+                          Seconds now);
+
   NetworkParams params_;
   std::vector<Seconds> tx_free_;
   std::vector<Seconds> rx_free_;
   Seconds backplane_free_{};
   Rng jitter_rng_;
+  std::unique_ptr<Topology> topology_;
+  Seconds min_path_latency_;
+  std::vector<LinkSchedule> link_sched_;
+  std::vector<LinkId> path_scratch_;
+  std::vector<std::size_t> cursor_scratch_;
+  std::vector<int> count_scratch_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<LinkFaultWindow> link_faults_;

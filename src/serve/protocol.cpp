@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "exec/result_io.hpp"
+#include "net/topology.hpp"
 #include "util/assert.hpp"
 
 namespace gearsim::serve {
@@ -50,21 +51,33 @@ Request parse_request(std::string_view line) {
   request.gear = int_field(obj, "gear", request.gear);
   request.rep = int_field(obj, "rep", request.rep);
   request.repeat = int_field(obj, "repeat", request.repeat);
+  request.topology = string_field(obj, "topology", request.topology);
   GEARSIM_REQUIRE(request.nodes > 0, "nodes must be positive");
   GEARSIM_REQUIRE(request.gear > 0, "gear labels are 1-based");
   GEARSIM_REQUIRE(request.rep >= 0, "rep must be non-negative");
   GEARSIM_REQUIRE(request.repeat > 0, "repeat must be positive");
+  if (!request.topology.empty()) {
+    // Canonicalize (and validate) the spec so queries that spell the
+    // same shape differently coalesce on one supervisor and cache key.
+    request.topology = net::to_spec(net::parse_topology(request.topology));
+    if (request.topology == "flat") request.topology.clear();
+  }
   return request;
 }
 
 std::string render_request(const Request& request) {
-  // All fields always render (sorted keys): a request's canonical line is
-  // unique, which keeps logs and tests diffable.
+  // All present fields always render (sorted keys): a request's
+  // canonical line is unique, which keeps logs and tests diffable.
+  // `topology` renders only when set, so every pre-topology request
+  // line is preserved byte for byte.
   return "{\"cluster\":" + json::jstr(request.cluster) +
          ",\"gear\":" + std::to_string(request.gear) +
          ",\"nodes\":" + std::to_string(request.nodes) +
          ",\"rep\":" + std::to_string(request.rep) +
          ",\"repeat\":" + std::to_string(request.repeat) +
+         (request.topology.empty()
+              ? std::string()
+              : ",\"topology\":" + json::jstr(request.topology)) +
          ",\"type\":" + json::jstr(request.type) +
          ",\"workload\":" + json::jstr(request.workload) + "}";
 }
@@ -76,8 +89,12 @@ std::string run_response(const Request& request,
          ",\"nodes\":" + std::to_string(request.nodes) +
          ",\"rep\":" + std::to_string(request.rep) +
          ",\"results\":[" + exec::to_json(result) +
-         "],\"status\":\"ok\",\"type\":\"run\",\"workload\":" +
-         json::jstr(request.workload) + "}";
+         "],\"status\":\"ok\"" +
+         (request.topology.empty()
+              ? std::string()
+              : ",\"topology\":" + json::jstr(request.topology)) +
+         ",\"type\":\"run\",\"workload\":" + json::jstr(request.workload) +
+         "}";
 }
 
 std::string sweep_response(const Request& request,
@@ -90,8 +107,12 @@ std::string sweep_response(const Request& request,
   return "{\"cluster\":" + json::jstr(request.cluster) +
          ",\"nodes\":" + std::to_string(request.nodes) +
          ",\"repeat\":" + std::to_string(request.repeat) + ",\"results\":[" +
-         body + "],\"status\":\"ok\",\"type\":\"sweep\",\"workload\":" +
-         json::jstr(request.workload) + "}";
+         body + "],\"status\":\"ok\"" +
+         (request.topology.empty()
+              ? std::string()
+              : ",\"topology\":" + json::jstr(request.topology)) +
+         ",\"type\":\"sweep\",\"workload\":" + json::jstr(request.workload) +
+         "}";
 }
 
 std::string race_response(const Request& request,
@@ -110,9 +131,12 @@ std::string race_response(const Request& request,
   }
   return "{\"cluster\":" + json::jstr(request.cluster) +
          ",\"nodes\":" + std::to_string(request.nodes) + ",\"policies\":[" +
-         policies + "],\"static\":[" + statics +
-         "],\"status\":\"ok\",\"type\":\"race\",\"workload\":" +
-         json::jstr(request.workload) + "}";
+         policies + "],\"static\":[" + statics + "],\"status\":\"ok\"" +
+         (request.topology.empty()
+              ? std::string()
+              : ",\"topology\":" + json::jstr(request.topology)) +
+         ",\"type\":\"race\",\"workload\":" + json::jstr(request.workload) +
+         "}";
 }
 
 std::string shutdown_response() {

@@ -38,6 +38,11 @@ struct Request {
   int gear = 1;    ///< run only (1-based paper label).
   int rep = 0;     ///< run only (repetition index).
   int repeat = 1;  ///< sweep only (reps per gear).
+  /// Routing topology spec (net/topology.hpp grammar), canonicalized at
+  /// parse time; empty means the cluster preset's flat network.  Part of
+  /// the simulated config, so it shards the daemon's supervisor map and
+  /// the cache keys exactly like the CLI's --topology flag.
+  std::string topology;
 };
 
 /// Parse a request line; throws ContractError on malformed JSON, an

@@ -80,10 +80,12 @@ Service::Service(ServiceOptions options)
   if (options_.preload) cache_.preload();
 }
 
-const exec::SweepSupervisor& Service::supervisor_for(
-    const std::string& cluster_name) {
+const exec::SweepSupervisor& Service::supervisor_for(const Request& request) {
+  // One runner per simulated configuration: the canonical topology spec
+  // joins the cluster name in the key ('|' cannot occur in either).
+  const std::string key = request.cluster + "|" + request.topology;
   const std::lock_guard<std::mutex> lock(supervisors_mutex_);
-  auto it = supervisors_.find(cluster_name);
+  auto it = supervisors_.find(key);
   if (it == supervisors_.end()) {
     exec::SweepOptions sweep;
     sweep.jobs = options_.jobs;
@@ -91,19 +93,22 @@ const exec::SweepSupervisor& Service::supervisor_for(
     sweep.engine_threads = options_.engine_threads;
     exec::SupervisorOptions sup;
     sup.max_attempts = 1 + std::max(0, options_.retries);
+    cluster::ClusterConfig config = cluster_by_name(request.cluster);
+    if (!request.topology.empty()) {
+      cluster::install_topology(&config,
+                                net::parse_topology(request.topology));
+    }
     it = supervisors_
-             .emplace(cluster_name,
-                      std::make_unique<exec::SweepSupervisor>(
-                          cluster_by_name(cluster_name), sweep, sup))
+             .emplace(key, std::make_unique<exec::SweepSupervisor>(
+                               std::move(config), sweep, sup))
              .first;
   }
   return *it->second;
 }
 
 std::vector<cluster::RunResult> Service::run_points(
-    const std::string& cluster_name,
-    const std::vector<exec::SweepPoint>& points) {
-  const exec::SweepSupervisor& supervisor = supervisor_for(cluster_name);
+    const Request& request, const std::vector<exec::SweepPoint>& points) {
+  const exec::SweepSupervisor& supervisor = supervisor_for(request);
   const exec::SweepRunner& runner = supervisor.runner();
   // Validate the whole list up front: a bad coordinate is the *query's*
   // error and must fail before any claim or admission side effect.
@@ -229,7 +234,7 @@ std::string Service::handle_request(const Request& request) {
     const std::vector<exec::SweepPoint> points{exec::SweepPoint{
         workload.get(), request.nodes,
         static_cast<std::size_t>(request.gear - 1), request.rep}};
-    return run_response(request, run_points(request.cluster, points)[0]);
+    return run_response(request, run_points(request, points)[0]);
   }
 
   if (request.type == "sweep") {
@@ -243,7 +248,7 @@ std::string Service::handle_request(const Request& request) {
             exec::SweepPoint{workload.get(), request.nodes, g, rep});
       }
     }
-    return sweep_response(request, run_points(request.cluster, points));
+    return sweep_response(request, run_points(request, points));
   }
 
   GEARSIM_REQUIRE(request.type == "race",
@@ -256,7 +261,7 @@ std::string Service::handle_request(const Request& request) {
         exec::SweepPoint{workload.get(), request.nodes, g, 0});
   }
   std::vector<cluster::RunResult> statics =
-      run_points(request.cluster, static_points);
+      run_points(request, static_points);
   // Phase 2: the adaptive roster — the exact lineup `gearsim policy`
   // races (policy::policy_roster), through the same dedup/admission
   // path, so races coalesce with each other and with sweeps.
@@ -269,7 +274,7 @@ std::string Service::handle_request(const Request& request) {
                                              0, entry.factory.get()});
   }
   const std::vector<cluster::RunResult> runs =
-      run_points(request.cluster, policy_points);
+      run_points(request, policy_points);
   std::vector<policy::PolicyRun> rows;
   rows.reserve(runs.size());
   for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -145,11 +145,12 @@ class Service {
   /// order.  Throws RejectedError on backpressure, std::runtime_error on
   /// simulation/validation failure.
   std::vector<cluster::RunResult> run_points(
-      const std::string& cluster_name,
-      const std::vector<exec::SweepPoint>& points);
+      const Request& request, const std::vector<exec::SweepPoint>& points);
 
-  /// The lazily-built supervised runner for one cluster name.
-  const exec::SweepSupervisor& supervisor_for(const std::string& cluster_name);
+  /// The lazily-built supervised runner for one (cluster, topology)
+  /// configuration — the request's canonical topology spec is part of
+  /// the map key, so routed and flat queries never share a runner.
+  const exec::SweepSupervisor& supervisor_for(const Request& request);
 
   [[nodiscard]] std::string handle_request(const Request& request);
   [[nodiscard]] std::string stats_response();

@@ -30,6 +30,8 @@ const std::vector<RegistryEntry>& all_workloads() {
     std::vector<RegistryEntry> v = nas_suite();
     v.push_back(entry<Jacobi>("Jacobi"));
     v.push_back(entry<Synthetic>("SYNTH"));
+    // Congestion probe for routed topologies (--topology; docs/NETWORK.md).
+    v.push_back(entry<ShiftExchange>("SHIFT"));
     // The two codes the paper excluded from its figures, kept runnable so
     // the exclusions themselves are reproducible (bench/appendix_ft_is).
     v.push_back(entry<NasFt>("FT"));

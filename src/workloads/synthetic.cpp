@@ -34,6 +34,28 @@ void Synthetic::run(cluster::RankContext& ctx) const {
   }
 }
 
+std::string ShiftExchange::signature() const {
+  using cluster::sig_value;
+  return "SHIFT(upm=" + sig_value(params_.upm) +
+         ",misses=" + sig_value(params_.misses) +
+         ",iters=" + sig_value(std::uint64_t(params_.iterations)) +
+         ",bytes=" + sig_value(std::uint64_t(params_.bytes)) + ")";
+}
+
+void ShiftExchange::run(cluster::RankContext& ctx) const {
+  const int n = ctx.nprocs();
+  constexpr int kTagShift = 7;
+  for (int it = 0; it < params_.iterations; ++it) {
+    ctx.compute_upm(params_.upm, params_.misses);
+    if (n > 1) {
+      const mpi::Rank to = (ctx.rank() + n / 2) % n;
+      const mpi::Rank from = (ctx.rank() + n - n / 2) % n;
+      ctx.comm().sendrecv(to, kTagShift, params_.bytes, from, kTagShift);
+      ctx.comm().allreduce(8);
+    }
+  }
+}
+
 double Synthetic::measured_l2_miss_rate(std::size_t accesses,
                                         std::uint64_t seed) const {
   cpu::CacheHierarchy caches = cpu::athlon64_caches();

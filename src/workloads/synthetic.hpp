@@ -52,4 +52,34 @@ class Synthetic final : public cluster::Workload {
   Params params_;
 };
 
+/// Half-shift contention probe for the routed-topology benches and for
+/// racing DVFS policies on congestion-induced slack (docs/NETWORK.md):
+/// per iteration every rank ships `bytes` to (rank + n/2) % n and meets
+/// at a scalar allreduce.  The half-shift permutation crosses the spine
+/// on a fat tree — with n/2 even it lands every flow on the same trunk
+/// parity, the worst-case deterministic hash — and floods whole torus
+/// columns; on a flat or non-blocking fabric it is embarrassingly
+/// parallel.  Compute per iteration is fixed, so wall-time growth
+/// across fabrics is communication slack by construction.
+class ShiftExchange final : public cluster::Workload {
+ public:
+  struct Params {
+    double upm = 100.0;     ///< Compute characterization per iteration.
+    double misses = 5.0e4;  ///< L2 misses per iteration block.
+    int iterations = 4;
+    Bytes bytes = megabytes(1);
+  };
+
+  ShiftExchange() = default;
+  explicit ShiftExchange(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "SHIFT"; }
+  [[nodiscard]] std::string signature() const override;
+  [[nodiscard]] const Params& params() const { return params_; }
+  void run(cluster::RankContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
 }  // namespace gearsim::workloads

@@ -12,6 +12,7 @@
 #include "exec/result_io.hpp"
 #include "faults/fault_plan.hpp"
 #include "model/gear_data.hpp"
+#include "net/topology.hpp"
 #include "workloads/jacobi.hpp"
 #include "workloads/registry.hpp"
 
@@ -360,6 +361,34 @@ TEST(Runner, ParallelEngineMatrixMatchesSerialOracle) {
         expect_matches_serial(serial, parallel,
                               std::string(name) + " " + plan_label +
                                   " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(Runner, ParallelEngineMatchesSerialUnderRoutedTopologies) {
+  // Topology leg of the determinism matrix: fair-share contention is a
+  // pure function of the transfer call sequence, so the barrier replay
+  // must drive the link schedules to the exact serial realization.
+  const std::vector<std::string> specs = {"fat-tree:2,2:1,1:1,1",
+                                          "torus:4x4",
+                                          "fat-tree:2,2:1,1:1,1:trunk_bw=2e6"};
+  for (const std::string& spec : specs) {
+    ClusterConfig config = athlon_cluster();
+    install_topology(&config, net::parse_topology(spec));
+    const ExperimentRunner runner(config);
+    for (const char* const name : {"Jacobi", "CG"}) {
+      const auto workload = workloads::make_workload(name);
+      RunOptions options;
+      options.gear_index = 2;
+      options.engine_threads = 1;
+      const RunResult serial = runner.run(*workload, 4, options);
+      for (const int threads : {2, 8}) {
+        options.engine_threads = threads;
+        const RunResult parallel = runner.run(*workload, 4, options);
+        expect_matches_serial(serial, parallel,
+                              spec + " " + name + " threads=" +
+                                  std::to_string(threads));
       }
     }
   }

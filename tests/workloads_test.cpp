@@ -63,9 +63,10 @@ TEST(Registry, NasSuiteIsTheTableOneOrder) {
 }
 
 TEST(Registry, AllWorkloadsIncludesJacobiAndSynthetic) {
-  EXPECT_EQ(all_workloads().size(), 11u);
+  EXPECT_EQ(all_workloads().size(), 12u);
   EXPECT_EQ(make_workload("Jacobi")->name(), "Jacobi");
   EXPECT_EQ(make_workload("SYNTH")->name(), "SYNTH");
+  EXPECT_EQ(make_workload("SHIFT")->name(), "SHIFT");
 }
 
 TEST(Registry, UnknownNameThrows) {

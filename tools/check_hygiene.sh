@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Repo-hygiene gate: no build artifacts may be tracked by git.
+#
+# PR 8 accidentally committed an entire in-source CMake build tree
+# (object files, CMakeFiles/, CTest scaffolding, figure output).  This
+# script is the regression fence: it fails when `git ls-files` matches
+# any artifact pattern, and CI runs it before the build plus a
+# dirty-tree check after, so neither a committed artifact nor a build
+# that writes into tracked paths can land again.
+#
+# Usage: tools/check_hygiene.sh [repo-root]   (default: cwd's repo)
+set -eu
+
+root=${1:-.}
+cd "$root"
+
+# Patterns mirror .gitignore: anything a CMake/CTest run or a bench
+# invocation drops.  Extend both files together.
+bad=$(git ls-files -- \
+  'build/' 'build-*/' 'out/' \
+  '*CMakeFiles/*' '*CMakeCache.txt' '*cmake_install.cmake' \
+  '*CTestTestfile.cmake' '*DartConfiguration.tcl' \
+  '*CMakeDoxyfile.in' '*CMakeDoxygenDefaults.cmake' \
+  'Makefile' '*/Makefile' '*/Testing/*' \
+  '*_include.cmake' '*_tests.cmake' \
+  '*.o' '*.a' '*.so' '*.swp' \
+  'compile_commands.json' '*/compile_commands.json' \
+  'BENCH_*.json' \
+  || true)
+
+if [ -n "$bad" ]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "$bad" | sed 's/^/  /' >&2
+  echo "Remove them (git rm -r --cached <path>) and extend .gitignore." >&2
+  exit 1
+fi
+
+# Belt and braces: no tracked file may be a native object/archive/ELF,
+# whatever it is named.  Read the magic bytes directly so the check does
+# not depend on file(1) being installed.
+elves=$(git ls-files | while IFS= read -r f; do
+  [ -f "$f" ] || continue
+  magic=$(head -c 8 "$f" 2>/dev/null | od -An -tx1 | tr -d ' \n')
+  case "$magic" in
+    7f454c46*|213c617263683e*) echo "$f" ;;  # ELF / "!<arch>" ar archive.
+  esac
+done)
+
+if [ -n "$elves" ]; then
+  echo "error: tracked files with ELF/archive magic bytes:" >&2
+  echo "$elves" | sed 's/^/  /' >&2
+  exit 1
+fi
+
+echo "hygiene: OK ($(git ls-files | wc -l | tr -d ' ') tracked files, no artifacts)"

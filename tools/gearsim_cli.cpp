@@ -189,6 +189,26 @@ cluster::ClusterConfig cluster_by_name(const std::string& name) {
                       " (expected athlon, sun, or xeon)");
 }
 
+/// The cluster preset plus the network/scale overrides shared by every
+/// simulating command: --topology SPEC swaps the flat backplane for a
+/// routed fat-tree/torus (see docs/NETWORK.md for the grammar), and
+/// --max-nodes lifts the preset's node ceiling so topology studies can
+/// reach 256+ ranks.  Both overrides are part of the config and thus of
+/// the exec cache key — cached flat results are never served to a
+/// routed run or vice versa.
+cluster::ClusterConfig cluster_from_args(const Args& args) {
+  cluster::ClusterConfig config =
+      cluster_by_name(args.get("cluster", "athlon"));
+  if (args.has("topology")) {
+    cluster::install_topology(
+        &config, net::parse_topology(args.get("topology", "flat")));
+  }
+  if (args.has("max-nodes")) {
+    config.max_nodes = args.get_int("max-nodes", config.max_nodes);
+  }
+  return config;
+}
+
 int cmd_list() {
   TextTable table({"name", "valid node counts (athlon)", "notes"});
   cluster::ExperimentRunner runner(cluster::athlon_cluster());
@@ -289,7 +309,7 @@ void print_run(const cluster::RunResult& r) {
 
 int cmd_run(const Args& args) {
   cluster::ExperimentRunner runner(
-      cluster_by_name(args.get("cluster", "athlon")));
+      cluster_from_args(args));
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int gear = args.get_int("gear", 1);
@@ -376,7 +396,7 @@ TextTable sweep_table(const cluster::ClusterConfig& config, int repeat,
 
 int cmd_sweep(const Args& args) {
   const cluster::ClusterConfig config =
-      cluster_by_name(args.get("cluster", "athlon"));
+      cluster_from_args(args);
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int repeat = args.get_int("repeat", 1);
@@ -477,7 +497,7 @@ int cmd_cache(const Args& args) {
 
 int cmd_space(const Args& args) {
   const cluster::ClusterConfig config =
-      cluster_by_name(args.get("cluster", "athlon"));
+      cluster_from_args(args);
   const auto workload = workloads::make_workload(args.get("workload", "LU"));
   MetricsSink sink(args, "gearsim space");
   exec::SweepOptions options;
@@ -536,7 +556,7 @@ int cmd_faults(const Args& args) {
   // per hour; with a checkpoint policy (default) the run restarts from
   // the last checkpoint, with --no-restart the first crash is fatal.
   cluster::ExperimentRunner runner(
-      cluster_by_name(args.get("cluster", "athlon")));
+      cluster_from_args(args));
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int gear = args.get_int("gear", 1);
@@ -594,7 +614,7 @@ int cmd_policy(const Args& args) {
   // Goes through exec::SweepRunner, so --jobs and --cache apply and two
   // invocations are bit-identical (see docs/POLICIES.md).
   const cluster::ClusterConfig config =
-      cluster_by_name(args.get("cluster", "athlon"));
+      cluster_from_args(args);
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 8);
 
@@ -627,7 +647,7 @@ int cmd_trace(const Args& args) {
   // One run with full instrumentation artifacts: the per-call CSV and the
   // per-rank activity timeline SVG.
   cluster::ExperimentRunner runner(
-      cluster_by_name(args.get("cluster", "athlon")));
+      cluster_from_args(args));
   const auto workload = workloads::make_workload(args.get("workload", "CG"));
   const int nodes = args.get_int("nodes", 4);
   const int gear = args.get_int("gear", 1);
@@ -650,7 +670,7 @@ int cmd_advise(const Args& args) {
   // (uops and L2 misses -> UPM) and a delay budget, recommend a gear and
   // predict the whole curve -- no run needed.
   const cluster::ClusterConfig config =
-      cluster_by_name(args.get("cluster", "athlon"));
+      cluster_from_args(args);
   const cpu::CpuModel cpu_model(config.cpu, config.gears);
   const cpu::PowerModel power_model(config.power, config.gears);
   const double upm = std::stod(args.get("upm", "50"));
@@ -740,6 +760,7 @@ int cmd_query(const Args& args) {
     request.gear = args.get_int("gear", request.gear);
     request.rep = args.get_int("rep", request.rep);
     request.repeat = args.get_int("repeat", request.repeat);
+    request.topology = args.get("topology", request.topology);
     line = serve::render_request(request);
   }
   const std::string response_line = client.request(line);
@@ -810,10 +831,17 @@ int usage() {
       "         [--wall-profile]                what-if query daemon\n"
       "  query  [--socket PATH] [--type run|sweep|race|stats|shutdown]\n"
       "         [--workload W] [--nodes N] [--gear G] [--rep R]\n"
-      "         [--repeat R] [--cluster C] [--json LINE] [--raw] [--csv]\n"
+      "         [--repeat R] [--cluster C] [--topology SPEC] [--json LINE]\n"
+      "         [--raw] [--csv]\n"
       "run/sweep/space/faults/policy also take --metrics PATH (write an\n"
       "observability manifest there) and --wall-profile (include\n"
       "wall-clock profiling metrics in it); see docs/OBSERVABILITY.md\n"
+      "run/sweep/space/trace/advise/faults/policy also take\n"
+      "  --topology SPEC  routed network instead of the flat backplane:\n"
+      "                   flat | fat-tree:<down,..>:<up,..>:<parallel,..>\n"
+      "                   | torus:<d0>x<d1>x.. (options :hop_us=X\n"
+      "                   :trunk_bw=Y); see docs/NETWORK.md\n"
+      "  --max-nodes N    lift the cluster preset's node ceiling\n"
       "clusters: athlon (default), sun, xeon; gears are 1 (fastest) .. 6\n";
   return 2;
 }
