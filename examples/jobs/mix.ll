@@ -1,0 +1,37 @@
+#!/bin/sh
+# A mixed-policy batch queue for `gearsim sched` (and the CI smoke leg).
+# LoadLeveler `#@ keyword = value` stanzas, one job per `#@ queue`; the
+# shell payload below each stanza is ignored by the parser, exactly as a
+# real LoadLeveler script would carry the mpirun invocation.  Grammar:
+# docs/SCHEDULER.md.
+#@ job_name = cg-wide
+#@ job_type = parallel
+#@ workload = CG
+#@ total_tasks = 8
+#@ wall_clock_limit = 01:00:00
+#@ minimize_time_to_solution = yes
+#@ queue
+mpirun -np 8 ./cg.B.8
+
+#@ job_name = lu-thrifty
+#@ job_type = parallel
+#@ workload = LU
+#@ total_tasks = 4
+#@ minimize_energy_to_solution = yes
+#@ queue
+mpirun -np 4 ./lu.B.4
+
+#@ job_name = ep-filler
+#@ workload = EP
+#@ total_tasks = 2
+#@ arrival = 60
+#@ queue
+mpirun -np 2 ./ep.B.2
+
+#@ job_name = cg-late
+#@ workload = CG
+#@ total_tasks = 4
+#@ arrival = 120
+#@ minimize_energy_to_solution = yes
+#@ queue
+mpirun -np 4 ./cg.B.4

@@ -15,6 +15,10 @@
 #include "cluster/experiment.hpp"
 #include "cluster/workload.hpp"
 
+namespace gearsim::exec {
+class SweepRunner;  // exec/sweep_runner.hpp
+}
+
 namespace gearsim::sched {
 
 struct ConfigPoint {
@@ -40,6 +44,15 @@ class WorkloadProfile {
                                  const cluster::Workload& workload,
                                  int max_nodes);
 
+  /// Same table, measured through the parallel sweep executor: points
+  /// fan over `runner`'s worker pool (GEARSIM_SWEEP_JOBS honored) and —
+  /// when the runner carries an exec::ResultCache — warm invocations
+  /// skip the simulations entirely.  Bit-identical to the
+  /// ExperimentRunner overload for any job count or cache state.
+  static WorkloadProfile measure(const exec::SweepRunner& runner,
+                                 const cluster::Workload& workload,
+                                 int max_nodes);
+
   [[nodiscard]] const std::string& workload_name() const { return name_; }
   [[nodiscard]] const std::vector<ConfigPoint>& points() const {
     return points_;
@@ -53,6 +66,14 @@ class WorkloadProfile {
   [[nodiscard]] std::optional<ConfigPoint> best(Objective objective,
                                                 int max_free_nodes,
                                                 Watts power_budget) const;
+
+  /// The Pareto-optimal gear ladder at one width: the points with
+  /// exactly `nodes` nodes, fastest first, with every dominated point
+  /// (slower and at least as power-hungry as a kept one) pruned — so
+  /// time strictly rises and mean power strictly falls along the ladder.
+  /// This is the structure the GearArbiter climbs.  Empty when the
+  /// profile has no point at this width.
+  [[nodiscard]] std::vector<ConfigPoint> gear_frontier(int nodes) const;
 
  private:
   std::string name_;

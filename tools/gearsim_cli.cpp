@@ -10,6 +10,9 @@
 //   gearsim faults --workload CG --nodes 4 --rate 2 [--interval 30]
 //   gearsim policy --workload CG --nodes 8 [--jobs N] [--cache DIR]
 //                  [--svg FILE] [--cluster athlon]
+//   gearsim sched --script jobs.ll [--cap 1100] [--nodes 10] [--idle 85]
+//                 [--discipline greedy] [--no-arbitration]
+//                 [--outage 120:2:180] [--jobs N] [--cache DIR]
 //   gearsim cache verify|scrub|stats [--dir DIR]
 //   gearsim serve [--socket PATH] [--cache DIR] [--preload] ...
 //   gearsim query [--socket PATH] [--type sweep] [--workload CG] ...
@@ -21,7 +24,10 @@
 // `faults` re-runs an experiment under an unreliable cluster (crashes,
 // flaky links) with checkpoint/restart accounting — see docs/FAULTS.md;
 // `policy` races the adaptive DVFS roster against the static gear sweep
-// on one (workload, nodes) cell — see docs/POLICIES.md.
+// on one (workload, nodes) cell — see docs/POLICIES.md; `sched` runs a
+// LoadLeveler-style job-script queue through the multi-tenant batch
+// scheduler under a site power cap with per-event gear arbitration —
+// see docs/SCHEDULER.md.
 //
 // `sweep` and `space` go through exec::SweepRunner: --jobs fans the
 // independent points over worker threads (bit-identical to serial),
@@ -50,10 +56,12 @@
 // profiling metrics in the manifest's (never-compared) wall section.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -69,6 +77,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "policy/evaluator.hpp"
+#include "sched/scheduler.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
@@ -609,6 +618,131 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+/// Parse --outage "at:lost[:repair]" (comma-separated for several).
+std::vector<sched::NodeOutage> parse_outages(const std::string& spec) {
+  std::vector<sched::NodeOutage> outages;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t c1 = item.find(':');
+    if (c1 == std::string::npos) {
+      throw ContractError("malformed --outage item (want at:lost[:repair]): " +
+                          item);
+    }
+    const std::size_t c2 = item.find(':', c1 + 1);
+    sched::NodeOutage outage;
+    outage.at = seconds(std::stod(item.substr(0, c1)));
+    outage.nodes_lost = std::stoi(
+        item.substr(c1 + 1, c2 == std::string::npos ? c2 : c2 - c1 - 1));
+    if (c2 != std::string::npos) {
+      outage.repair_after = seconds(std::stod(item.substr(c2 + 1)));
+    }
+    outages.push_back(outage);
+  }
+  return outages;
+}
+
+int cmd_sched(const Args& args) {
+  // The multi-tenant batch scheduler end to end: parse a LoadLeveler-
+  // style job script, measure a profile per distinct workload through
+  // the sweep executor (--jobs / --cache as in `sweep`), and schedule
+  // the queue under the site power cap with gear arbitration at every
+  // event (--no-arbitration freezes placement gears — the control arm).
+  // See docs/SCHEDULER.md.
+  if (!args.has("script")) {
+    std::cerr << "gearsim sched: --script FILE is required\n";
+    return 2;
+  }
+  const std::string path = args.get("script", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "gearsim sched: cannot read " << path << '\n';
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::vector<sched::JobScript> scripts =
+      sched::parse_job_scripts(text.str());
+
+  const cluster::ClusterConfig config = cluster_from_args(args);
+  sched::Machine machine;
+  machine.nodes = args.get_int("nodes", 10);
+  machine.power_cap = watts(std::stod(args.get("cap", "1500")));
+  machine.idle_node_power = watts(std::stod(args.get("idle", "85")));
+
+  MetricsSink sink(args, "gearsim sched");
+  exec::SweepOptions sweep_options;
+  const auto cache = make_sweep_options(args, &sweep_options);
+  const exec::SweepRunner runner(config, sweep_options);
+
+  // One profile per distinct workload, no wider than any of its jobs
+  // ever needs (narrower profiles = fewer simulated points).
+  std::map<std::string, int> width;
+  for (const auto& s : scripts) {
+    int& w = width[s.workload];
+    w = std::max(w, std::min(s.total_tasks,
+                             std::min(machine.nodes, config.max_nodes)));
+  }
+  std::map<std::string, sched::WorkloadProfile> profiles;
+  for (const auto& [name, max_nodes] : width) {
+    const auto workload = workloads::make_workload(name);
+    profiles.emplace(
+        name, sched::WorkloadProfile::measure(runner, *workload, max_nodes));
+  }
+  std::vector<sched::BatchJob> jobs;
+  for (const auto& s : scripts) {
+    jobs.push_back({s, &profiles.at(s.workload)});
+  }
+
+  sched::BatchOptions options;
+  options.discipline = args.get("discipline", "fifo") == "greedy"
+                           ? sched::QueueDiscipline::kGreedy
+                           : sched::QueueDiscipline::kFifo;
+  options.arbitrate = !args.has("no-arbitration");
+  const std::vector<sched::NodeOutage> outages =
+      parse_outages(args.get("outage", ""));
+  const sched::BatchScheduler scheduler(machine, options);
+  const sched::BatchResult r =
+      scheduler.schedule(jobs, outages, sink.registry());
+
+  TextTable table({"job", "workload", "policy", "nodes", "gears", "shifts",
+                   "start_s", "end_s", "energy_kJ"});
+  for (const auto& p : r.placements) {
+    table.add_row({p.job_id, p.workload, to_string(p.tag),
+                   std::to_string(p.nodes),
+                   std::to_string(p.start_gear_label) + "->" +
+                       std::to_string(p.final_gear_label),
+                   std::to_string(p.gear_changes),
+                   fmt_fixed(p.start.value(), 1), fmt_fixed(p.end.value(), 1),
+                   fmt_fixed(p.energy.value() / 1e3, 1)});
+  }
+  std::cout << (args.has("csv") ? table.to_csv() : table.to_string())
+            << "makespan " << fmt_fixed(r.makespan.value(), 1)
+            << " s, energy " << fmt_fixed(r.total_energy().value() / 1e3, 1)
+            << " kJ (jobs " << fmt_fixed(r.job_energy.value() / 1e3, 1)
+            << ", idle " << fmt_fixed(r.idle_energy.value() / 1e3, 1)
+            << ", wasted " << fmt_fixed(r.wasted_energy.value() / 1e3, 1)
+            << ")\n"
+            << "peak draw " << fmt_fixed(r.peak_power.value(), 1)
+            << " W under cap " << fmt_fixed(machine.power_cap.value(), 1)
+            << " W (min headroom " << fmt_fixed(r.min_headroom.value(), 1)
+            << " W)\n"
+            << r.arbitrations << " arbitration(s), "
+            << fmt_fixed(r.redistributed_watts.value(), 1)
+            << " W redistributed, " << r.preemptions << " preemption(s), "
+            << r.wall_limit_kills << " wall-limit kill(s)\n";
+  print_cache_stats(sweep_options.cache);
+  sink.add_info("cluster", config.name);
+  sink.add_info("script", path);
+  sink.add_info("jobs", std::to_string(jobs.size()));
+  sink.add_info("cap_w", args.get("cap", "1500"));
+  sink.write(exec::kKeyFormatVersion);
+  return 0;
+}
+
 int cmd_policy(const Args& args) {
   // The full adaptive-DVFS roster vs the static gear sweep on one cell.
   // Goes through exec::SweepRunner, so --jobs and --cache apply and two
@@ -825,6 +959,10 @@ int usage() {
       "         [--no-restart] [--cluster C]\n"
       "  policy --workload W --nodes N [--jobs J] [--cache DIR]\n"
       "         [--svg FILE] [--cluster C]\n"
+      "  sched  --script FILE [--cap W] [--nodes N] [--idle W]\n"
+      "         [--discipline fifo|greedy] [--no-arbitration]\n"
+      "         [--outage T:N[:R],..] [--jobs J] [--cache DIR] [--csv]\n"
+      "         [--cluster C]          batch queue under a power cap\n"
       "  serve  [--socket PATH] [--cache DIR] [--shard-digits D]\n"
       "         [--shard-budget B] [--capacity N] [--preload] [--jobs J]\n"
       "         [--admit A] [--queue Q] [--retry-after-ms MS] [--retries K]\n"
@@ -833,7 +971,7 @@ int usage() {
       "         [--workload W] [--nodes N] [--gear G] [--rep R]\n"
       "         [--repeat R] [--cluster C] [--topology SPEC] [--json LINE]\n"
       "         [--raw] [--csv]\n"
-      "run/sweep/space/faults/policy also take --metrics PATH (write an\n"
+      "run/sweep/space/faults/policy/sched also take --metrics PATH (write an\n"
       "observability manifest there) and --wall-profile (include\n"
       "wall-clock profiling metrics in it); see docs/OBSERVABILITY.md\n"
       "run/sweep/space/trace/advise/faults/policy also take\n"
@@ -862,6 +1000,7 @@ int main(int argc, char** argv) {
     if (args->command == "trace") return cmd_trace(*args);
     if (args->command == "faults") return cmd_faults(*args);
     if (args->command == "policy") return cmd_policy(*args);
+    if (args->command == "sched") return cmd_sched(*args);
     if (args->command == "serve") return cmd_serve(*args);
     if (args->command == "query") return cmd_query(*args);
   } catch (const std::exception& e) {
